@@ -1,0 +1,147 @@
+//! Criterion microbenchmarks of the hot paths:
+//! GF(2^8) fused multiply-accumulate, Reed–Solomon encode/decode across
+//! block sizes, the marking algorithm at the paper's scale, UKA planning,
+//! and sealing throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gf256::Gf256;
+use keytree::{Batch, KeyTree};
+use rekeymsg::{assign, Layout};
+use rse::{decode, BlockEncoder, Share};
+use wirecrypto::{KeyGen, SealedKey, SymKey};
+
+fn bench_gf_mul_acc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256_mul_acc_slice");
+    let src = vec![0xA7u8; 1024];
+    let mut dst = vec![0u8; 1024];
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("coeff_generic_1KiB", |b| {
+        b.iter(|| Gf256::mul_acc_slice(Gf256::new(0x8E), &src, &mut dst))
+    });
+    group.bench_function("coeff_one_1KiB", |b| {
+        b.iter(|| Gf256::mul_acc_slice(Gf256::ONE, &src, &mut dst))
+    });
+    group.finish();
+}
+
+fn block(k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..len).map(|b| (i * 37 + b) as u8).collect())
+        .collect()
+}
+
+fn bench_rse_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rse_encode_parity");
+    for k in [1usize, 5, 10, 20, 50] {
+        let data = block(k, 1024);
+        group.throughput(Throughput::Bytes((k * 1024) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut enc = BlockEncoder::new(k).unwrap();
+            // Warm the coefficient row cache: the steady-state server cost.
+            let _ = enc.parity(0, &data).unwrap();
+            b.iter(|| enc.parity(0, &data).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_rse_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rse_decode_worst_case");
+    for k in [5usize, 10, 20] {
+        let data = block(k, 1024);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        // Worst case: all data lost, decode entirely from parities.
+        let shares: Vec<Share> = (0..k)
+            .map(|j| Share {
+                index: k + j,
+                data: enc.parity(j, &data).unwrap(),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| decode(k, &shares).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_marking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marking_algorithm");
+    group.sample_size(20);
+    group.bench_function("N4096_L1024", |b| {
+        b.iter_batched(
+            || {
+                let mut kg = KeyGen::from_seed(1);
+                let tree = KeyTree::balanced(4096, 4, &mut kg);
+                let leaves: Vec<u32> = (0..1024u32).map(|i| i * 4).collect();
+                (tree, kg, leaves)
+            },
+            |(mut tree, mut kg, leaves)| tree.process_batch(&Batch::new(vec![], leaves), &mut kg),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_uka(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uka_plan");
+    group.sample_size(20);
+    let mut kg = KeyGen::from_seed(2);
+    let mut tree = KeyTree::balanced(4096, 4, &mut kg);
+    let leaves: Vec<u32> = (0..1024u32).map(|i| i * 4).collect();
+    let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
+    group.bench_function("N4096_L1024", |b| {
+        b.iter(|| assign::plan(&tree, &outcome, &Layout::DEFAULT))
+    });
+    group.finish();
+}
+
+fn bench_full_message_construction(c: &mut Criterion) {
+    // The whole server-side pipeline at the paper's scale: marking,
+    // UKA packing, sealing, block partitioning, proactive parity encoding.
+    let mut group = c.benchmark_group("full_message_construction");
+    group.sample_size(10);
+    group.bench_function("N4096_L1024_k10_rho1_5", |b| {
+        b.iter_batched(
+            || {
+                let mut kg = KeyGen::from_seed(9);
+                let tree = KeyTree::balanced(4096, 4, &mut kg);
+                let leaves: Vec<u32> = (0..1024u32).map(|i| i * 4).collect();
+                (tree, kg, leaves)
+            },
+            |(mut tree, mut kg, leaves)| {
+                let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
+                let built =
+                    rekeymsg::UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT);
+                let mut blocks = rekeymsg::BlockSet::new(built.packets, 10, Layout::DEFAULT);
+                blocks.round_one_schedule(1.5).unwrap()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_seal(c: &mut Criterion) {
+    let kek = SymKey::from_bytes([1; 16]);
+    let plain = SymKey::from_bytes([2; 16]);
+    c.bench_function("seal_one_encryption", |b| {
+        b.iter(|| SealedKey::seal(&kek, &plain, 12345))
+    });
+    let sealed = SealedKey::seal(&kek, &plain, 12345);
+    c.bench_function("unseal_one_encryption", |b| {
+        b.iter(|| sealed.unseal(&kek, 12345).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gf_mul_acc,
+    bench_rse_encode,
+    bench_rse_decode,
+    bench_marking,
+    bench_uka,
+    bench_full_message_construction,
+    bench_seal
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Runs the design-choice ablations: send order, loss model, UKA.
+fn main() {
+    let mode = bench::Mode::from_env();
+    bench::ablations::ablation_send_order(mode);
+    bench::ablations::ablation_loss_model(mode);
+    bench::ablations::ablation_uka(mode);
+}

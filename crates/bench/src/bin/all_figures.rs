@@ -1,0 +1,29 @@
+//! Regenerates every figure and table in sequence (EXPERIMENTS.md source).
+use bench::figures;
+use bench::Mode;
+
+fn main() {
+    let mode = Mode::from_env();
+    println!("# Figure regeneration run (messages/point = {}, workload runs = {}, trajectory = {})",
+             mode.messages, mode.runs, mode.trajectory);
+    figures::fig06(mode);
+    figures::fig07(mode);
+    figures::fig08(mode);
+    figures::fig09(mode);
+    figures::fig10(mode);
+    figures::fig12_13(mode);
+    figures::fig14(mode);
+    figures::fig15(mode);
+    figures::fig16(mode);
+    figures::fig17(mode);
+    figures::fig18(mode);
+    figures::fig19_20(mode);
+    figures::fig21(mode);
+    figures::sigcomm_degree(mode);
+    figures::sigcomm_batch(mode);
+    figures::sigcomm_sparseness(mode);
+    figures::sigcomm_model(mode);
+    bench::ablations::ablation_send_order(mode);
+    bench::ablations::ablation_loss_model(mode);
+    bench::ablations::ablation_uka(mode);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the corresponding evaluation output; see bench::figures.
+fn main() {
+    bench::figures::fig16(bench::Mode::from_env());
+}

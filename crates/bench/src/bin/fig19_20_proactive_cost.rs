@@ -1,0 +1,4 @@
+//! Regenerates the corresponding evaluation output; see bench::figures.
+fn main() {
+    bench::figures::fig19_20(bench::Mode::from_env());
+}

@@ -1,0 +1,4 @@
+//! Closed-form expected-message-size model vs the marking algorithm.
+fn main() {
+    bench::figures::sigcomm_model(bench::Mode::from_env());
+}

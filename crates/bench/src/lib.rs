@@ -1,0 +1,64 @@
+//! Figure-regeneration harness.
+//!
+//! One function per figure/table of the paper's evaluation; the `fig*`
+//! binaries are thin wrappers, and `all_figures` runs the lot. Output is
+//! aligned plain text (one block per sub-figure) so EXPERIMENTS.md can
+//! quote it directly.
+//!
+//! Set `REKEY_QUICK=1` to cut message counts ~4x for smoke runs.
+
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod figures;
+
+/// Global effort knob.
+#[derive(Debug, Clone, Copy)]
+pub struct Mode {
+    /// Rekey messages simulated per transport data point.
+    pub messages: usize,
+    /// Marking/UKA repetitions per workload data point.
+    pub runs: usize,
+    /// Messages for the long adaptive trajectories (figs 12–15, 21).
+    pub trajectory: usize,
+}
+
+impl Mode {
+    /// Reads `REKEY_QUICK` from the environment.
+    pub fn from_env() -> Self {
+        if std::env::var("REKEY_QUICK").is_ok_and(|v| v != "0") {
+            Mode {
+                messages: 3,
+                runs: 2,
+                trajectory: 8,
+            }
+        } else {
+            Mode {
+                messages: 10,
+                runs: 5,
+                trajectory: 25,
+            }
+        }
+    }
+}
+
+/// Mean of an iterator of f64.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Prints a figure header.
+pub fn header(id: &str, caption: &str) {
+    println!();
+    println!("### {id} — {caption}");
+}

@@ -1,0 +1,55 @@
+//! Arithmetic over the finite field GF(2^8).
+//!
+//! This crate is the algebraic substrate for the Reed–Solomon erasure coder
+//! used by the group-rekeying transport (the paper uses L. Rizzo's RSE
+//! coder; this is a from-scratch equivalent). It provides:
+//!
+//! * [`Gf256`] — a field element with full operator overloads,
+//! * [`poly`] — dense polynomials over the field (evaluation, interpolation),
+//! * [`matrix`] — matrices over the field with Gaussian elimination and
+//!   inversion, plus Vandermonde constructors used to build systematic
+//!   erasure codes.
+//!
+//! The field is realised as GF(2)\[x\] / (x^8 + x^4 + x^3 + x^2 + 1), i.e.
+//! reduction polynomial `0x11d`, with generator `alpha = 0x02`. All
+//! multiplicative arithmetic goes through compile-time log/exp tables, so a
+//! multiply is two table lookups and an add; this matches the cost model the
+//! paper assumes when it says parity-packet encoding time is linear in block
+//! size.
+//!
+//! # Example
+//!
+//! ```
+//! use gf256::Gf256;
+//!
+//! let a = Gf256::new(0x57);
+//! let b = Gf256::new(0x83);
+//! assert_eq!(a * b, b * a);
+//! assert_eq!((a * b) / b, a);
+//! assert_eq!(a * a.inv().unwrap(), Gf256::ONE);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod tables;
+
+pub mod matrix;
+pub mod poly;
+
+pub use field::Gf256;
+pub use matrix::Matrix;
+pub use poly::Poly;
+
+/// The reduction polynomial of the field, x^8 + x^4 + x^3 + x^2 + 1.
+pub const REDUCTION_POLY: u16 = 0x11d;
+
+/// The multiplicative generator used to build the log/exp tables.
+pub const GENERATOR: u8 = 0x02;
+
+/// Number of elements in the field.
+pub const FIELD_SIZE: usize = 256;
+
+/// Order of the multiplicative group (number of non-zero elements).
+pub const GROUP_ORDER: usize = 255;

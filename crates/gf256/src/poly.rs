@@ -1,0 +1,201 @@
+//! Dense polynomials over GF(2^8).
+//!
+//! Used by the erasure coder's tests and by Lagrange-style reconstruction
+//! checks; kept general enough to be reused for Reed–Solomon variants.
+
+use crate::Gf256;
+
+/// A dense polynomial `c[0] + c[1] x + ... + c[n] x^n` over GF(2^8).
+///
+/// The coefficient vector is kept *normalised*: the highest-order
+/// coefficient is non-zero, except that the zero polynomial is represented
+/// by an empty vector.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Poly {
+    coeffs: Vec<Gf256>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// Constructs a polynomial from low-to-high coefficients, trimming
+    /// trailing zeros.
+    pub fn from_coeffs(coeffs: Vec<Gf256>) -> Self {
+        let mut p = Poly { coeffs };
+        p.normalise();
+        p
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Gf256) -> Self {
+        Poly::from_coeffs(vec![c])
+    }
+
+    /// Low-to-high coefficient view.
+    pub fn coeffs(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// Degree of the polynomial; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// True iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    fn normalise(&mut self) {
+        while self.coeffs.last().is_some_and(|c| c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Horner evaluation at `x`.
+    pub fn eval(&self, x: Gf256) -> Gf256 {
+        let mut acc = Gf256::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let (long, short) = if self.coeffs.len() >= other.coeffs.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut coeffs = long.coeffs.clone();
+        for (c, &s) in coeffs.iter_mut().zip(&short.coeffs) {
+            *c += s;
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Polynomial multiplication (schoolbook; degrees here are tiny).
+    pub fn mul(&self, other: &Poly) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Scales every coefficient by `s`.
+    pub fn scale(&self, s: Gf256) -> Poly {
+        Poly::from_coeffs(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Lagrange interpolation through `(x_i, y_i)` points with pairwise
+    /// distinct `x_i`. Returns the unique polynomial of degree `< points.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two `x` values coincide.
+    pub fn interpolate(points: &[(Gf256, Gf256)]) -> Poly {
+        let mut acc = Poly::zero();
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            // Basis polynomial l_i(x) = prod_{j != i} (x - x_j) / (x_i - x_j)
+            let mut basis = Poly::constant(Gf256::ONE);
+            let mut denom = Gf256::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                assert_ne!(xi, xj, "interpolation nodes must be distinct");
+                basis = basis.mul(&Poly::from_coeffs(vec![xj, Gf256::ONE]));
+                denom *= xi + xj; // == xi - xj in characteristic 2
+            }
+            acc = acc.add(&basis.scale(yi / denom));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(cs: &[u8]) -> Poly {
+        Poly::from_coeffs(cs.iter().map(|&c| Gf256::new(c)).collect())
+    }
+
+    #[test]
+    fn normalisation_trims_high_zeros() {
+        assert_eq!(p(&[1, 2, 0, 0]), p(&[1, 2]));
+        assert!(p(&[0, 0]).is_zero());
+        assert_eq!(p(&[0]).degree(), None);
+        assert_eq!(p(&[7]).degree(), Some(0));
+        assert_eq!(p(&[7, 0, 9]).degree(), Some(2));
+    }
+
+    #[test]
+    fn eval_constant_and_identity() {
+        assert_eq!(p(&[5]).eval(Gf256::new(123)), Gf256::new(5));
+        // x evaluated at x0 is x0
+        assert_eq!(p(&[0, 1]).eval(Gf256::new(77)), Gf256::new(77));
+        assert_eq!(Poly::zero().eval(Gf256::new(9)), Gf256::ZERO);
+    }
+
+    #[test]
+    fn addition_is_xor_of_coefficients() {
+        let a = p(&[1, 2, 3]);
+        let b = p(&[4, 5]);
+        assert_eq!(a.add(&b), p(&[1 ^ 4, 2 ^ 5, 3]));
+        // Self-addition cancels (characteristic 2).
+        assert!(a.add(&a).is_zero());
+    }
+
+    #[test]
+    fn multiplication_degree_and_distributivity() {
+        let a = p(&[1, 1]); // 1 + x
+        let b = p(&[2, 0, 1]); // 2 + x^2
+        let ab = a.mul(&b);
+        assert_eq!(ab.degree(), Some(3));
+        // (a*b)(x) == a(x)*b(x) for a sample of points.
+        for x in [0u8, 1, 2, 55, 200, 255] {
+            let x = Gf256::new(x);
+            assert_eq!(ab.eval(x), a.eval(x) * b.eval(x));
+        }
+        assert!(a.mul(&Poly::zero()).is_zero());
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial() {
+        let target = p(&[9, 4, 0, 7]); // degree 3
+        let points: Vec<(Gf256, Gf256)> = (0..4u8)
+            .map(|x| {
+                let x = Gf256::new(x);
+                (x, target.eval(x))
+            })
+            .collect();
+        assert_eq!(Poly::interpolate(&points), target);
+    }
+
+    #[test]
+    fn interpolation_through_single_point() {
+        let pts = [(Gf256::new(3), Gf256::new(99))];
+        assert_eq!(Poly::interpolate(&pts), p(&[99]));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn interpolation_rejects_duplicate_nodes() {
+        let pts = [
+            (Gf256::new(3), Gf256::new(1)),
+            (Gf256::new(3), Gf256::new(2)),
+        ];
+        let _ = Poly::interpolate(&pts);
+    }
+}

@@ -1,0 +1,338 @@
+//! The user-side key store.
+
+use std::collections::BTreeMap;
+
+use keytree::{ident, MemberId, NodeId};
+use rekeymsg::{seal_context, EncPacket, UsrPacket};
+use wirecrypto::SymKey;
+
+/// Why applying a rekey packet failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The user cannot rederive a current ID from `maxKID` — it is no
+    /// longer in the group.
+    NotInGroup,
+    /// An encryption on the path could not be unsealed with any key the
+    /// agent holds (corruption, or the agent's state is stale).
+    MissingKey {
+        /// The encrypting node whose key the agent lacks.
+        node: NodeId,
+    },
+    /// A sealed blob failed authentication.
+    BadSeal {
+        /// The encrypting node of the offending blob.
+        node: NodeId,
+    },
+    /// A USR packet carried a different number of encryptions than the
+    /// agent's path shape admits.
+    UsrShapeMismatch,
+}
+
+impl core::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ApplyError::NotInGroup => write!(f, "user is no longer in the group"),
+            ApplyError::MissingKey { node } => write!(f, "no key held for node {node}"),
+            ApplyError::BadSeal { node } => write!(f, "seal verification failed at node {node}"),
+            ApplyError::UsrShapeMismatch => write!(f, "USR packet shape does not match path"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// A user's view of the key tree: its individual key plus the path keys it
+/// currently holds, updated by applying rekey packets.
+#[derive(Debug, Clone)]
+pub struct UserAgent {
+    member: MemberId,
+    node_id: NodeId,
+    individual: SymKey,
+    degree: u32,
+    keys: BTreeMap<NodeId, SymKey>,
+}
+
+impl UserAgent {
+    /// Creates an agent for a member admitted at u-node `node_id` with the
+    /// given individual key.
+    pub fn new(member: MemberId, node_id: NodeId, individual: SymKey, degree: u32) -> Self {
+        let mut keys = BTreeMap::new();
+        keys.insert(node_id, individual);
+        UserAgent {
+            member,
+            node_id,
+            individual,
+            degree,
+            keys,
+        }
+    }
+
+    /// Creates an agent that already holds its full current path (as after
+    /// a successful registration + initial rekey).
+    pub fn with_path(
+        member: MemberId,
+        node_id: NodeId,
+        individual: SymKey,
+        degree: u32,
+        path_keys: impl IntoIterator<Item = (NodeId, SymKey)>,
+    ) -> Self {
+        let mut agent = UserAgent::new(member, node_id, individual, degree);
+        for (id, k) in path_keys {
+            agent.keys.insert(id, k);
+        }
+        agent
+    }
+
+    /// The member identity.
+    pub fn member(&self) -> MemberId {
+        self.member
+    }
+
+    /// The u-node ID the agent believes it occupies.
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    /// The group key, if held.
+    pub fn group_key(&self) -> Option<SymKey> {
+        self.keys.get(&0).copied()
+    }
+
+    /// The key held for a node, if any.
+    pub fn key_of(&self, node: NodeId) -> Option<SymKey> {
+        self.keys.get(&node).copied()
+    }
+
+    /// Number of keys currently held (1 individual + path keys).
+    pub fn keys_held(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Applies the user's specific ENC packet from rekey message
+    /// `msg_seq`: rederives the current ID from `maxKID`, then walks the
+    /// path leaf-to-root unsealing every encryption addressed to it.
+    pub fn apply_enc(&mut self, pkt: &EncPacket, msg_seq: u64) -> Result<(), ApplyError> {
+        let new_id = ident::derive_current_id(self.node_id, pkt.max_kid as NodeId, self.degree)
+            .ok_or(ApplyError::NotInGroup)?;
+        self.relocate(new_id);
+
+        for c in ident::path_to_root(new_id, self.degree) {
+            let c16 = u16::try_from(c).map_err(|_| ApplyError::MissingKey { node: c })?;
+            let Some(sealed) = pkt.entry(c16) else {
+                continue;
+            };
+            let kek = self
+                .keys
+                .get(&c)
+                .copied()
+                .ok_or(ApplyError::MissingKey { node: c })?;
+            let parent = ident::parent(c, self.degree).expect("entries never encrypt above root");
+            let key = sealed
+                .unseal(&kek, seal_context(msg_seq, c))
+                .map_err(|_| ApplyError::BadSeal { node: c })?;
+            self.keys.insert(parent, key);
+        }
+        self.prune();
+        Ok(())
+    }
+
+    /// Applies a USR packet: the sealed keys arrive in increasing
+    /// encryption-ID order (root-side first) without explicit IDs; they
+    /// correspond to the topmost `t` non-root path nodes.
+    pub fn apply_usr(&mut self, pkt: &UsrPacket, msg_seq: u64) -> Result<(), ApplyError> {
+        let new_id = pkt.new_user_id as NodeId;
+        self.relocate(new_id);
+
+        // Non-root path nodes in increasing-ID order (child of root first).
+        let mut path = ident::path_to_root(new_id, self.degree);
+        path.pop(); // drop the root
+        path.reverse(); // ascending IDs
+        if pkt.sealed.len() > path.len() {
+            return Err(ApplyError::UsrShapeMismatch);
+        }
+        let children = &path[..pkt.sealed.len()];
+        // Unseal bottom-up: the deepest encrypting key is one the agent
+        // already holds (an unchanged auxiliary key or its individual key).
+        for (c, sealed) in children.iter().zip(&pkt.sealed).rev() {
+            let kek = self
+                .keys
+                .get(c)
+                .copied()
+                .ok_or(ApplyError::MissingKey { node: *c })?;
+            let parent = ident::parent(*c, self.degree).expect("non-root");
+            let key = sealed
+                .unseal(&kek, seal_context(msg_seq, *c))
+                .map_err(|_| ApplyError::BadSeal { node: *c })?;
+            self.keys.insert(parent, key);
+        }
+        self.prune();
+        Ok(())
+    }
+
+    /// Moves the agent to a (possibly) new u-node ID, re-keying its
+    /// individual key.
+    fn relocate(&mut self, new_id: NodeId) {
+        if new_id != self.node_id {
+            self.keys.remove(&self.node_id);
+            self.node_id = new_id;
+        }
+        self.keys.insert(new_id, self.individual);
+    }
+
+    /// Drops keys no longer on the agent's path.
+    fn prune(&mut self) {
+        let path: std::collections::BTreeSet<NodeId> =
+            ident::path_to_root(self.node_id, self.degree)
+                .into_iter()
+                .collect();
+        self.keys.retain(|id, _| path.contains(id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keytree::{Batch, KeyTree};
+    use rekeymsg::{build_usr_packet, Layout, UkaAssignment};
+    use wirecrypto::KeyGen;
+
+    /// Builds a tree, runs a batch, and returns everything a test needs.
+    fn scenario(
+        n: u32,
+        leaves: Vec<MemberId>,
+        joins: u32,
+    ) -> (KeyTree, KeyTree, keytree::MarkOutcome, UkaAssignment) {
+        let mut kg = KeyGen::from_seed(3);
+        let mut tree = KeyTree::balanced(n, 4, &mut kg);
+        let before = tree.clone();
+        let join_list: Vec<(MemberId, SymKey)> =
+            (0..joins).map(|i| (n + i, kg.next_key())).collect();
+        let outcome = tree.process_batch(&Batch::new(join_list, leaves), &mut kg);
+        let assignment = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT);
+        (before, tree, outcome, assignment)
+    }
+
+    fn agent_for(tree: &KeyTree, member: MemberId, degree: u32) -> UserAgent {
+        let node = tree.node_of_member(member).unwrap();
+        let path = tree.keys_for_member(member).unwrap();
+        let individual = path[0].1;
+        UserAgent::with_path(member, node, individual, degree, path)
+    }
+
+    #[test]
+    fn surviving_user_obtains_new_group_key_from_enc() {
+        let (before, after, _outcome, assignment) = scenario(64, vec![3, 9, 41], 0);
+        for member in [0u32, 10, 63] {
+            let mut agent = agent_for(&before, member, 4);
+            let uid = after.node_of_member(member).unwrap();
+            let pi = assignment.packet_of_user[&uid];
+            agent
+                .apply_enc(&assignment.packets[pi], 1)
+                .unwrap_or_else(|e| panic!("member {member}: {e}"));
+            assert_eq!(agent.group_key(), after.group_key());
+        }
+    }
+
+    #[test]
+    fn usr_packet_equivalent_to_enc_packet() {
+        let (before, after, outcome, assignment) = scenario(64, vec![3, 9, 41], 0);
+        let member = 20u32;
+        let uid = after.node_of_member(member).unwrap();
+
+        let mut via_enc = agent_for(&before, member, 4);
+        let pi = assignment.packet_of_user[&uid];
+        via_enc.apply_enc(&assignment.packets[pi], 1).unwrap();
+
+        let mut via_usr = agent_for(&before, member, 4);
+        let usr = build_usr_packet(&after, &outcome, member, 1).unwrap();
+        via_usr.apply_usr(&usr, 1).unwrap();
+
+        assert_eq!(via_enc.group_key(), via_usr.group_key());
+        assert_eq!(via_enc.group_key(), after.group_key());
+        assert_eq!(via_enc.keys_held(), via_usr.keys_held());
+    }
+
+    #[test]
+    fn newly_joined_user_bootstraps_from_individual_key() {
+        let (_before, after, _outcome, assignment) = scenario(64, vec![], 5);
+        let member = 66u32; // one of the joiners
+        let uid = after.node_of_member(member).unwrap();
+        let individual = after.key_of(uid).unwrap();
+        let mut agent = UserAgent::new(member, uid, individual, 4);
+        let pi = assignment.packet_of_user[&uid];
+        agent.apply_enc(&assignment.packets[pi], 1).unwrap();
+        assert_eq!(agent.group_key(), after.group_key());
+    }
+
+    #[test]
+    fn moved_user_relocates_and_recovers() {
+        // Full 16-user tree + 1 join forces a split; the user at node 5
+        // moves to 21.
+        let mut kg = KeyGen::from_seed(8);
+        let mut tree = KeyTree::balanced(16, 4, &mut kg);
+        let before = tree.clone();
+        let moved = tree.member_at(5).unwrap();
+        let outcome =
+            tree.process_batch(&Batch::new(vec![(100, kg.next_key())], vec![]), &mut kg);
+        assert_eq!(outcome.moves.len(), 1);
+        let assignment = UkaAssignment::build(&tree, &outcome, 2, &Layout::DEFAULT);
+
+        let mut agent = agent_for(&before, moved, 4);
+        assert_eq!(agent.node_id(), 5);
+        let uid = tree.node_of_member(moved).unwrap();
+        let pi = assignment.packet_of_user[&uid];
+        agent.apply_enc(&assignment.packets[pi], 2).unwrap();
+        assert_eq!(agent.node_id(), 21);
+        assert_eq!(agent.group_key(), tree.group_key());
+    }
+
+    #[test]
+    fn departed_user_cannot_apply() {
+        let (before, _after, _outcome, assignment) = scenario(64, vec![7], 0);
+        let mut agent = agent_for(&before, 7, 4);
+        // Its old packet region now serves the remaining users; applying
+        // any packet must fail (bad seal or missing key), never silently
+        // yield the new group key.
+        let old_group_key = agent.group_key();
+        for pkt in &assignment.packets {
+            let _ = agent.apply_enc(pkt, 1);
+        }
+        assert_eq!(agent.group_key(), old_group_key, "forward secrecy violated");
+    }
+
+    #[test]
+    fn wrong_msg_seq_fails_seal_check() {
+        let (before, after, _outcome, assignment) = scenario(64, vec![3], 0);
+        let mut agent = agent_for(&before, 0, 4);
+        let uid = after.node_of_member(0).unwrap();
+        let pi = assignment.packet_of_user[&uid];
+        let err = agent.apply_enc(&assignment.packets[pi], 99).unwrap_err();
+        assert!(matches!(err, ApplyError::BadSeal { .. }));
+    }
+
+    #[test]
+    fn keys_pruned_to_path() {
+        let (before, after, _outcome, assignment) = scenario(64, vec![3], 0);
+        let mut agent = agent_for(&before, 0, 4);
+        let uid = after.node_of_member(0).unwrap();
+        let pi = assignment.packet_of_user[&uid];
+        agent.apply_enc(&assignment.packets[pi], 1).unwrap();
+        // Height-3 tree: path holds 4 keys (leaf + 2 aux + root).
+        assert_eq!(agent.keys_held(), 4);
+    }
+
+    #[test]
+    fn usr_shape_mismatch_rejected() {
+        let (_before, after, outcome, _assignment) = scenario(64, vec![3], 0);
+        let member = 0u32;
+        let uid = after.node_of_member(member).unwrap();
+        let individual = after.key_of(uid).unwrap();
+        let mut agent = UserAgent::new(member, uid, individual, 4);
+        let mut usr = build_usr_packet(&after, &outcome, member, 1).unwrap();
+        // Inflate beyond the path length.
+        while usr.sealed.len() <= 4 {
+            usr.sealed.push(usr.sealed[0]);
+        }
+        assert_eq!(agent.apply_usr(&usr, 1), Err(ApplyError::UsrShapeMismatch));
+    }
+}

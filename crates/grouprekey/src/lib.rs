@@ -1,0 +1,68 @@
+//! Scalable, reliable group rekeying — the end-to-end system.
+//!
+//! This is the top-level crate of the reproduction of *"Reliable group
+//! rekeying: a performance analysis"* (SIGCOMM 2001) and its companion
+//! protocol paper. It wires the substrates together:
+//!
+//! ```text
+//!           keytree (LKH + marking)        wirecrypto (cipher/MAC/seal)
+//!                     \                       /
+//!                  rekeymsg (UKA, blocks, wire formats, estimation)
+//!                     |
+//!                rekeyproto (server/user state machines)   rse (FEC)
+//!                     |
+//!                 grouprekey  <--- drives --->  netsim (lossy multicast)
+//! ```
+//!
+//! Main entry points:
+//!
+//! * [`KeyServer`] — owns the key tree, processes join/leave batches, and
+//!   produces rekey messages.
+//! * [`UserAgent`] — a user's key store: applies ENC/USR packets,
+//!   rederives its ID, and tracks the group key.
+//! * [`driver`] — a byte-faithful end-to-end driver: every packet is
+//!   emitted to wire bytes, crosses the simulated lossy network, is parsed
+//!   and cryptographically processed by user agents. Used by integration
+//!   tests and examples.
+//! * [`sim`] — the high-throughput transport simulator used to reproduce
+//!   the paper's figures: identical protocol logic, but users track share
+//!   *counts* instead of share *bytes* (Reed–Solomon decodability depends
+//!   only on which shares arrived, a property the `rse` crate proves).
+//! * [`experiment`] — parameterised runners that regenerate each figure.
+//! * [`frontend`] — authenticated join/leave requests and per-interval
+//!   batch collection (the key-management component's request path).
+//! * [`datapath`] — the application data channel keyed by group-key
+//!   epoch, with bounded buffering across rekeys (the soft real-time
+//!   requirement's reason to exist).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use grouprekey::{KeyServer, ServerOptions};
+//! use keytree::Batch;
+//!
+//! // A group of 64 users under a degree-4 key tree.
+//! let mut server = KeyServer::bootstrap(64, ServerOptions::default());
+//! let key0 = server.tree().group_key().unwrap();
+//!
+//! // One user leaves; the server builds the rekey message.
+//! let artifacts = server.rekey(Batch::new(vec![], vec![17]));
+//! assert!(artifacts.assignment.stats.packets >= 1);
+//! assert_ne!(server.tree().group_key().unwrap(), key0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+pub mod datapath;
+pub mod driver;
+pub mod experiment;
+pub mod frontend;
+mod metrics;
+mod server;
+pub mod sim;
+
+pub use agent::{ApplyError, UserAgent};
+pub use metrics::MessageReport;
+pub use server::{KeyServer, RekeyArtifacts, ServerOptions};

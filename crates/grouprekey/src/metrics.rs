@@ -1,0 +1,113 @@
+//! Per-message reporting used by experiments and examples.
+
+/// Measurements of one rekey message's delivery.
+#[derive(Debug, Clone, Default)]
+pub struct MessageReport {
+    /// Message sequence number.
+    pub msg_seq: u64,
+    /// Real ENC packets (`h`).
+    pub enc_packets: usize,
+    /// FEC blocks.
+    pub blocks: usize,
+    /// Proactivity factor used for this message.
+    pub rho: f64,
+    /// `numNACK` target in force for this message.
+    pub num_nack: usize,
+    /// NACKs the server received at the end of round one.
+    pub nacks_round1: usize,
+    /// Multicast bandwidth overhead `h'/h`.
+    pub bandwidth_overhead: f64,
+    /// Multicast rounds used by the server.
+    pub server_rounds: usize,
+    /// Per-user rounds-to-success histogram: `rounds_histogram[r]` users
+    /// succeeded in round `r + 1`.
+    pub rounds_histogram: Vec<usize>,
+    /// Users that had not recovered when the message completed (should be
+    /// zero — reliability is eventual).
+    pub unserved_users: usize,
+    /// Users that missed the deadline (strictly more rounds than allowed).
+    pub missed_deadline: usize,
+    /// USR packets unicast (with duplicates).
+    pub usr_packets: usize,
+    /// Unicast bytes (USR + UDP headers).
+    pub usr_bytes: usize,
+    /// Duplication overhead of the UKA assignment.
+    pub duplication_overhead: f64,
+    /// Total FEC encoding cost in the paper's abstract units
+    /// (multiply-accumulate passes; `k` per parity packet).
+    pub encoding_units: u64,
+}
+
+impl MessageReport {
+    /// Average rounds a user needed to receive its encryptions.
+    pub fn avg_user_rounds(&self) -> f64 {
+        let total: usize = self.rounds_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: usize = self
+            .rounds_histogram
+            .iter()
+            .enumerate()
+            .map(|(r, &n)| (r + 1) * n)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Rounds needed until *every* user had its encryptions (the paper's
+    /// "number of rounds for all users").
+    pub fn rounds_all_users(&self) -> usize {
+        self.rounds_histogram
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(|r| r + 1)
+            .unwrap_or(0)
+    }
+
+    /// Fraction of users that succeeded within `r` rounds.
+    pub fn fraction_within(&self, r: usize) -> f64 {
+        let total: usize = self.rounds_histogram.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let within: usize = self.rounds_histogram.iter().take(r).sum();
+        within as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> MessageReport {
+        MessageReport {
+            rounds_histogram: vec![90, 8, 2],
+            ..MessageReport::default()
+        }
+    }
+
+    #[test]
+    fn averages() {
+        let r = report();
+        // (90*1 + 8*2 + 2*3) / 100 = 1.12
+        assert!((r.avg_user_rounds() - 1.12).abs() < 1e-12);
+        assert_eq!(r.rounds_all_users(), 3);
+    }
+
+    #[test]
+    fn fraction_within_rounds() {
+        let r = report();
+        assert!((r.fraction_within(1) - 0.90).abs() < 1e-12);
+        assert!((r.fraction_within(2) - 0.98).abs() < 1e-12);
+        assert!((r.fraction_within(3) - 1.0).abs() < 1e-12);
+        assert!((r.fraction_within(9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let r = MessageReport::default();
+        assert_eq!(r.avg_user_rounds(), 0.0);
+        assert_eq!(r.rounds_all_users(), 0);
+        assert_eq!(r.fraction_within(1), 1.0);
+    }
+}

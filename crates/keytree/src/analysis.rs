@@ -1,0 +1,213 @@
+//! Analytical cost model of batch rekeying — the SIGCOMM paper's
+//! *performance analysis* axis.
+//!
+//! For a full, balanced degree-`d` tree of `N = d^h` users processing a
+//! leave-only batch of `L` uniformly chosen departures, the expected
+//! number of encryptions in the rekey message has a closed form. An
+//! encryption exists on edge `(c, v)` (child `c`, updated k-node `v`) iff
+//!
+//! * at least one leaf below `v` departed (so `v`'s key changed), and
+//! * at least one leaf below `c` survived (so `c` was not pruned away).
+//!
+//! With hypergeometric departures the two probabilities are products over
+//! the `m` leaves of a subtree:
+//!
+//! * `A(m) = P[no departure among m leaves] = prod_{i<m} (N-L-i)/(N-i)`
+//! * `B(m) = P[all m leaves depart]        = prod_{i<m} (L-i)/(N-i)`
+//!
+//! and `P[edge] = 1 - A(m_v) - B(m_c)` (the two excluded events are
+//! disjoint), giving
+//!
+//! ```text
+//! E[encryptions] = sum over levels l of  d^l * d * (1 - A(d^(h-l)) - B(d^(h-l-1)))
+//! ```
+//!
+//! The tests validate the model against the actual marking algorithm to
+//! within Monte-Carlo error; the SIGCOMM-axis bench binaries print model
+//! vs measurement side by side. The model also yields the batch-vs-
+//! individual comparison (individual rekeying pays `~d*(log_d N)` per
+//! departure with no sharing) and the tree-degree sweep.
+
+/// `P[no departure among m leaves]` for `L` uniform departures out of `n`.
+fn prob_no_departure(n: u64, l: u64, m: u64) -> f64 {
+    if l == 0 {
+        return 1.0;
+    }
+    if m + l > n {
+        return 0.0;
+    }
+    let mut p = 1.0f64;
+    for i in 0..m {
+        p *= (n - l - i) as f64 / (n - i) as f64;
+    }
+    p
+}
+
+/// `P[all m leaves depart]` for `L` uniform departures out of `n`.
+fn prob_all_depart(n: u64, l: u64, m: u64) -> f64 {
+    if m > l {
+        return 0.0;
+    }
+    let mut p = 1.0f64;
+    for i in 0..m {
+        p *= (l - i) as f64 / (n - i) as f64;
+    }
+    p
+}
+
+/// Expected encryptions in the rekey message for a full, balanced
+/// degree-`d` tree of height `h` (`N = d^h` users) processing `L`
+/// uniformly distributed leaves (and no joins).
+///
+/// # Panics
+///
+/// Panics if `l > d^h` or `d < 2` or `h == 0`.
+pub fn expected_encryptions_leave_only(d: u32, h: u32, l: u64) -> f64 {
+    assert!(d >= 2 && h >= 1);
+    let n = (d as u64).pow(h);
+    assert!(l <= n, "cannot remove more users than exist");
+    if l == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    // Levels of k-nodes: 0 (root) .. h-1 (leaf parents).
+    for level in 0..h {
+        let nodes_at_level = (d as u64).pow(level) as f64;
+        let m_v = (d as u64).pow(h - level); // leaves under a level-`level` node
+        let m_c = m_v / d as u64; // leaves under each child
+        let p_edge = 1.0 - prob_no_departure(n, l, m_v) - prob_all_depart(n, l, m_c);
+        total += nodes_at_level * d as f64 * p_edge.max(0.0);
+    }
+    total
+}
+
+/// Expected encryptions when each of the `L` departures is processed as
+/// its own rekey message (individual rekeying) on the same full tree.
+///
+/// Each single leave updates the `h` k-nodes on one path. The leaf-parent
+/// contributes `d - 1` encryptions (the departed slot is empty) and every
+/// higher node contributes `d`; pruning never triggers for single leaves
+/// on a full tree until the tree thins, which we ignore (upper-bound
+/// model, tight for `L << N`).
+pub fn expected_encryptions_individual(d: u32, h: u32, l: u64) -> f64 {
+    assert!(d >= 2 && h >= 1);
+    l as f64 * ((d as f64 - 1.0) + (h as f64 - 1.0) * d as f64)
+}
+
+/// The per-message signing cost model: one digital signature per rekey
+/// message, so batching turns `J + L` signatures into one.
+pub fn signings_saved_by_batching(j: u64, l: u64) -> u64 {
+    (j + l).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Batch, KeyTree, MemberId};
+    use wirecrypto::KeyGen;
+
+    /// Monte-Carlo measurement of the real marking algorithm.
+    fn measured(d: u32, h: u32, l: u64, runs: usize, seed: u64) -> f64 {
+        let n = (d as u64).pow(h) as u32;
+        let mut total = 0usize;
+        let mut state = seed;
+        for run in 0..runs {
+            let mut kg = KeyGen::from_seed(seed + run as u64);
+            let mut tree = KeyTree::balanced(n, d, &mut kg);
+            // Uniform leavers via Fisher–Yates on a split-mix stream.
+            let mut pool: Vec<MemberId> = (0..n).collect();
+            for i in 0..(l as usize) {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = i + (state >> 33) as usize % (pool.len() - i);
+                pool.swap(i, j);
+            }
+            let leaves = pool[..l as usize].to_vec();
+            let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
+            total += outcome.encryptions.len();
+        }
+        total as f64 / runs as f64
+    }
+
+    #[test]
+    fn probability_helpers_sane() {
+        assert_eq!(prob_no_departure(100, 0, 10), 1.0);
+        assert_eq!(prob_no_departure(100, 95, 10), 0.0);
+        assert_eq!(prob_all_depart(100, 5, 10), 0.0);
+        // Single leaf: P[departs] = L/N.
+        let p = prob_all_depart(100, 25, 1);
+        assert!((p - 0.25).abs() < 1e-12);
+        let q = prob_no_departure(100, 25, 1);
+        assert!((q - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_leave_closed_form() {
+        // One departure from a full d=4, h=3 tree: the leaf parent gives
+        // 3 encryptions, each higher node 4: 3 + 4 + 4 = 11.
+        let e = expected_encryptions_leave_only(4, 3, 1);
+        assert!((e - 11.0).abs() < 1e-9, "got {e}");
+    }
+
+    #[test]
+    fn all_leave_is_zero() {
+        // Everyone leaves: the tree empties, nothing to encrypt.
+        let e = expected_encryptions_leave_only(4, 3, 64);
+        assert!(e.abs() < 1e-9, "got {e}");
+    }
+
+    #[test]
+    fn model_matches_marking_algorithm() {
+        // d=4, h=4 (N=256), sweep L; model vs 30-run Monte Carlo.
+        for l in [1u64, 8, 64, 128, 224] {
+            let model = expected_encryptions_leave_only(4, 4, l);
+            let sim = measured(4, 4, l, 30, 1000 + l);
+            let tol = (model * 0.08).max(4.0);
+            assert!(
+                (model - sim).abs() < tol,
+                "L={l}: model {model:.1} vs measured {sim:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_matches_other_degrees() {
+        for (d, h) in [(2u32, 7u32), (3, 5), (8, 3)] {
+            let n = (d as u64).pow(h);
+            let l = n / 4;
+            let model = expected_encryptions_leave_only(d, h, l);
+            let sim = measured(d, h, l, 20, 77);
+            let tol = (model * 0.08).max(4.0);
+            assert!(
+                (model - sim).abs() < tol,
+                "d={d}, h={h}, L={l}: model {model:.1} vs measured {sim:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn unimodal_in_l() {
+        // The paper's Figure 6 shape: encryptions rise then fall with L,
+        // peaking near N/d.
+        let at = |l: u64| expected_encryptions_leave_only(4, 6, l);
+        assert!(at(1024) > at(64));
+        assert!(at(1024) > at(3968));
+    }
+
+    #[test]
+    fn batch_cheaper_than_individual() {
+        for l in [16u64, 64, 128] {
+            let batch = expected_encryptions_leave_only(4, 4, l);
+            let indiv = expected_encryptions_individual(4, 4, l);
+            assert!(batch < indiv, "L={l}: {batch} !< {indiv}");
+        }
+    }
+
+    #[test]
+    fn signing_savings() {
+        assert_eq!(signings_saved_by_batching(0, 0), 0);
+        assert_eq!(signings_saved_by_batching(0, 1), 0);
+        assert_eq!(signings_saved_by_batching(10, 20), 29);
+    }
+}

@@ -1,0 +1,232 @@
+//! Key-identification arithmetic: the ID algebra of the expanded tree and
+//! the user-side ID rederivation of Theorem 4.2.
+
+use crate::NodeId;
+
+/// Parent of node `m` in a degree-`d` tree. The root has no parent.
+#[inline]
+pub fn parent(m: NodeId, d: u32) -> Option<NodeId> {
+    if m == 0 {
+        None
+    } else {
+        Some((m - 1) / d)
+    }
+}
+
+/// First (leftmost) child of `m`.
+#[inline]
+pub fn first_child(m: NodeId, d: u32) -> NodeId {
+    d * m + 1
+}
+
+/// Last (rightmost) child of `m`.
+#[inline]
+pub fn last_child(m: NodeId, d: u32) -> NodeId {
+    d * m + d
+}
+
+/// Iterator over the children of `m`.
+pub fn children(m: NodeId, d: u32) -> impl Iterator<Item = NodeId> {
+    first_child(m, d)..=last_child(m, d)
+}
+
+/// Depth (level) of node `m`, with the root at level 0.
+pub fn level(m: NodeId, d: u32) -> u32 {
+    let mut level = 0;
+    let mut m = m;
+    while let Some(p) = parent(m, d) {
+        m = p;
+        level += 1;
+    }
+    level
+}
+
+/// The path from `m` to the root, inclusive of both ends, leaf first.
+pub fn path_to_root(m: NodeId, d: u32) -> Vec<NodeId> {
+    let mut path = vec![m];
+    let mut cur = m;
+    while let Some(p) = parent(cur, d) {
+        path.push(p);
+        cur = p;
+    }
+    path
+}
+
+/// True iff `anc` is an ancestor of `m` (or equal to it).
+pub fn is_ancestor_or_self(anc: NodeId, m: NodeId, d: u32) -> bool {
+    let mut cur = m;
+    loop {
+        if cur == anc {
+            return true;
+        }
+        match parent(cur, d) {
+            Some(p) => cur = p,
+            None => return false,
+        }
+    }
+}
+
+/// `f(x) = d^x * m + (d^x - 1)/(d - 1)`: the ID of the leftmost descendant
+/// of `m` exactly `x` levels below it. (`f(0) = m`.)
+///
+/// Returns `None` on overflow of the `NodeId` range.
+pub fn leftmost_descendant(m: NodeId, d: u32, x: u32) -> Option<NodeId> {
+    let mut id = m as u64;
+    for _ in 0..x {
+        id = (d as u64).checked_mul(id)?.checked_add(1)?;
+        if id > u32::MAX as u64 {
+            return None;
+        }
+    }
+    Some(id as NodeId)
+}
+
+/// Theorem 4.2: rederives a user's current u-node ID after the marking
+/// algorithm, given the ID `m` the user held *before* the batch and the
+/// maximum current k-node ID `nk` (the `maxKID` field of ENC packets).
+///
+/// A user's u-node only ever changes ID by *splitting*, which moves it to
+/// its leftmost descendant some number of levels down; by Lemma 4.1 the new
+/// ID `m'` is the unique leftmost descendant of `m` in the open–closed
+/// range `(nk, d*nk + d]`.
+///
+/// Returns `None` if no such ID exists in range — which the theorem rules
+/// out for any user still in the group, so `None` means "you were removed
+/// (or your pre-batch ID was wrong)".
+pub fn derive_current_id(m: NodeId, nk: NodeId, d: u32) -> Option<NodeId> {
+    let upper = (d as u64) * (nk as u64) + d as u64;
+    let mut x = 0;
+    loop {
+        let candidate = leftmost_descendant(m, d, x)?;
+        let c = candidate as u64;
+        if c > upper {
+            return None;
+        }
+        if c > nk as u64 {
+            return Some(candidate);
+        }
+        x += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_child_inverse() {
+        for d in [2u32, 3, 4, 7] {
+            for m in 0..200u32 {
+                for c in children(m, d) {
+                    assert_eq!(parent(c, d), Some(m), "d={d} m={m} c={c}");
+                }
+            }
+            assert_eq!(parent(0, d), None);
+        }
+    }
+
+    #[test]
+    fn levels_are_consistent_with_full_tree_layout() {
+        // Degree 3 (matches Figure 4 of the paper): root 0 at level 0,
+        // 1..=3 at level 1, 4..=12 at level 2.
+        assert_eq!(level(0, 3), 0);
+        for m in 1..=3 {
+            assert_eq!(level(m, 3), 1);
+        }
+        for m in 4..=12 {
+            assert_eq!(level(m, 3), 2);
+        }
+        assert_eq!(level(13, 3), 3);
+    }
+
+    #[test]
+    fn path_to_root_ends_at_zero() {
+        let p = path_to_root(22, 4);
+        assert_eq!(p.first(), Some(&22));
+        assert_eq!(p.last(), Some(&0));
+        for w in p.windows(2) {
+            assert_eq!(parent(w[0], 4), Some(w[1]));
+        }
+    }
+
+    #[test]
+    fn ancestor_test() {
+        // d=4: path of 21 is 21 -> 5 -> 1 -> 0.
+        assert!(is_ancestor_or_self(21, 21, 4));
+        assert!(is_ancestor_or_self(5, 21, 4));
+        assert!(is_ancestor_or_self(1, 21, 4));
+        assert!(is_ancestor_or_self(0, 21, 4));
+        assert!(!is_ancestor_or_self(2, 21, 4));
+        assert!(!is_ancestor_or_self(22, 21, 4));
+    }
+
+    #[test]
+    fn leftmost_descendant_matches_formula() {
+        for d in [2u32, 3, 4] {
+            for m in 0..50u32 {
+                for x in 0..4u32 {
+                    // f(x) = d^x m + (d^x - 1)/(d-1)
+                    let dx = (d as u64).pow(x);
+                    let expect = dx * m as u64 + (dx - 1) / (d as u64 - 1);
+                    assert_eq!(
+                        leftmost_descendant(m, d, x),
+                        u32::try_from(expect).ok(),
+                        "d={d} m={m} x={x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leftmost_descendant_overflow_is_none() {
+        assert_eq!(leftmost_descendant(u32::MAX / 2, 4, 2), None);
+    }
+
+    #[test]
+    fn derive_current_id_identity_when_not_split() {
+        // User at ID 9, nk = 5, d = 4: 9 is already in (5, 24], so ID is
+        // unchanged.
+        assert_eq!(derive_current_id(9, 5, 4), Some(9));
+    }
+
+    #[test]
+    fn derive_current_id_one_split() {
+        // d=4. A user at ID 6; after splits nk grows to 8. 6 is now a
+        // k-node id (<= nk), so the user moved to its leftmost child
+        // 4*6+1 = 25, which lies in (8, 36].
+        assert_eq!(derive_current_id(6, 8, 4), Some(25));
+    }
+
+    #[test]
+    fn derive_current_id_two_splits() {
+        // d=2, old id 1, nk = 4: leftmost descendants of 1 are 1, 3, 7.
+        // 1 and 3 are <= nk; 7 is in (4, 10]. So new id is 7.
+        assert_eq!(derive_current_id(1, 4, 2), Some(7));
+    }
+
+    #[test]
+    fn derive_current_id_uniqueness_window() {
+        // The accepted range (nk, d*nk+d] spans exactly one tree level's
+        // worth of leftmost descendants, so at most one candidate fits.
+        for d in [2u32, 3, 4, 5] {
+            for nk in 1..100u32 {
+                for m in 0..=nk {
+                    if let Some(m1) = derive_current_id(m, nk, d) {
+                        // No *other* leftmost descendant lies in range.
+                        let mut count = 0;
+                        for x in 0..8 {
+                            if let Some(c) = leftmost_descendant(m, d, x) {
+                                if c > nk && (c as u64) <= (d as u64 * nk as u64 + d as u64) {
+                                    count += 1;
+                                    assert_eq!(c, m1);
+                                }
+                            }
+                        }
+                        assert_eq!(count, 1, "d={d} nk={nk} m={m}");
+                    }
+                }
+            }
+        }
+    }
+}

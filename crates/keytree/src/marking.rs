@@ -1,0 +1,796 @@
+//! The marking algorithm (Appendix B): batch tree update, rekey-subtree
+//! labelling, and encryption-edge generation.
+//!
+//! One deliberate refinement over the paper's text: the paper labels *all*
+//! n-nodes as Leave. When n-nodes only exist where departures just happened
+//! (the paper's experiments always start from a full, balanced tree) this
+//! is equivalent to what we do; but taken literally it would also mark
+//! long-empty slots as Leave, forcing key changes — and non-empty rekey
+//! messages — even for an *empty* batch. We therefore label Leave only the
+//! slots vacated *this* batch (departed u-nodes and the k-nodes pruned
+//! above them); other n-nodes are transparent to labelling. DESIGN.md
+//! records this substitution.
+
+use std::collections::HashMap;
+
+use wirecrypto::KeyGen;
+
+use crate::ident;
+use crate::node::{MemberId, Node, NodeId};
+use crate::tree::KeyTree;
+use wirecrypto::SymKey;
+
+/// The join and leave requests collected during one rekey interval.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    /// Newly admitted members with their individual keys (from
+    /// registration), in admission order.
+    pub joins: Vec<(MemberId, SymKey)>,
+    /// Members that left during the interval.
+    pub leaves: Vec<MemberId>,
+}
+
+impl Batch {
+    /// Builds a batch.
+    pub fn new(joins: Vec<(MemberId, SymKey)>, leaves: Vec<MemberId>) -> Self {
+        Batch { joins, leaves }
+    }
+
+    /// `J`, the number of joins.
+    pub fn j(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// `L`, the number of leaves.
+    pub fn l(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True when there is nothing to do.
+    pub fn is_empty(&self) -> bool {
+        self.joins.is_empty() && self.leaves.is_empty()
+    }
+}
+
+/// Rekey-subtree label of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// Key unchanged; no encryption needed below this node.
+    Unchanged,
+    /// Key changed because of joins only (no departed user knew it).
+    Join,
+    /// The node vacated this interval (departed u-node / pruned k-node).
+    Leave,
+    /// Key changed and at least one departed user knew the old key.
+    Replace,
+}
+
+/// One edge of the rekey subtree: the encryption `{key(parent)}_{key(child)}`.
+///
+/// The encryption's wire ID is `child` (each key encrypts at most one other
+/// key per rekey message, so the encrypting key's node ID is unique).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncEdge {
+    /// Node whose key encrypts (a child of `parent` in the tree).
+    pub child: NodeId,
+    /// The updated k-node whose new key is being distributed.
+    pub parent: NodeId,
+}
+
+/// A user relocated by node splitting (its u-node ID changed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserMove {
+    /// The member that moved.
+    pub member: MemberId,
+    /// Its u-node ID before the batch.
+    pub old_id: NodeId,
+    /// Its u-node ID after the batch.
+    pub new_id: NodeId,
+}
+
+/// Everything the rekey-transport layer needs about one processed batch.
+#[derive(Debug, Clone)]
+pub struct MarkOutcome {
+    /// k-nodes that received fresh keys, deepest (largest ID) first — the
+    /// paper's bottom-up traversal order.
+    pub updated_knodes: Vec<NodeId>,
+    /// The encryptions of the rekey message, grouped by parent in
+    /// `updated_knodes` order, children ascending within a parent.
+    pub encryptions: Vec<EncEdge>,
+    /// Users whose u-node IDs changed due to splitting.
+    pub moves: Vec<UserMove>,
+    /// Members removed by this batch.
+    pub departed: Vec<MemberId>,
+    /// Members added by this batch.
+    pub joined: Vec<MemberId>,
+    /// Maximum k-node ID after the batch (the `maxKID` wire field).
+    pub nk: Option<NodeId>,
+    /// Labels of all nodes that participated in the rekey subtree
+    /// (diagnostics and tests).
+    pub labels: HashMap<NodeId, Label>,
+    index_by_child: HashMap<NodeId, usize>,
+}
+
+impl MarkOutcome {
+    /// The index (into [`Self::encryptions`]) of the encryption whose
+    /// encrypting key is node `child`, if one exists.
+    pub fn encryption_by_child(&self, child: NodeId) -> Option<usize> {
+        self.index_by_child.get(&child).copied()
+    }
+
+    /// Indices of the encryptions a user at u-node `user_id` needs: those
+    /// whose encrypting key lies on the path from the u-node to the root.
+    /// Returned leaf-side first, which is also decryption order.
+    pub fn encryptions_for_user(&self, user_id: NodeId, degree: u32) -> Vec<usize> {
+        ident::path_to_root(user_id, degree)
+            .into_iter()
+            .filter_map(|n| self.encryption_by_child(n))
+            .collect()
+    }
+
+    /// True when the batch changed the group key.
+    pub fn group_key_changed(&self) -> bool {
+        self.updated_knodes.contains(&0)
+    }
+}
+
+impl KeyTree {
+    /// Runs the marking algorithm over one batch: updates the tree
+    /// (replacements, pruning, splitting), relabels, mints fresh keys for
+    /// every updated k-node, and returns the rekey-subtree edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leave names an unknown member or a join names a member
+    /// already in the group — both are caller bugs (the key-management
+    /// front end validates requests against individual keys before they
+    /// reach the tree).
+    pub fn process_batch(&mut self, batch: &Batch, keygen: &mut KeyGen) -> MarkOutcome {
+        let d = self.degree();
+
+        // ---- Phase 1: update the key tree -------------------------------
+        let mut departed_ids: Vec<NodeId> = batch
+            .leaves
+            .iter()
+            .map(|m| {
+                self.node_of_member(*m)
+                    .unwrap_or_else(|| panic!("leave request for unknown member {m}"))
+            })
+            .collect();
+        departed_ids.sort_unstable();
+        for (m, _) in &batch.joins {
+            assert!(
+                self.node_of_member(*m).is_none(),
+                "join request for member {m} already in group"
+            );
+        }
+
+        let mut user_labels: HashMap<NodeId, Label> = HashMap::new();
+        let mut became_n: Vec<NodeId> = Vec::new();
+        let mut moves: Vec<UserMove> = Vec::new();
+        let mut joins = batch.joins.iter();
+
+        let j = batch.j();
+        let l = batch.l();
+
+        if j <= l {
+            // Replace the J smallest-ID departures with joins; the rest
+            // become n-nodes and may prune upward.
+            for (i, &slot) in departed_ids.iter().enumerate() {
+                if i < j {
+                    let (member, key) = *joins.next().expect("i < j");
+                    self.set_node(
+                        slot,
+                        Node::U {
+                            member,
+                            key,
+                        },
+                    );
+                    user_labels.insert(slot, Label::Replace);
+                } else {
+                    self.set_node(slot, Node::N);
+                    became_n.push(slot);
+                }
+            }
+            // Prune: a k-node whose children are all n-nodes becomes one.
+            for &slot in &departed_ids[j.min(departed_ids.len())..] {
+                let mut cur = slot;
+                while let Some(p) = ident::parent(cur, d) {
+                    let all_n = ident::children(p, d).all(|c| self.node(c).is_n());
+                    if all_n && self.node(p).is_k() {
+                        self.set_node(p, Node::N);
+                        became_n.push(p);
+                        cur = p;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        } else {
+            // J > L: fill departures first...
+            for &slot in &departed_ids {
+                let (member, key) = *joins.next().expect("j > l");
+                self.set_node(slot, Node::U { member, key });
+                user_labels.insert(slot, Label::Replace);
+            }
+            // ...then n-node slots in (nk, d*nk + d], low to high, splitting
+            // node nk+1 whenever the range is exhausted.
+            let mut pending = joins.clone().count();
+            let mut joins = joins;
+            // Bootstrap an empty tree: a root k-node with d empty slots.
+            if self.max_knode_id().is_none() && pending > 0 {
+                self.set_node(
+                    0,
+                    Node::K {
+                        key: keygen.next_key(),
+                    },
+                );
+            }
+            while pending > 0 {
+                let nk = self
+                    .max_knode_id()
+                    .expect("bootstrap guarantees a k-node exists");
+                let low = nk + 1;
+                let high = d as u64 * nk as u64 + d as u64;
+                let high = NodeId::try_from(high).expect("tree exceeds NodeId range");
+                let mut placed = false;
+                for slot in low..=high {
+                    if pending == 0 {
+                        break;
+                    }
+                    if self.node(slot).is_n() {
+                        let (member, key) = *joins.next().expect("pending > 0");
+                        self.set_node(slot, Node::U { member, key });
+                        user_labels.insert(slot, Label::Join);
+                        pending -= 1;
+                        placed = true;
+                    }
+                }
+                if pending == 0 {
+                    break;
+                }
+                // Split node nk+1: it becomes a k-node and its occupant
+                // moves to its leftmost child.
+                let split = nk + 1;
+                let child = ident::first_child(split, d);
+                let occupant = self.node(split).clone();
+                // Convert the slot to a k-node first so the member index
+                // entry for its occupant is released before re-insertion.
+                self.set_node(
+                    split,
+                    Node::K {
+                        key: keygen.next_key(),
+                    },
+                );
+                match occupant {
+                    Node::U { member, key } => {
+                        self.set_node(child, Node::U { member, key });
+                        moves.push(UserMove {
+                            member,
+                            old_id: split,
+                            new_id: child,
+                        });
+                        // The moved user is "new" at its slot: its parent
+                        // must deliver keys encrypted under its individual
+                        // key, exactly as for a join.
+                        user_labels.insert(child, Label::Join);
+                        user_labels.remove(&split);
+                    }
+                    Node::N => {
+                        // Splitting an empty slot just deepens the tree.
+                    }
+                    Node::K { .. } => unreachable!("nk+1 cannot be a k-node"),
+                }
+                let _ = placed;
+            }
+        }
+
+        // Update rule 4: any n-node with a u-node descendant becomes a
+        // k-node (fresh key; it will be labelled from its children).
+        for uid in self.user_ids() {
+            let mut cur = uid;
+            while let Some(p) = ident::parent(cur, d) {
+                if self.node(p).is_n() {
+                    self.set_node(
+                        p,
+                        Node::K {
+                            key: keygen.next_key(),
+                        },
+                    );
+                }
+                cur = p;
+            }
+        }
+
+        // ---- Phase 2: label the rekey subtree ---------------------------
+        let mut labels: HashMap<NodeId, Label> = HashMap::new();
+        let became_n_set: std::collections::HashSet<NodeId> = became_n.iter().copied().collect();
+        if self.node(0).is_k() {
+            self.label_rec(0, &user_labels, &became_n_set, &mut labels);
+        }
+
+        // ---- Phase 3: fresh keys and encryption edges --------------------
+        let mut updated: Vec<NodeId> = labels
+            .iter()
+            .filter(|(id, l)| {
+                self.node(**id).is_k() && matches!(l, Label::Join | Label::Replace)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        // Bottom-up: deepest (largest BFS id) first.
+        updated.sort_unstable_by(|a, b| b.cmp(a));
+
+        for &id in &updated {
+            self.set_key(id, keygen.next_key());
+        }
+
+        let mut encryptions = Vec::new();
+        let mut index_by_child = HashMap::new();
+        for &p in &updated {
+            for c in ident::children(p, d) {
+                if self.node(c).is_n() {
+                    continue;
+                }
+                if labels.get(&c) == Some(&Label::Leave) {
+                    continue;
+                }
+                index_by_child.insert(c, encryptions.len());
+                encryptions.push(EncEdge { child: c, parent: p });
+            }
+        }
+
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+
+        MarkOutcome {
+            updated_knodes: updated,
+            encryptions,
+            moves,
+            departed: batch.leaves.clone(),
+            joined: batch.joins.iter().map(|(m, _)| *m).collect(),
+            nk: self.max_knode_id(),
+            labels,
+            index_by_child,
+        }
+    }
+
+    /// Recursive labelling; returns `None` for nodes transparent to the
+    /// rekey subtree (empty slots that did not change this interval).
+    fn label_rec(
+        &self,
+        id: NodeId,
+        user_labels: &HashMap<NodeId, Label>,
+        became_n: &std::collections::HashSet<NodeId>,
+        labels: &mut HashMap<NodeId, Label>,
+    ) -> Option<Label> {
+        let d = self.degree();
+        let label = match self.node(id) {
+            Node::U { .. } => *user_labels.get(&id).unwrap_or(&Label::Unchanged),
+            Node::N => {
+                if became_n.contains(&id) {
+                    Label::Leave
+                } else {
+                    return None;
+                }
+            }
+            Node::K { .. } => {
+                let mut any = false;
+                let mut all_leave = true;
+                let mut all_unchanged = true;
+                let mut join_only = true;
+                for c in ident::children(id, d) {
+                    let Some(cl) = self.label_rec(c, user_labels, became_n, labels) else {
+                        continue;
+                    };
+                    any = true;
+                    all_leave &= cl == Label::Leave;
+                    all_unchanged &= cl == Label::Unchanged;
+                    join_only &= matches!(cl, Label::Unchanged | Label::Join);
+                }
+                if !any {
+                    // A live k-node with no labelled children: nothing
+                    // below changed and nothing vacated — unchanged.
+                    Label::Unchanged
+                } else if all_leave {
+                    Label::Leave
+                } else if all_unchanged {
+                    Label::Unchanged
+                } else if join_only {
+                    Label::Join
+                } else {
+                    Label::Replace
+                }
+            }
+        };
+        labels.insert(id, label);
+        Some(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::derive_current_id;
+
+    fn keygen() -> KeyGen {
+        KeyGen::from_seed(7)
+    }
+
+    fn join(kg: &mut KeyGen, m: MemberId) -> (MemberId, SymKey) {
+        (m, kg.next_key())
+    }
+
+    /// Every current member, given only the encryptions it can decrypt
+    /// starting from the keys it held before the batch, must end up with
+    /// the new group key; every departed member must not.
+    fn assert_delivery(
+        tree_before: &KeyTree,
+        tree_after: &KeyTree,
+        outcome: &MarkOutcome,
+    ) {
+        let d = tree_after.degree();
+        let new_group_key = tree_after.group_key();
+
+        for m in tree_after.member_ids() {
+            let uid = tree_after.node_of_member(m).unwrap();
+            // Keys the member holds: its individual key plus any path keys
+            // from before that are still valid. Simulate decryption: walk
+            // the path leaf to root, at each step using the child key to
+            // obtain the parent key (from the outcome) or keeping the old
+            // key if unchanged.
+            let mut have: HashMap<NodeId, SymKey> = HashMap::new();
+            have.insert(uid, tree_after.key_of(uid).unwrap());
+            // Old path keys (only for members that existed before).
+            if let Some(old_keys) = tree_before.keys_for_member(m) {
+                for (id, k) in old_keys {
+                    have.entry(id).or_insert(k);
+                }
+            }
+            for id in ident::path_to_root(uid, d) {
+                if let Some(idx) = outcome.encryption_by_child(id) {
+                    let edge = outcome.encryptions[idx];
+                    assert!(
+                        have.contains_key(&edge.child),
+                        "member {m} lacks key {} to decrypt {{{}}}",
+                        edge.child,
+                        edge.parent
+                    );
+                    have.insert(edge.parent, tree_after.key_of(edge.parent).unwrap());
+                } else if let Some(p) = ident::parent(id, d) {
+                    // No encryption under `id`: parent key must be
+                    // unchanged from before (the member already has it)
+                    // or delivered via a sibling edge... for path walks,
+                    // parent must either be unchanged or have an edge from
+                    // this child. Updated parents always edge to every
+                    // non-leave child, so:
+                    if outcome.updated_knodes.contains(&p) {
+                        panic!("updated k-node {p} has no edge to child {id}");
+                    }
+                }
+            }
+            assert_eq!(
+                have.get(&0).copied(),
+                new_group_key,
+                "member {m} did not obtain the group key"
+            );
+        }
+
+        // Departed members: their old individual key must not decrypt any
+        // encryption (no edge has child == their old u-node id with their
+        // key still installed).
+        for m in &outcome.departed {
+            if tree_after.node_of_member(*m).is_some() {
+                continue; // re-joined in the same batch (not produced here)
+            }
+            let old_uid = tree_before.node_of_member(*m).unwrap();
+            if let Some(idx) = outcome.encryption_by_child(old_uid) {
+                // An edge exists at the slot: it must target a *different*
+                // key now (slot replaced by a new member whose key differs).
+                let edge = outcome.encryptions[idx];
+                let new_key = tree_after.key_of(edge.child);
+                let old_key = tree_before.key_of(old_uid);
+                assert_ne!(new_key, old_key, "departed member {m} can still decrypt");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_single_leave() {
+        // Section 2.1: 9 users, d = 3, u9 leaves. In our layout the 9
+        // users sit at ids 4..=12 (root 0, k-nodes 1..=3).
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(9, 3, &mut kg);
+        let before = tree.clone();
+        let batch = Batch::new(vec![], vec![8]); // member 8 == "u9", id 12
+        let outcome = tree.process_batch(&batch, &mut kg);
+
+        // Updated k-nodes: k789 (id 3) and the root, deepest first.
+        assert_eq!(outcome.updated_knodes, vec![3, 0]);
+        // Encryptions: {k78}k7, {k78}k8, {k1-8}k123, {k1-8}k456, {k1-8}k78.
+        let edges: Vec<(NodeId, NodeId)> = outcome
+            .encryptions
+            .iter()
+            .map(|e| (e.child, e.parent))
+            .collect();
+        assert_eq!(edges, vec![(10, 3), (11, 3), (1, 0), (2, 0), (3, 0)]);
+        assert_delivery(&before, &tree, &outcome);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(16, 4, &mut kg);
+        let gk = tree.group_key();
+        let outcome = tree.process_batch(&Batch::default(), &mut kg);
+        assert!(outcome.encryptions.is_empty());
+        assert!(outcome.updated_knodes.is_empty());
+        assert_eq!(tree.group_key(), gk);
+    }
+
+    #[test]
+    fn join_equals_leave_replaces_in_place() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(16, 4, &mut kg);
+        let before = tree.clone();
+        let batch = Batch::new(vec![join(&mut kg, 100), join(&mut kg, 101)], vec![3, 9]);
+        let outcome = tree.process_batch(&batch, &mut kg);
+
+        assert_eq!(tree.user_count(), 16);
+        assert!(tree.node_of_member(100).is_some());
+        assert!(tree.node_of_member(3).is_none());
+        // Replacement happens at the departed slots (smallest first).
+        let s3 = before.node_of_member(3).unwrap();
+        let s9 = before.node_of_member(9).unwrap();
+        assert_eq!(outcome.labels.get(&s3), Some(&Label::Replace));
+        assert_eq!(outcome.labels.get(&s9), Some(&Label::Replace));
+        assert_delivery(&before, &tree, &outcome);
+    }
+
+    #[test]
+    fn leave_only_prunes_and_replaces() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(16, 4, &mut kg);
+        let before = tree.clone();
+        // Remove a whole subtree: members 0..4 occupy ids 5..=8 (children
+        // of k-node 1).
+        let batch = Batch::new(vec![], vec![0, 1, 2, 3]);
+        let outcome = tree.process_batch(&batch, &mut kg);
+
+        assert!(tree.node(1).is_n(), "emptied k-node must prune to n-node");
+        assert_eq!(outcome.labels.get(&1), Some(&Label::Leave));
+        // Root is Replace; no encryption under the pruned child.
+        assert_eq!(outcome.labels.get(&0), Some(&Label::Replace));
+        assert!(outcome.encryption_by_child(1).is_none());
+        assert_delivery(&before, &tree, &outcome);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn all_users_leave_empties_tree() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(4, 4, &mut kg);
+        let batch = Batch::new(vec![], (0..4).collect());
+        let outcome = tree.process_batch(&batch, &mut kg);
+        assert_eq!(tree.user_count(), 0);
+        assert_eq!(tree.group_key(), None);
+        assert!(outcome.encryptions.is_empty());
+        assert_eq!(outcome.nk, None);
+    }
+
+    #[test]
+    fn join_only_fills_holes_first() {
+        let mut kg = keygen();
+        // 9 users in a d=4 height-2 tree: leaves 5..=13, holes 14..=20.
+        let mut tree = KeyTree::balanced(9, 4, &mut kg);
+        let before = tree.clone();
+        let batch = Batch::new(vec![join(&mut kg, 50), join(&mut kg, 51)], vec![]);
+        let outcome = tree.process_batch(&batch, &mut kg);
+
+        // nk was 3; fill range is (3, 16], low to high: the first hole is
+        // the internal-level slot 4 (the paper permits u-nodes above the
+        // leaf level), then the leaf hole 14.
+        assert_eq!(tree.node_of_member(50), Some(4));
+        assert_eq!(tree.node_of_member(51), Some(14));
+        // k-node 3 gains a join only => label Join; root Join too.
+        assert_eq!(outcome.labels.get(&3), Some(&Label::Join));
+        assert_eq!(outcome.labels.get(&0), Some(&Label::Join));
+        assert_delivery(&before, &tree, &outcome);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn join_fills_hole_under_pruned_subtree() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(16, 4, &mut kg);
+        // Empty the first subtree (ids 5..=8 under k-node 1).
+        tree.process_batch(&Batch::new(vec![], vec![0, 1, 2, 3]), &mut kg);
+        assert!(tree.node(1).is_n());
+        let before = tree.clone();
+
+        // One join: fill range is (nk, 4*nk+4]; nk is 4, so range (4, 20]
+        // — the first hole is id 5, whose parent (1) is an n-node and must
+        // be revived as a k-node.
+        let batch = Batch::new(vec![join(&mut kg, 99)], vec![]);
+        let outcome = tree.process_batch(&batch, &mut kg);
+        assert_eq!(tree.node_of_member(99), Some(5));
+        assert!(tree.node(1).is_k(), "revived ancestor must be a k-node");
+        assert_delivery(&before, &tree, &outcome);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn join_overflow_splits() {
+        let mut kg = keygen();
+        // Full 16-user tree (d=4): no holes, so a 17th user forces a split
+        // of node nk+1 = 5.
+        let mut tree = KeyTree::balanced(16, 4, &mut kg);
+        let before = tree.clone();
+        let moved_member = tree.member_at(5).unwrap();
+        let batch = Batch::new(vec![join(&mut kg, 200)], vec![]);
+        let outcome = tree.process_batch(&batch, &mut kg);
+
+        assert!(tree.node(5).is_k(), "node 5 must have split into a k-node");
+        // The occupant of 5 moved to its leftmost child 21.
+        assert_eq!(tree.node_of_member(moved_member), Some(21));
+        assert_eq!(
+            outcome.moves,
+            vec![UserMove {
+                member: moved_member,
+                old_id: 5,
+                new_id: 21
+            }]
+        );
+        // The new user fills the next slot, 22.
+        assert_eq!(tree.node_of_member(200), Some(22));
+        // Theorem 4.2 rederives the move from maxKID alone.
+        let nk = outcome.nk.unwrap();
+        assert_eq!(derive_current_id(5, nk, 4), Some(21));
+        assert_delivery(&before, &tree, &outcome);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mass_join_multiple_splits() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(16, 4, &mut kg);
+        let before = tree.clone();
+        let batch = Batch::new((0..32).map(|i| join(&mut kg, 300 + i)).collect(), vec![]);
+        let outcome = tree.process_batch(&batch, &mut kg);
+        assert_eq!(tree.user_count(), 48);
+        assert!(outcome.moves.len() >= 2, "several slots must split");
+        // All moved users rederive their IDs via Theorem 4.2.
+        let nk = outcome.nk.unwrap();
+        for mv in &outcome.moves {
+            assert_eq!(derive_current_id(mv.old_id, nk, 4), Some(mv.new_id));
+        }
+        assert_delivery(&before, &tree, &outcome);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bootstrap_from_empty_tree() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::new(4);
+        let batch = Batch::new((0..6).map(|i| join(&mut kg, i)).collect(), vec![]);
+        let before = tree.clone();
+        let outcome = tree.process_batch(&batch, &mut kg);
+        assert_eq!(tree.user_count(), 6);
+        assert!(tree.group_key().is_some());
+        assert_delivery(&before, &tree, &outcome);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn more_leaves_than_joins() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(64, 4, &mut kg);
+        let before = tree.clone();
+        let leaves: Vec<MemberId> = (0..16).collect();
+        let joins: Vec<_> = (0..4).map(|i| join(&mut kg, 500 + i)).collect();
+        let outcome = tree.process_batch(&Batch::new(joins, leaves), &mut kg);
+        assert_eq!(tree.user_count(), 64 - 16 + 4);
+        // Joins landed on the 4 smallest departed slots.
+        let slots: Vec<NodeId> = (0..4)
+            .map(|i| tree.node_of_member(500 + i).unwrap())
+            .collect();
+        let mut departed_slots: Vec<NodeId> = (0..16u32)
+            .map(|m| before.node_of_member(m).unwrap())
+            .collect();
+        departed_slots.sort_unstable();
+        assert_eq!(slots, departed_slots[..4].to_vec());
+        assert_delivery(&before, &tree, &outcome);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn group_key_always_changes_on_membership_change() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(16, 4, &mut kg);
+        let g0 = tree.group_key().unwrap();
+
+        let o1 = tree.process_batch(&Batch::new(vec![join(&mut kg, 90)], vec![]), &mut kg);
+        let g1 = tree.group_key().unwrap();
+        assert_ne!(g0, g1);
+        assert!(o1.group_key_changed());
+
+        let o2 = tree.process_batch(&Batch::new(vec![], vec![90]), &mut kg);
+        let g2 = tree.group_key().unwrap();
+        assert_ne!(g1, g2);
+        assert!(o2.group_key_changed());
+    }
+
+    #[test]
+    fn sequential_batches_maintain_invariants() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(32, 4, &mut kg);
+        let mut next_member = 32u32;
+        // Drifting churn across 20 intervals.
+        for round in 0..20 {
+            let members = tree.member_ids();
+            let leaves: Vec<MemberId> = members
+                .iter()
+                .copied()
+                .filter(|m| (m + round) % 5 == 0)
+                .take(6)
+                .collect();
+            let joins: Vec<_> = (0..(round % 9))
+                .map(|_| {
+                    let m = next_member;
+                    next_member += 1;
+                    join(&mut kg, m)
+                })
+                .collect();
+            let before = tree.clone();
+            let outcome = tree.process_batch(&Batch::new(joins, leaves), &mut kg);
+            assert_delivery(&before, &tree, &outcome);
+            tree.check_invariants()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown member")]
+    fn leave_of_unknown_member_panics() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(4, 4, &mut kg);
+        tree.process_batch(&Batch::new(vec![], vec![77]), &mut kg);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in group")]
+    fn duplicate_join_panics() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(4, 4, &mut kg);
+        tree.process_batch(&Batch::new(vec![join(&mut kg, 0)], vec![]), &mut kg);
+    }
+
+    #[test]
+    fn encryption_ids_are_unique_per_message() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(256, 4, &mut kg);
+        let leaves: Vec<MemberId> = (0..64).collect();
+        let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
+        let mut children: Vec<NodeId> = outcome.encryptions.iter().map(|e| e.child).collect();
+        let before = children.len();
+        children.sort_unstable();
+        children.dedup();
+        assert_eq!(children.len(), before, "an encrypting key repeated");
+    }
+
+    #[test]
+    fn encryptions_needed_per_user_is_at_most_path_length() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(256, 4, &mut kg);
+        let leaves: Vec<MemberId> = (0..64).collect();
+        let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
+        let height = tree.height();
+        for uid in tree.user_ids() {
+            let needs = outcome.encryptions_for_user(uid, 4);
+            assert!(
+                needs.len() <= height as usize + 1,
+                "user {uid} needs {} encryptions",
+                needs.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Node and identifier types.
+
+use wirecrypto::SymKey;
+
+/// A node identifier: the node's position in the conceptually full,
+/// balanced tree, numbered top-down and left-to-right from the root at `0`.
+///
+/// The wire format caps IDs at 16 bits (`maxKID` and the `<frmID, toID>`
+/// range in ENC packets are 16-bit fields); the in-memory type is wider so
+/// the library itself has headroom, and the message layer enforces the wire
+/// bound.
+pub type NodeId = u32;
+
+/// A stable member (user) identity assigned at registration, independent of
+/// the user's current u-node ID (which the marking algorithm may change).
+pub type MemberId = u32;
+
+/// One slot in the key tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A key node: the group key (at the root) or an auxiliary key.
+    K {
+        /// Current key held by this node.
+        key: SymKey,
+    },
+    /// A user node holding the member's individual key.
+    U {
+        /// The member occupying this leaf.
+        member: MemberId,
+        /// The member's individual key (shared with the key server).
+        key: SymKey,
+    },
+    /// A null node: an empty slot in the expanded tree.
+    N,
+}
+
+impl Node {
+    /// True for k-nodes.
+    pub fn is_k(&self) -> bool {
+        matches!(self, Node::K { .. })
+    }
+
+    /// True for u-nodes.
+    pub fn is_u(&self) -> bool {
+        matches!(self, Node::U { .. })
+    }
+
+    /// True for n-nodes.
+    pub fn is_n(&self) -> bool {
+        matches!(self, Node::N)
+    }
+
+    /// The key held by this node, if any.
+    pub fn key(&self) -> Option<SymKey> {
+        match self {
+            Node::K { key } => Some(*key),
+            Node::U { key, .. } => Some(*key),
+            Node::N => None,
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! The [`KeyTree`] container: storage, construction, lookup, invariants.
+
+use std::collections::HashMap;
+
+use wirecrypto::{KeyGen, SymKey};
+
+use crate::ident;
+use crate::node::{MemberId, Node, NodeId};
+
+/// A logical key hierarchy for one secure group.
+///
+/// Storage is a dense array indexed by node ID; slots that fall outside the
+/// live tree are [`Node::N`]. The tree maintains the index `member -> u-node
+/// id` and the paper's structural invariants (checked by
+/// [`KeyTree::check_invariants`] in tests):
+///
+/// 1. every u-node's ancestors are all k-nodes;
+/// 2. Lemma 4.1: every k-node ID is smaller than every u-node ID;
+/// 3. every u-node ID is at most `d * nk + d` where `nk` is the maximum
+///    k-node ID.
+#[derive(Debug, Clone)]
+pub struct KeyTree {
+    degree: u32,
+    nodes: Vec<Node>,
+    members: HashMap<MemberId, NodeId>,
+}
+
+impl KeyTree {
+    /// Creates an empty tree of the given degree (`d >= 2`).
+    pub fn new(degree: u32) -> Self {
+        assert!(degree >= 2, "key tree degree must be at least 2");
+        KeyTree {
+            degree,
+            nodes: vec![Node::N],
+            members: HashMap::new(),
+        }
+    }
+
+    /// Builds a populated tree of minimum height for `n_users` users with
+    /// member IDs `0 .. n_users`, all u-nodes at the deepest level filled
+    /// left to right — the "full and balanced" starting point used
+    /// throughout the paper's experiments (exactly full when `n_users` is a
+    /// power of `degree`).
+    pub fn balanced(n_users: u32, degree: u32, keygen: &mut KeyGen) -> Self {
+        let mut tree = KeyTree::new(degree);
+        if n_users == 0 {
+            return tree;
+        }
+        let d = degree as u64;
+        // Height: smallest h >= 1 with d^h >= n_users (at least 1 so that
+        // even a single-user group has a root k-node above the u-node).
+        let mut height = 1u32;
+        let mut capacity = d;
+        while capacity < n_users as u64 {
+            capacity *= d;
+            height += 1;
+        }
+        // First leaf ID = (d^h - 1) / (d - 1).
+        let first_leaf = (d.pow(height) - 1) / (d - 1);
+        let last_user = first_leaf + n_users as u64 - 1;
+        tree.ensure_capacity(last_user as NodeId);
+
+        // Place users.
+        for i in 0..n_users {
+            let id = (first_leaf + i as u64) as NodeId;
+            let key = keygen.next_key();
+            tree.nodes[id as usize] = Node::U { member: i, key };
+            tree.members.insert(i, id);
+        }
+        // Make every ancestor of a u-node a k-node.
+        for i in 0..n_users {
+            let id = (first_leaf + i as u64) as NodeId;
+            let mut cur = id;
+            while let Some(p) = ident::parent(cur, degree) {
+                if !tree.nodes[p as usize].is_k() {
+                    tree.nodes[p as usize] = Node::K {
+                        key: keygen.next_key(),
+                    };
+                }
+                cur = p;
+            }
+        }
+        tree
+    }
+
+    /// Tree degree `d`.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Number of users currently in the group.
+    pub fn user_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The group key (the key at the root), if the group is non-empty.
+    pub fn group_key(&self) -> Option<SymKey> {
+        match self.nodes.first() {
+            Some(Node::K { key }) => Some(*key),
+            _ => None,
+        }
+    }
+
+    /// The node at `id` ([`Node::N`] for IDs beyond storage).
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.nodes.get(id as usize).unwrap_or(&Node::N)
+    }
+
+    /// The key held at `id`, if the node has one.
+    pub fn key_of(&self, id: NodeId) -> Option<SymKey> {
+        self.node(id).key()
+    }
+
+    /// The u-node ID of a member, if present.
+    pub fn node_of_member(&self, member: MemberId) -> Option<NodeId> {
+        self.members.get(&member).copied()
+    }
+
+    /// The member occupying u-node `id`, if any.
+    pub fn member_at(&self, id: NodeId) -> Option<MemberId> {
+        match self.node(id) {
+            Node::U { member, .. } => Some(*member),
+            _ => None,
+        }
+    }
+
+    /// Maximum current k-node ID (`nk`, the wire field `maxKID`).
+    /// `None` when the tree has no k-node.
+    pub fn max_knode_id(&self) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, n)| n.is_k())
+            .map(|(i, _)| i as NodeId)
+    }
+
+    /// Sorted IDs of all current u-nodes.
+    pub fn user_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.members.values().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// All members currently in the group (unsorted).
+    pub fn member_ids(&self) -> Vec<MemberId> {
+        self.members.keys().copied().collect()
+    }
+
+    /// The keys a given member must hold: its individual key plus every
+    /// k-node key on the path from its u-node to the root, returned as
+    /// `(node id, key)` pairs leaf-first. This is what the user-side agent
+    /// keeps in its key store.
+    pub fn keys_for_member(&self, member: MemberId) -> Option<Vec<(NodeId, SymKey)>> {
+        let id = self.node_of_member(member)?;
+        let mut out = Vec::new();
+        for node_id in ident::path_to_root(id, self.degree) {
+            let key = self.key_of(node_id)?;
+            out.push((node_id, key));
+        }
+        Some(out)
+    }
+
+    /// Height of the tree: the level of the deepest u-node (0 for a group
+    /// whose only node is the root).
+    pub fn height(&self) -> u32 {
+        self.members
+            .values()
+            .map(|&id| ident::level(id, self.degree))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Length of the underlying node storage (the last allocated ID + 1).
+    pub(crate) fn storage_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    // ----- crate-internal mutation API used by the marking algorithm -----
+
+    pub(crate) fn ensure_capacity(&mut self, id: NodeId) {
+        if self.nodes.len() <= id as usize {
+            self.nodes.resize(id as usize + 1, Node::N);
+        }
+    }
+
+    pub(crate) fn set_node(&mut self, id: NodeId, node: Node) {
+        self.ensure_capacity(id);
+        // Keep the member index coherent on every write.
+        if let Node::U { member, .. } = &self.nodes[id as usize] {
+            self.members.remove(member);
+        }
+        if let Node::U { member, .. } = &node {
+            self.members.insert(*member, id);
+        }
+        self.nodes[id as usize] = node;
+    }
+
+    pub(crate) fn set_key(&mut self, id: NodeId, key: SymKey) {
+        match &mut self.nodes[id as usize] {
+            Node::K { key: k } => *k = key,
+            Node::U { key: k, .. } => *k = key,
+            Node::N => panic!("cannot set key on an n-node (id {id})"),
+        }
+    }
+
+    /// Renders the tree level by level for debugging and teaching:
+    /// `K` = key node, `u<member>` = user node, `.` = empty slot. Trailing
+    /// empty slots of each level are elided.
+    ///
+    /// ```
+    /// use keytree::KeyTree;
+    /// use wirecrypto::KeyGen;
+    /// let mut kg = KeyGen::from_seed(1);
+    /// let tree = KeyTree::balanced(5, 4, &mut kg);
+    /// let art = tree.render_ascii();
+    /// assert!(art.contains("level 0: K"));
+    /// assert!(art.contains("u0"));
+    /// ```
+    pub fn render_ascii(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let d = self.degree as u64;
+        let mut level = 0u32;
+        let mut first: u64 = 0;
+        let mut width: u64 = 1;
+        loop {
+            let mut cells: Vec<String> = Vec::new();
+            let mut any_live = false;
+            for id in first..first + width {
+                if id >= self.nodes.len() as u64 {
+                    break;
+                }
+                let cell = match self.node(id as NodeId) {
+                    Node::K { .. } => {
+                        any_live = true;
+                        "K".to_string()
+                    }
+                    Node::U { member, .. } => {
+                        any_live = true;
+                        format!("u{member}")
+                    }
+                    Node::N => ".".to_string(),
+                };
+                cells.push(cell);
+            }
+            if !any_live {
+                break;
+            }
+            while cells.last().is_some_and(|c| c == ".") {
+                cells.pop();
+            }
+            let _ = writeln!(out, "level {level}: {}", cells.join(" "));
+            first = first * d + 1;
+            width *= d;
+            level += 1;
+            if first >= self.nodes.len() as u64 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Verifies the structural invariants; returns a description of the
+    /// first violation. Used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut max_k: Option<NodeId> = None;
+        let mut min_u: Option<NodeId> = None;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let id = i as NodeId;
+            match n {
+                Node::K { .. } => max_k = Some(id),
+                Node::U { member, .. } => {
+                    if min_u.is_none() {
+                        min_u = Some(id);
+                    }
+                    if self.members.get(member) != Some(&id) {
+                        return Err(format!("member index out of sync at u-node {id}"));
+                    }
+                    // Ancestors must all be k-nodes.
+                    let mut cur = id;
+                    while let Some(p) = ident::parent(cur, self.degree) {
+                        if !self.node(p).is_k() {
+                            return Err(format!(
+                                "u-node {id} has non-k ancestor {p} ({:?})",
+                                self.node(p)
+                            ));
+                        }
+                        cur = p;
+                    }
+                }
+                Node::N => {}
+            }
+        }
+        if self.members.len()
+            != self.nodes.iter().filter(|n| n.is_u()).count()
+        {
+            return Err("member index size mismatch".into());
+        }
+        if let (Some(k), Some(u)) = (max_k, min_u) {
+            if k >= u {
+                return Err(format!("Lemma 4.1 violated: max k id {k} >= min u id {u}"));
+            }
+            let d = self.degree as u64;
+            let bound = d * k as u64 + d;
+            if let Some(&max_u) = self.user_ids().last() {
+                if max_u as u64 > bound {
+                    return Err(format!("u-node {max_u} beyond d*nk+d = {bound}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keygen() -> KeyGen {
+        KeyGen::from_seed(42)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KeyTree::new(4);
+        assert_eq!(t.user_count(), 0);
+        assert_eq!(t.group_key(), None);
+        assert_eq!(t.max_knode_id(), None);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn degree_one_rejected() {
+        let _ = KeyTree::new(1);
+    }
+
+    #[test]
+    fn balanced_power_of_d() {
+        let mut kg = keygen();
+        let t = KeyTree::balanced(16, 4, &mut kg);
+        assert_eq!(t.user_count(), 16);
+        assert_eq!(t.height(), 2);
+        // Full tree: internal ids 0..=4 are k-nodes, leaves 5..=20 users.
+        for id in 0..=4u32 {
+            assert!(t.node(id).is_k(), "id {id}");
+        }
+        for id in 5..=20u32 {
+            assert!(t.node(id).is_u(), "id {id}");
+        }
+        assert_eq!(t.max_knode_id(), Some(4));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn balanced_non_power_of_d() {
+        let mut kg = keygen();
+        // 9 users, d=4: height 2, leaves 5..=13 used, 14..=20 empty.
+        let t = KeyTree::balanced(9, 4, &mut kg);
+        assert_eq!(t.user_count(), 9);
+        assert!(t.node(13).is_u());
+        assert!(t.node(14).is_n());
+        // k-nodes: 0, 1, 2, 3 (ancestors of users); 4 has no users below.
+        assert!(t.node(3).is_k());
+        assert!(t.node(4).is_n());
+        assert_eq!(t.max_knode_id(), Some(3));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn balanced_single_user() {
+        let mut kg = keygen();
+        let t = KeyTree::balanced(1, 4, &mut kg);
+        assert_eq!(t.user_count(), 1);
+        // Even a single-user group has a root k-node (the group key) above
+        // the u-node.
+        assert!(t.group_key().is_some());
+        assert_eq!(t.node_of_member(0), Some(1));
+        assert_eq!(t.max_knode_id(), Some(0));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn keys_for_member_walks_path() {
+        let mut kg = keygen();
+        let t = KeyTree::balanced(16, 4, &mut kg);
+        let keys = t.keys_for_member(7).unwrap();
+        // Path: u-node, one auxiliary level, root => 3 keys at height 2.
+        assert_eq!(keys.len(), 3);
+        assert_eq!(keys.last().unwrap().0, 0);
+        assert_eq!(keys.last().unwrap().1, t.group_key().unwrap());
+        // First entry is the member's own u-node.
+        assert_eq!(t.member_at(keys[0].0), Some(7));
+    }
+
+    #[test]
+    fn member_lookup_round_trip() {
+        let mut kg = keygen();
+        let t = KeyTree::balanced(64, 4, &mut kg);
+        for m in 0..64u32 {
+            let id = t.node_of_member(m).unwrap();
+            assert_eq!(t.member_at(id), Some(m));
+        }
+        assert_eq!(t.node_of_member(64), None);
+    }
+
+    #[test]
+    fn user_ids_sorted_and_contiguous_for_full_tree() {
+        let mut kg = keygen();
+        let t = KeyTree::balanced(16, 4, &mut kg);
+        let ids = t.user_ids();
+        assert_eq!(ids.len(), 16);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*ids.first().unwrap(), 5);
+        assert_eq!(*ids.last().unwrap(), 20);
+    }
+
+    #[test]
+    fn individual_keys_are_distinct() {
+        let mut kg = keygen();
+        let t = KeyTree::balanced(32, 4, &mut kg);
+        let mut keys: Vec<_> = (0..32u32)
+            .map(|m| {
+                let id = t.node_of_member(m).unwrap();
+                t.key_of(id).unwrap()
+            })
+            .collect();
+        keys.sort_by_key(|k| *k.as_bytes());
+        keys.dedup();
+        assert_eq!(keys.len(), 32);
+    }
+
+    #[test]
+    fn degree_two_and_three_shapes() {
+        let mut kg = keygen();
+        let t2 = KeyTree::balanced(8, 2, &mut kg);
+        assert_eq!(t2.height(), 3);
+        t2.check_invariants().unwrap();
+
+        let t3 = KeyTree::balanced(9, 3, &mut kg);
+        assert_eq!(t3.height(), 2);
+        assert_eq!(t3.max_knode_id(), Some(3));
+        t3.check_invariants().unwrap();
+    }
+}

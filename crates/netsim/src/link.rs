@@ -1,0 +1,270 @@
+//! The two-state Markov burst-loss link.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SimTime;
+
+/// How a link loses packets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// Two-state Markov bursts with the given mean cycle (the paper's
+    /// model: mean bad period `cycle * p`, mean good `cycle * (1 - p)`).
+    Burst {
+        /// Mean burst cycle in milliseconds.
+        cycle_ms: f64,
+    },
+    /// Independent (Bernoulli) loss per packet — the ablation baseline
+    /// that shows why block interleaving matters under bursts.
+    Independent,
+}
+
+/// A link alternating between *good* (delivering) and *bad* (dropping)
+/// periods with exponentially distributed holding times.
+///
+/// Parameterised by the stationary loss rate `p` and the burst cycle `c`
+/// (default 100 ms): mean bad duration `c * p`, mean good duration
+/// `c * (1 - p)`. Queries must come at non-decreasing times.
+#[derive(Debug, Clone)]
+pub struct MarkovLink {
+    loss_rate: f64,
+    independent: bool,
+    mean_bad_ms: f64,
+    mean_good_ms: f64,
+    bad: bool,
+    /// Time at which the current period ends.
+    until: SimTime,
+    rng: SmallRng,
+    last_query: SimTime,
+}
+
+impl MarkovLink {
+    /// Creates a link with stationary loss rate `p` (`0 <= p < 1`) and the
+    /// given burst cycle in milliseconds.
+    pub fn new(p: f64, burst_cycle_ms: f64, seed: u64) -> Self {
+        Self::with_model(p, LossModel::Burst { cycle_ms: burst_cycle_ms }, seed)
+    }
+
+    /// Creates a link with an explicit loss model.
+    pub fn with_model(p: f64, model: LossModel, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss rate {p} outside [0, 1)");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match model {
+            LossModel::Burst { cycle_ms } => {
+                assert!(cycle_ms > 0.0);
+                // Start in the stationary distribution.
+                let bad = p > 0.0 && rng.gen_bool(p);
+                let mut link = MarkovLink {
+                    loss_rate: p,
+                    independent: false,
+                    mean_bad_ms: cycle_ms * p,
+                    mean_good_ms: cycle_ms * (1.0 - p),
+                    bad,
+                    until: 0.0,
+                    rng,
+                    last_query: 0.0,
+                };
+                link.until = link.sample_holding();
+                link
+            }
+            LossModel::Independent => MarkovLink {
+                loss_rate: p,
+                independent: true,
+                mean_bad_ms: 0.0,
+                mean_good_ms: 0.0,
+                bad: false,
+                until: 0.0,
+                rng,
+                last_query: 0.0,
+            },
+        }
+    }
+
+    /// A link that never loses (`p = 0`).
+    pub fn lossless() -> Self {
+        MarkovLink::new(0.0, 100.0, 0)
+    }
+
+    /// Stationary loss rate of this link.
+    pub fn loss_rate(&self) -> f64 {
+        self.loss_rate
+    }
+
+    fn sample_holding(&mut self) -> SimTime {
+        let mean = if self.bad {
+            self.mean_bad_ms
+        } else {
+            self.mean_good_ms
+        };
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        debug_assert!(
+            now >= self.last_query - 1e-9,
+            "MarkovLink queried backwards in time: {now} < {}",
+            self.last_query
+        );
+        self.last_query = now;
+        if self.loss_rate == 0.0 {
+            return;
+        }
+        while self.until <= now {
+            self.bad = !self.bad;
+            let hold = self.sample_holding();
+            self.until += hold;
+        }
+    }
+
+    /// Sends one packet at simulation time `now`; returns true when the
+    /// packet gets through.
+    pub fn transmit(&mut self, now: SimTime) -> bool {
+        if self.independent {
+            debug_assert!(now >= self.last_query - 1e-9);
+            self.last_query = now;
+            return self.loss_rate == 0.0 || !self.rng.gen_bool(self.loss_rate);
+        }
+        self.advance_to(now);
+        !self.bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_loss(p: f64, seed: u64, packets: usize, spacing: f64) -> f64 {
+        let mut link = MarkovLink::new(p, 100.0, seed);
+        let mut lost = 0;
+        for i in 0..packets {
+            if !link.transmit(i as f64 * spacing) {
+                lost += 1;
+            }
+        }
+        lost as f64 / packets as f64
+    }
+
+    #[test]
+    fn lossless_link_never_drops() {
+        let mut link = MarkovLink::lossless();
+        for i in 0..10_000 {
+            assert!(link.transmit(i as f64 * 13.7));
+        }
+    }
+
+    #[test]
+    fn stationary_loss_rate_matches_p() {
+        for &p in &[0.02, 0.20, 0.50] {
+            // Widely spaced packets decorrelate; loss fraction ~ p.
+            let got = empirical_loss(p, 99, 200_000, 997.0);
+            assert!(
+                (got - p).abs() < 0.01,
+                "p = {p}, measured {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn closely_spaced_packets_are_correlated() {
+        // With 1 ms spacing inside a 100 ms burst cycle, consecutive
+        // losses cluster: P(loss | previous loss) >> p.
+        let p = 0.2;
+        let mut link = MarkovLink::new(p, 100.0, 7);
+        let mut prev_lost = false;
+        let (mut after_loss, mut loss_after_loss) = (0u64, 0u64);
+        for i in 0..500_000 {
+            let lost = !link.transmit(i as f64);
+            if prev_lost {
+                after_loss += 1;
+                if lost {
+                    loss_after_loss += 1;
+                }
+            }
+            prev_lost = lost;
+        }
+        let cond = loss_after_loss as f64 / after_loss as f64;
+        assert!(
+            cond > 3.0 * p,
+            "conditional loss {cond} not bursty versus stationary {p}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pattern = |seed: u64| -> Vec<bool> {
+            let mut link = MarkovLink::new(0.3, 100.0, seed);
+            (0..1000).map(|i| link.transmit(i as f64 * 10.0)).collect()
+        };
+        assert_eq!(pattern(5), pattern(5));
+        assert_ne!(pattern(5), pattern(6));
+    }
+
+    #[test]
+    fn mean_burst_duration_scales_with_p() {
+        // Measure mean bad-period length by dense sampling.
+        let p = 0.3;
+        let mut link = MarkovLink::new(p, 100.0, 11);
+        let dt = 0.25;
+        let mut bursts = Vec::new();
+        let mut current: Option<f64> = None;
+        for i in 0..4_000_000u64 {
+            let t = i as f64 * dt;
+            let lost = !link.transmit(t);
+            match (lost, current) {
+                (true, None) => current = Some(dt),
+                (true, Some(len)) => current = Some(len + dt),
+                (false, Some(len)) => {
+                    bursts.push(len);
+                    current = None;
+                }
+                (false, None) => {}
+            }
+        }
+        let mean = bursts.iter().sum::<f64>() / bursts.len() as f64;
+        let expect = 100.0 * p;
+        assert!(
+            (mean - expect).abs() < expect * 0.1,
+            "mean burst {mean}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn loss_rate_one_rejected() {
+        let _ = MarkovLink::new(1.0, 100.0, 0);
+    }
+
+    #[test]
+    fn independent_mode_matches_rate_and_is_memoryless() {
+        let p = 0.2;
+        let mut link = MarkovLink::with_model(p, LossModel::Independent, 5);
+        let mut lost = 0u64;
+        let (mut after_loss, mut loss_after_loss) = (0u64, 0u64);
+        let mut prev = false;
+        let n = 400_000u64;
+        for i in 0..n {
+            let l = !link.transmit(i as f64); // densely spaced on purpose
+            if l {
+                lost += 1;
+            }
+            if prev {
+                after_loss += 1;
+                if l {
+                    loss_after_loss += 1;
+                }
+            }
+            prev = l;
+        }
+        let rate = lost as f64 / n as f64;
+        assert!((rate - p).abs() < 0.01, "rate {rate}");
+        let cond = loss_after_loss as f64 / after_loss as f64;
+        assert!(
+            (cond - p).abs() < 0.03,
+            "independent loss must be memoryless even at dense spacing: {cond}"
+        );
+    }
+}

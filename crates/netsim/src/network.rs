@@ -1,0 +1,290 @@
+//! The star-of-links multicast topology.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::link::{LossModel, MarkovLink};
+use crate::SimTime;
+
+/// Loss class of one user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserClass {
+    /// Receiver link at `p_high`.
+    HighLoss,
+    /// Receiver link at `p_low`.
+    LowLoss,
+}
+
+/// Topology and loss parameters (defaults are the paper's).
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Number of users (receiver links).
+    pub n_users: usize,
+    /// Fraction of users in the high-loss class.
+    pub alpha: f64,
+    /// Receiver loss rate of high-loss users.
+    pub p_high: f64,
+    /// Receiver loss rate of low-loss users.
+    pub p_low: f64,
+    /// Source-link loss rate.
+    pub p_source: f64,
+    /// Mean burst cycle of every link, milliseconds.
+    pub burst_cycle_ms: f64,
+    /// Use independent (Bernoulli) loss instead of Markov bursts — the
+    /// ablation baseline for interleaving/burstiness studies.
+    pub independent_loss: bool,
+    /// Server inter-packet send spacing, milliseconds (10 pkt/s default).
+    pub send_interval_ms: f64,
+    /// One-way server-to-user latency, milliseconds.
+    pub one_way_delay_ms: f64,
+    /// RNG seed; every link derives an independent stream from it.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            n_users: 4096,
+            alpha: 0.20,
+            p_high: 0.20,
+            p_low: 0.02,
+            p_source: 0.01,
+            burst_cycle_ms: 100.0,
+            independent_loss: false,
+            send_interval_ms: 100.0,
+            one_way_delay_ms: 25.0,
+            seed: 1,
+        }
+    }
+}
+
+/// The simulated network: one source link plus per-user receiver links.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    source: MarkovLink,
+    receivers: Vec<MarkovLink>,
+    classes: Vec<UserClass>,
+}
+
+impl Network {
+    /// Builds the topology: exactly `round(alpha * n)` high-loss users,
+    /// assigned pseudo-randomly by the seed.
+    pub fn new(config: NetworkConfig) -> Self {
+        assert!(config.n_users > 0, "need at least one user");
+        assert!((0.0..=1.0).contains(&config.alpha));
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xC0FF_EE00_D15E_A5E5);
+
+        // Choose the high-loss subset by a seeded shuffle of indices.
+        let n_high = (config.alpha * config.n_users as f64).round() as usize;
+        let mut order: Vec<usize> = (0..config.n_users).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut classes = vec![UserClass::LowLoss; config.n_users];
+        for &u in order.iter().take(n_high) {
+            classes[u] = UserClass::HighLoss;
+        }
+
+        let model = if config.independent_loss {
+            LossModel::Independent
+        } else {
+            LossModel::Burst {
+                cycle_ms: config.burst_cycle_ms,
+            }
+        };
+        let receivers = classes
+            .iter()
+            .map(|c| {
+                let p = match c {
+                    UserClass::HighLoss => config.p_high,
+                    UserClass::LowLoss => config.p_low,
+                };
+                MarkovLink::with_model(p, model, rng.gen())
+            })
+            .collect();
+
+        Network {
+            source: MarkovLink::with_model(config.p_source, model, rng.gen()),
+            receivers,
+            classes,
+            config,
+        }
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.receivers.len()
+    }
+
+    /// Loss class of a user.
+    pub fn class_of(&self, user: usize) -> UserClass {
+        self.classes[user]
+    }
+
+    /// Multicasts one packet at time `now`: the packet first crosses the
+    /// source link (loss there hits everyone), then each receiver link.
+    /// Returns per-user delivery flags.
+    pub fn multicast(&mut self, now: SimTime) -> Vec<bool> {
+        if !self.source.transmit(now) {
+            return vec![false; self.receivers.len()];
+        }
+        self.receivers
+            .iter_mut()
+            .map(|link| link.transmit(now))
+            .collect()
+    }
+
+    /// Multicast where only a subset of users still listens (the common
+    /// case in later rounds); non-listening links still advance their loss
+    /// process implicitly through future queries.
+    pub fn multicast_to(&mut self, now: SimTime, listeners: &[usize]) -> Vec<(usize, bool)> {
+        let source_ok = self.source.transmit(now);
+        listeners
+            .iter()
+            .map(|&u| {
+                let ok = source_ok && self.receivers[u].transmit(now);
+                (u, ok)
+            })
+            .collect()
+    }
+
+    /// Unicasts one packet to `user` at time `now` (source + receiver
+    /// link, same as multicast but for one destination).
+    pub fn unicast(&mut self, now: SimTime, user: usize) -> bool {
+        self.source.transmit(now) && self.receivers[user].transmit(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(n: usize, alpha: f64, seed: u64) -> Network {
+        Network::new(NetworkConfig {
+            n_users: n,
+            alpha,
+            seed,
+            ..NetworkConfig::default()
+        })
+    }
+
+    #[test]
+    fn high_loss_population_matches_alpha() {
+        let net = small(1000, 0.20, 3);
+        let high = (0..1000)
+            .filter(|&u| net.class_of(u) == UserClass::HighLoss)
+            .count();
+        assert_eq!(high, 200);
+    }
+
+    #[test]
+    fn alpha_zero_and_one() {
+        let net0 = small(100, 0.0, 3);
+        assert!((0..100).all(|u| net0.class_of(u) == UserClass::LowLoss));
+        let net1 = small(100, 1.0, 3);
+        assert!((0..100).all(|u| net1.class_of(u) == UserClass::HighLoss));
+    }
+
+    #[test]
+    fn multicast_loss_rates_by_class() {
+        let mut net = small(400, 0.5, 17);
+        let mut received = vec![0u32; 400];
+        let rounds = 4000;
+        for i in 0..rounds {
+            // Wide spacing to decorrelate the burst process.
+            let got = net.multicast(i as f64 * 500.0);
+            for (u, ok) in got.iter().enumerate() {
+                if *ok {
+                    received[u] += 1;
+                }
+            }
+        }
+        // Expected delivery: (1 - p_source)(1 - p_class).
+        let mut high_rate = Vec::new();
+        let mut low_rate = Vec::new();
+        for u in 0..400 {
+            let rate = received[u] as f64 / rounds as f64;
+            match net.class_of(u) {
+                UserClass::HighLoss => high_rate.push(rate),
+                UserClass::LowLoss => low_rate.push(rate),
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let high = mean(&high_rate);
+        let low = mean(&low_rate);
+        assert!((high - 0.99 * 0.80).abs() < 0.02, "high-class delivery {high}");
+        assert!((low - 0.99 * 0.98).abs() < 0.02, "low-class delivery {low}");
+    }
+
+    #[test]
+    fn source_loss_hits_everyone_together() {
+        // With p_source ~ 50% and lossless receivers, outcomes per packet
+        // are all-true or all-false.
+        let mut net = Network::new(NetworkConfig {
+            n_users: 50,
+            alpha: 0.0,
+            p_low: 0.0,
+            p_source: 0.5,
+            seed: 9,
+            ..NetworkConfig::default()
+        });
+        let mut saw_all_false = false;
+        for i in 0..2000 {
+            let got = net.multicast(i as f64 * 300.0);
+            let any = got.iter().any(|&b| b);
+            let all = got.iter().all(|&b| b);
+            assert!(any == all, "partial delivery despite lossless receivers");
+            saw_all_false |= !any;
+        }
+        assert!(saw_all_false, "source link never dropped at p = 0.5");
+    }
+
+    #[test]
+    fn determinism() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut net = small(64, 0.3, seed);
+            (0..200)
+                .flat_map(|i| net.multicast(i as f64 * 40.0))
+                .collect()
+        };
+        assert_eq!(run(12), run(12));
+        assert_ne!(run(12), run(13));
+    }
+
+    #[test]
+    fn unicast_uses_both_links() {
+        let mut net = Network::new(NetworkConfig {
+            n_users: 4,
+            alpha: 1.0,
+            p_high: 0.5,
+            p_source: 0.0,
+            seed: 20,
+            ..NetworkConfig::default()
+        });
+        let mut delivered = 0;
+        let trials = 20_000;
+        for i in 0..trials {
+            if net.unicast(i as f64 * 400.0, 0) {
+                delivered += 1;
+            }
+        }
+        let rate = delivered as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.02, "unicast delivery {rate}");
+    }
+
+    #[test]
+    fn multicast_to_subset() {
+        let mut net = small(100, 0.0, 4);
+        let listeners = vec![3, 50, 99];
+        let got = net.multicast_to(0.0, &listeners);
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().map(|(u, _)| *u).eq(listeners.iter().copied()));
+    }
+}

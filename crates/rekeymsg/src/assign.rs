@@ -1,0 +1,461 @@
+//! The User-oriented Key Assignment (UKA) algorithm.
+//!
+//! UKA guarantees that **all of a user's encryptions land in one ENC
+//! packet**, so the vast majority of users can recover their keys from a
+//! single received packet without FEC decoding. It works on the sorted
+//! list of user IDs: repeatedly take the longest prefix of remaining users
+//! whose union of needed encryptions still fits one packet, emit that
+//! packet with the inclusive user-ID range `<frmID, toID>`, and continue.
+//! Ranges never overlap and strictly increase, which block-ID estimation
+//! relies on.
+//!
+//! The price is duplication: users in different packets that share path
+//! encryptions receive copies. [`AssignmentStats::duplication_overhead`]
+//! measures that cost exactly as the paper does (duplicated encryptions
+//! over total encryptions in the rekey subtree).
+
+use std::collections::{HashMap, HashSet};
+
+use keytree::{KeyTree, MarkOutcome, NodeId};
+use wirecrypto::SealedKey;
+
+use crate::layout::Layout;
+use crate::seal_context;
+use crate::wire::EncPacket;
+
+/// One planned ENC packet: which users it serves and which encryptions it
+/// carries. No cryptography yet — experiment drivers that only need counts
+/// use plans directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketPlan {
+    /// First served user ID.
+    pub frm_id: NodeId,
+    /// Last served user ID (inclusive).
+    pub to_id: NodeId,
+    /// Indices into `MarkOutcome::encryptions`, ascending by encryption ID.
+    pub enc_indices: Vec<usize>,
+    /// The u-node IDs of the users served.
+    pub users: Vec<NodeId>,
+}
+
+/// Counting statistics of one assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AssignmentStats {
+    /// Number of ENC packets produced.
+    pub packets: usize,
+    /// Total `<encryption, ID>` entries emitted across all packets.
+    pub entries_emitted: usize,
+    /// Distinct encryptions in the rekey subtree.
+    pub distinct_encryptions: usize,
+}
+
+impl AssignmentStats {
+    /// Duplicated encryptions over total encryptions in the rekey subtree
+    /// (the paper's duplication-overhead metric). Zero for an empty
+    /// message.
+    pub fn duplication_overhead(&self) -> f64 {
+        if self.distinct_encryptions == 0 {
+            0.0
+        } else {
+            (self.entries_emitted - self.distinct_encryptions) as f64
+                / self.distinct_encryptions as f64
+        }
+    }
+}
+
+/// Plans the UKA packing without sealing anything.
+///
+/// Users that need no encryptions (their whole path is unchanged) are
+/// skipped — they are vacuously satisfied by the rekey message.
+pub fn plan(tree: &KeyTree, outcome: &MarkOutcome, layout: &Layout) -> Vec<PacketPlan> {
+    let capacity = layout.encryptions_per_packet();
+    let degree = tree.degree();
+    let mut plans: Vec<PacketPlan> = Vec::new();
+
+    let mut current_users: Vec<NodeId> = Vec::new();
+    let mut current_set: HashSet<usize> = HashSet::new();
+    let mut current_list: Vec<usize> = Vec::new();
+
+    for uid in tree.user_ids() {
+        let needs = outcome.encryptions_for_user(uid, degree);
+        if needs.is_empty() {
+            continue;
+        }
+        // UKA's defining guarantee — one packet per user — requires the
+        // packet to hold a whole path's worth of encryptions (h+1 <<
+        // capacity for any sane layout; 46 vs ~8 in the paper's).
+        assert!(
+            needs.len() <= capacity,
+            "user {uid} needs {} encryptions but packets hold {capacity}: \
+             layout too small for this tree height",
+            needs.len()
+        );
+        let extra = needs
+            .iter()
+            .filter(|i| !current_set.contains(*i))
+            .count();
+        if !current_users.is_empty() && current_set.len() + extra > capacity {
+            plans.push(close_plan(outcome, &mut current_users, &mut current_list));
+            current_set.clear();
+        }
+        for &i in &needs {
+            if current_set.insert(i) {
+                current_list.push(i);
+            }
+        }
+        current_users.push(uid);
+    }
+    if !current_users.is_empty() {
+        plans.push(close_plan(outcome, &mut current_users, &mut current_list));
+    }
+    plans
+}
+
+fn close_plan(
+    outcome: &MarkOutcome,
+    users: &mut Vec<NodeId>,
+    list: &mut Vec<usize>,
+) -> PacketPlan {
+    let mut enc_indices = std::mem::take(list);
+    enc_indices.sort_by_key(|&i| outcome.encryptions[i].child);
+    let users_taken = std::mem::take(users);
+    PacketPlan {
+        frm_id: *users_taken.first().expect("non-empty plan"),
+        to_id: *users_taken.last().expect("non-empty plan"),
+        enc_indices,
+        users: users_taken,
+    }
+}
+
+/// Statistics of the *naive* (non-UKA) assignment baseline: encryptions
+/// packed in rekey-subtree generation order with no per-user alignment.
+///
+/// This is the ablation that motivates UKA. Without alignment a user's
+/// encryptions scatter over several packets, so its single-round success
+/// probability drops from `(1 - p)` to `(1 - p)^m` — and it must FEC-
+/// decode (or re-request) *every* block its packets land in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaiveAssignmentStats {
+    /// Packets produced (no duplication, so never more than UKA's count).
+    pub packets: usize,
+    /// Mean number of distinct packets a user needs.
+    pub avg_packets_per_user: f64,
+    /// Worst-case packets a user needs.
+    pub max_packets_per_user: usize,
+    /// Fraction of users whose needs land in a single packet.
+    pub single_packet_fraction: f64,
+}
+
+/// Computes the naive-baseline statistics for the same workload UKA would
+/// pack. Encryptions are taken in `MarkOutcome::encryptions` order
+/// (bottom-up rekey-subtree traversal) and cut greedily into packets of
+/// `layout.encryptions_per_packet()`.
+pub fn naive_plan_stats(
+    tree: &KeyTree,
+    outcome: &MarkOutcome,
+    layout: &Layout,
+) -> NaiveAssignmentStats {
+    let capacity = layout.encryptions_per_packet();
+    let total = outcome.encryptions.len();
+    if total == 0 {
+        return NaiveAssignmentStats {
+            packets: 0,
+            avg_packets_per_user: 0.0,
+            max_packets_per_user: 0,
+            single_packet_fraction: 1.0,
+        };
+    }
+    let packets = total.div_ceil(capacity);
+    let packet_of_enc = |i: usize| i / capacity;
+
+    let degree = tree.degree();
+    let mut sum = 0usize;
+    let mut max = 0usize;
+    let mut single = 0usize;
+    let mut users = 0usize;
+    for uid in tree.user_ids() {
+        let needs = outcome.encryptions_for_user(uid, degree);
+        if needs.is_empty() {
+            continue;
+        }
+        users += 1;
+        let mut pkts: Vec<usize> = needs.iter().map(|&i| packet_of_enc(i)).collect();
+        pkts.sort_unstable();
+        pkts.dedup();
+        sum += pkts.len();
+        max = max.max(pkts.len());
+        if pkts.len() == 1 {
+            single += 1;
+        }
+    }
+    NaiveAssignmentStats {
+        packets,
+        avg_packets_per_user: if users == 0 { 0.0 } else { sum as f64 / users as f64 },
+        max_packets_per_user: max,
+        single_packet_fraction: if users == 0 {
+            1.0
+        } else {
+            single as f64 / users as f64
+        },
+    }
+}
+
+/// The full assignment: sealed ENC packets plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct UkaAssignment {
+    /// The ENC packets in generation order. `block_id`/`seq` are zero here;
+    /// block partitioning fills them in.
+    pub packets: Vec<EncPacket>,
+    /// Plans aligned with `packets`.
+    pub plans: Vec<PacketPlan>,
+    /// Which packet (index) serves each user ID.
+    pub packet_of_user: HashMap<NodeId, usize>,
+    /// Counting statistics.
+    pub stats: AssignmentStats,
+}
+
+impl UkaAssignment {
+    /// Runs UKA and seals every encryption (each distinct encryption is
+    /// sealed once and copied wherever duplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node ID exceeds the 16-bit wire range.
+    pub fn build(
+        tree: &KeyTree,
+        outcome: &MarkOutcome,
+        msg_seq: u64,
+        layout: &Layout,
+    ) -> UkaAssignment {
+        let plans = plan(tree, outcome, layout);
+        let msg_id = (msg_seq & 0x3f) as u8;
+        let max_kid = outcome.nk.unwrap_or(0);
+        assert!(max_kid <= u16::MAX as NodeId, "maxKID exceeds wire range");
+
+        // Seal each distinct encryption once.
+        let mut sealed_cache: HashMap<usize, SealedKey> = HashMap::new();
+        let mut seal = |i: usize| -> SealedKey {
+            *sealed_cache.entry(i).or_insert_with(|| {
+                let edge = outcome.encryptions[i];
+                let kek = tree.key_of(edge.child).expect("child key exists");
+                let plain = tree.key_of(edge.parent).expect("parent key exists");
+                SealedKey::seal(&kek, &plain, seal_context(msg_seq, edge.child))
+            })
+        };
+
+        let mut packets = Vec::with_capacity(plans.len());
+        let mut packet_of_user = HashMap::new();
+        let mut entries_emitted = 0;
+        for (pi, plan) in plans.iter().enumerate() {
+            let entries: Vec<(u16, SealedKey)> = plan
+                .enc_indices
+                .iter()
+                .map(|&i| {
+                    let child = outcome.encryptions[i].child;
+                    assert!(child <= u16::MAX as NodeId, "encryption ID exceeds wire range");
+                    (child as u16, seal(i))
+                })
+                .collect();
+            entries_emitted += entries.len();
+            for &u in &plan.users {
+                packet_of_user.insert(u, pi);
+            }
+            assert!(plan.frm_id <= u16::MAX as NodeId && plan.to_id <= u16::MAX as NodeId);
+            packets.push(EncPacket {
+                msg_id,
+                block_id: 0,
+                seq: 0,
+                duplicate: false,
+                max_kid: max_kid as u16,
+                frm_id: plan.frm_id as u16,
+                to_id: plan.to_id as u16,
+                entries,
+            });
+        }
+
+        let stats = AssignmentStats {
+            packets: plans.len(),
+            entries_emitted,
+            distinct_encryptions: outcome.encryptions.len(),
+        };
+        UkaAssignment {
+            packets,
+            plans,
+            packet_of_user,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keytree::Batch;
+    use wirecrypto::KeyGen;
+
+    fn setup(n: u32, leaves: u32) -> (KeyTree, MarkOutcome) {
+        let mut kg = KeyGen::from_seed(5);
+        let mut tree = KeyTree::balanced(n, 4, &mut kg);
+        // Spread the leavers uniformly over the leaf level (contiguous
+        // leavers would prune whole subtrees and shrink the message).
+        let stride = (n / leaves).max(1);
+        let batch = Batch::new(
+            vec![],
+            (0..leaves).map(|i| (i * stride) % n).collect(),
+        );
+        let outcome = tree.process_batch(&batch, &mut kg);
+        (tree, outcome)
+    }
+
+    #[test]
+    fn every_user_covered_by_exactly_one_packet() {
+        let (tree, outcome) = setup(256, 64);
+        let plans = plan(&tree, &outcome, &Layout::DEFAULT);
+        let mut covered = HashSet::new();
+        for p in &plans {
+            for &u in &p.users {
+                assert!(covered.insert(u), "user {u} in two packets");
+            }
+        }
+        // Every remaining user with needs is covered.
+        for uid in tree.user_ids() {
+            let needs = outcome.encryptions_for_user(uid, 4);
+            assert_eq!(
+                covered.contains(&uid),
+                !needs.is_empty(),
+                "coverage mismatch for {uid}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_of_a_users_encryptions_in_its_packet() {
+        let (tree, outcome) = setup(256, 64);
+        let plans = plan(&tree, &outcome, &Layout::DEFAULT);
+        for p in &plans {
+            let have: HashSet<usize> = p.enc_indices.iter().copied().collect();
+            for &u in &p.users {
+                for i in outcome.encryptions_for_user(u, 4) {
+                    assert!(have.contains(&i), "user {u} missing encryption {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_strictly_increase() {
+        let (tree, outcome) = setup(1024, 256);
+        let plans = plan(&tree, &outcome, &Layout::DEFAULT);
+        assert!(plans.len() > 1, "want multiple packets for this test");
+        for w in plans.windows(2) {
+            assert!(w[0].to_id < w[1].frm_id);
+        }
+        for p in &plans {
+            assert!(p.frm_id <= p.to_id);
+        }
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let (tree, outcome) = setup(1024, 256);
+        let layout = Layout::DEFAULT;
+        for p in plan(&tree, &outcome, &layout) {
+            assert!(p.enc_indices.len() <= layout.encryptions_per_packet());
+        }
+    }
+
+    #[test]
+    fn small_packets_force_more_duplication() {
+        let (tree, outcome) = setup(256, 64);
+        let big = plan(&tree, &outcome, &Layout::DEFAULT);
+        let small_layout = Layout::new(3 + 6 + 22 * 12); // 12 encryptions/packet
+        let small = plan(&tree, &outcome, &small_layout);
+        assert!(small.len() > big.len());
+
+        let emitted = |plans: &[PacketPlan]| -> usize {
+            plans.iter().map(|p| p.enc_indices.len()).sum()
+        };
+        assert!(emitted(&small) >= emitted(&big));
+    }
+
+    #[test]
+    fn empty_outcome_produces_no_packets() {
+        let mut kg = KeyGen::from_seed(1);
+        let mut tree = KeyTree::balanced(64, 4, &mut kg);
+        let outcome = tree.process_batch(&Batch::default(), &mut kg);
+        assert!(plan(&tree, &outcome, &Layout::DEFAULT).is_empty());
+        let built = UkaAssignment::build(&tree, &outcome, 0, &Layout::DEFAULT);
+        assert_eq!(built.stats.packets, 0);
+        assert_eq!(built.stats.duplication_overhead(), 0.0);
+    }
+
+    #[test]
+    fn build_seals_decryptable_entries() {
+        let (tree, outcome) = setup(64, 16);
+        let msg_seq = 9;
+        let built = UkaAssignment::build(&tree, &outcome, msg_seq, &Layout::DEFAULT);
+        assert_eq!(built.stats.distinct_encryptions, outcome.encryptions.len());
+
+        // Every entry unseals under the child key with the right context.
+        for pkt in &built.packets {
+            for (id, sealed) in &pkt.entries {
+                let child = *id as NodeId;
+                let kek = tree.key_of(child).unwrap();
+                let parent = keytree::ident::parent(child, 4).unwrap();
+                let got = sealed
+                    .unseal(&kek, crate::seal_context(msg_seq, child))
+                    .expect("entry must unseal");
+                assert_eq!(Some(got), tree.key_of(parent));
+            }
+        }
+    }
+
+    #[test]
+    fn duplication_overhead_matches_hand_count() {
+        let (tree, outcome) = setup(1024, 256);
+        let built = UkaAssignment::build(&tree, &outcome, 0, &Layout::DEFAULT);
+        let emitted: usize = built.packets.iter().map(|p| p.entries.len()).sum();
+        assert_eq!(built.stats.entries_emitted, emitted);
+        let expect = (emitted - outcome.encryptions.len()) as f64
+            / outcome.encryptions.len() as f64;
+        assert!((built.stats.duplication_overhead() - expect).abs() < 1e-12);
+        assert!(built.stats.duplication_overhead() >= 0.0);
+    }
+
+    #[test]
+    fn naive_baseline_scatters_users() {
+        let (tree, outcome) = setup(1024, 256);
+        let layout = Layout::DEFAULT;
+        let naive = naive_plan_stats(&tree, &outcome, &layout);
+        let uka = plan(&tree, &outcome, &layout);
+        // Naive never duplicates, so it uses at most as many packets...
+        assert!(naive.packets <= uka.len());
+        // ...but scatters users across packets, which UKA never does.
+        assert!(
+            naive.avg_packets_per_user > 1.2,
+            "naive avg {}",
+            naive.avg_packets_per_user
+        );
+        assert!(naive.max_packets_per_user >= 2);
+        assert!(naive.single_packet_fraction < 0.9);
+    }
+
+    #[test]
+    fn naive_baseline_empty_message() {
+        let mut kg = KeyGen::from_seed(1);
+        let mut tree = KeyTree::balanced(16, 4, &mut kg);
+        let outcome = tree.process_batch(&Batch::default(), &mut kg);
+        let s = naive_plan_stats(&tree, &outcome, &Layout::DEFAULT);
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.single_packet_fraction, 1.0);
+    }
+
+    #[test]
+    fn packet_of_user_agrees_with_ranges() {
+        let (tree, outcome) = setup(256, 64);
+        let built = UkaAssignment::build(&tree, &outcome, 0, &Layout::DEFAULT);
+        for (&u, &pi) in &built.packet_of_user {
+            assert!(built.packets[pi].serves(u as u16));
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! FEC block partitioning and parity generation.
+//!
+//! ENC packets are taken in generation order and cut into blocks of `k`;
+//! the last block is padded by cyclically duplicating its own packets
+//! (duplicates carry the duplicate flag and fresh sequence numbers, so they
+//! count as FEC shares but are ignored by block-ID estimation). PARITY
+//! packets for a block are generated on demand with monotonically
+//! increasing sequence numbers, so proactive parities (round one) and
+//! reactive parities (later rounds) are always mutually compatible shares
+//! of the same Reed–Solomon block.
+
+use rse::{BlockEncoder, RseError};
+
+use crate::layout::Layout;
+use crate::wire::{EncPacket, Packet, ParityPacket};
+
+/// One FEC block: `k` data packets plus the machinery to mint parities.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Block ID.
+    pub id: u8,
+    /// Exactly `k` ENC packets (the tail may be duplicates).
+    pub packets: Vec<EncPacket>,
+    bodies: Vec<Vec<u8>>,
+    encoder: BlockEncoder,
+    next_parity: usize,
+}
+
+impl Block {
+    /// Number of fresh parity packets still mintable.
+    pub fn parities_remaining(&self) -> usize {
+        self.encoder.max_parities().saturating_sub(self.next_parity)
+    }
+
+    /// Total parity packets minted so far.
+    pub fn parities_minted(&self) -> usize {
+        self.next_parity
+    }
+}
+
+/// The blocks of one rekey message.
+#[derive(Debug, Clone)]
+pub struct BlockSet {
+    k: usize,
+    layout: Layout,
+    msg_id: u8,
+    blocks: Vec<Block>,
+    real_packets: usize,
+}
+
+/// One packet in the send schedule.
+pub type SendItem = Packet;
+
+/// Order in which a round's packets leave the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SendOrder {
+    /// Round-robin across blocks (the paper's choice): consecutive
+    /// same-block packets are separated by a sweep of the other blocks,
+    /// so one burst-loss period rarely takes out two shares of a block.
+    #[default]
+    Interleaved,
+    /// Block after block — the ablation baseline that shows what
+    /// interleaving buys under burst loss.
+    Sequential,
+}
+
+impl BlockSet {
+    /// Partitions `packets` (from UKA, in generation order) into blocks of
+    /// `k`, assigning block IDs and sequence numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is not a valid block size or when the message needs
+    /// more than 256 blocks (wire limit of the 8-bit block ID).
+    pub fn new(mut packets: Vec<EncPacket>, k: usize, layout: Layout) -> Self {
+        assert!((1..rse::MAX_SYMBOLS).contains(&k), "invalid block size {k}");
+        let real_packets = packets.len();
+        let block_count = packets.len().div_ceil(k);
+        assert!(block_count <= 256, "message needs {block_count} blocks, wire limit 256");
+
+        let mut blocks = Vec::with_capacity(block_count);
+        for (b, chunk) in packets.chunks_mut(k).enumerate() {
+            let mut block_packets: Vec<EncPacket> = Vec::with_capacity(k);
+            for (s, pkt) in chunk.iter_mut().enumerate() {
+                pkt.block_id = b as u8;
+                pkt.seq = s as u8;
+                pkt.duplicate = false;
+                block_packets.push(pkt.clone());
+            }
+            // Pad the last (short) block with cyclic duplicates.
+            let real = block_packets.len();
+            let mut s = real;
+            while block_packets.len() < k {
+                let mut dup = block_packets[s % real].clone();
+                dup.seq = s as u8;
+                dup.duplicate = true;
+                block_packets.push(dup);
+                s += 1;
+            }
+            let bodies: Vec<Vec<u8>> = block_packets
+                .iter()
+                .map(|p| p.fec_body(&layout))
+                .collect();
+            blocks.push(Block {
+                id: b as u8,
+                packets: block_packets,
+                bodies,
+                encoder: BlockEncoder::new(k).expect("validated k"),
+                next_parity: 0,
+            });
+        }
+        let msg_id = blocks
+            .first()
+            .map(|b| b.packets[0].msg_id)
+            .unwrap_or(0);
+        BlockSet {
+            k,
+            layout,
+            msg_id,
+            blocks,
+            real_packets,
+        }
+    }
+
+    /// Block size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// ENC packets before last-block duplication.
+    pub fn real_packet_count(&self) -> usize {
+        self.real_packets
+    }
+
+    /// Duplicated packets added to fill the last block.
+    pub fn duplicated_count(&self) -> usize {
+        self.blocks.len() * self.k - self.real_packets
+    }
+
+    /// Borrow a block.
+    pub fn block(&self, id: usize) -> Option<&Block> {
+        self.blocks.get(id)
+    }
+
+    /// Mints `count` fresh PARITY packets for block `block_id`, advancing
+    /// the parity sequence. Errors if the field limit (255 shares) is hit.
+    pub fn mint_parities(
+        &mut self,
+        block_id: usize,
+        count: usize,
+    ) -> Result<Vec<ParityPacket>, RseError> {
+        let msg_id = self.msg_id;
+        let block = &mut self.blocks[block_id];
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let j = block.next_parity;
+            let body = block.encoder.parity(j, &block.bodies)?;
+            block.next_parity += 1;
+            out.push(ParityPacket {
+                msg_id,
+                block_id: block.id,
+                seq: j as u8,
+                body,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Mints the proactive parities for every block: `ceil((rho - 1) * k)`
+    /// each, rounded as the paper specifies.
+    pub fn mint_proactive(&mut self, rho: f64) -> Result<Vec<Vec<ParityPacket>>, RseError> {
+        let per_block = proactive_parity_count(rho, self.k);
+        (0..self.blocks.len())
+            .map(|b| self.mint_parities(b, per_block))
+            .collect()
+    }
+
+    /// The round-one multicast schedule: ENC and PARITY packets ordered
+    /// across blocks per `order` (interleaving is the paper's burst-loss
+    /// mitigation).
+    pub fn round_one_schedule_ordered(
+        &mut self,
+        rho: f64,
+        order: SendOrder,
+    ) -> Result<Vec<SendItem>, RseError> {
+        let parities = self.mint_proactive(rho)?;
+        let lanes: Vec<Vec<Packet>> = self
+            .blocks
+            .iter()
+            .zip(parities)
+            .map(|(b, par)| {
+                b.packets
+                    .iter()
+                    .cloned()
+                    .map(Packet::Enc)
+                    .chain(par.into_iter().map(Packet::Parity))
+                    .collect()
+            })
+            .collect();
+        Ok(apply_order(lanes, order))
+    }
+
+    /// Round-one schedule in the default interleaved order.
+    pub fn round_one_schedule(&mut self, rho: f64) -> Result<Vec<SendItem>, RseError> {
+        self.round_one_schedule_ordered(rho, SendOrder::Interleaved)
+    }
+
+    /// Schedule for a reactive round: `amax[i]` fresh parities per block.
+    pub fn reactive_schedule_ordered(
+        &mut self,
+        amax: &[usize],
+        order: SendOrder,
+    ) -> Result<Vec<SendItem>, RseError> {
+        assert_eq!(amax.len(), self.blocks.len(), "one amax entry per block");
+        let mut lanes = Vec::with_capacity(self.blocks.len());
+        for (b, &count) in amax.iter().enumerate() {
+            let pars = self.mint_parities(b, count)?;
+            lanes.push(pars.into_iter().map(Packet::Parity).collect());
+        }
+        Ok(apply_order(lanes, order))
+    }
+
+    /// Reactive schedule in the default interleaved order.
+    pub fn reactive_schedule(&mut self, amax: &[usize]) -> Result<Vec<SendItem>, RseError> {
+        self.reactive_schedule_ordered(amax, SendOrder::Interleaved)
+    }
+
+    /// The layout this message was built with.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+}
+
+/// `ceil((rho - 1) * k)` proactive parity packets per block, clamped at
+/// zero (the adaptive algorithm may drive `rho` below 1, which simply
+/// means "send no proactive parity").
+pub fn proactive_parity_count(rho: f64, k: usize) -> usize {
+    ((rho - 1.0) * k as f64).ceil().max(0.0) as usize
+}
+
+fn apply_order<T>(lanes: Vec<Vec<T>>, order: SendOrder) -> Vec<T> {
+    match order {
+        SendOrder::Interleaved => interleave(lanes),
+        SendOrder::Sequential => lanes.into_iter().flatten().collect(),
+    }
+}
+
+/// Round-robin interleave across lanes, preserving order within a lane.
+pub fn interleave<T>(lanes: Vec<Vec<T>>) -> Vec<T> {
+    let total: usize = lanes.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<T>> =
+        lanes.into_iter().map(Vec::into_iter).collect();
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        for it in iters.iter_mut() {
+            if let Some(x) = it.next() {
+                out.push(x);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wirecrypto::{SealedKey, SymKey};
+
+    fn layout() -> Layout {
+        Layout::DEFAULT
+    }
+
+    fn enc(i: u16) -> EncPacket {
+        let kek = SymKey::from_bytes([i as u8; 16]);
+        let plain = SymKey::from_bytes([(i + 1) as u8; 16]);
+        EncPacket {
+            msg_id: 3,
+            block_id: 0,
+            seq: 0,
+            duplicate: false,
+            max_kid: 100,
+            frm_id: 101 + i,
+            to_id: 101 + i,
+            entries: vec![(101 + i, SealedKey::seal(&kek, &plain, i as u64))],
+        }
+    }
+
+    fn packets(n: usize) -> Vec<EncPacket> {
+        (0..n as u16).map(enc).collect()
+    }
+
+    #[test]
+    fn exact_multiple_no_duplicates() {
+        let bs = BlockSet::new(packets(20), 5, layout());
+        assert_eq!(bs.block_count(), 4);
+        assert_eq!(bs.duplicated_count(), 0);
+        assert_eq!(bs.real_packet_count(), 20);
+        for b in 0..4 {
+            let blk = bs.block(b).unwrap();
+            assert_eq!(blk.packets.len(), 5);
+            for (s, p) in blk.packets.iter().enumerate() {
+                assert_eq!(p.block_id, b as u8);
+                assert_eq!(p.seq, s as u8);
+                assert!(!p.duplicate);
+            }
+        }
+    }
+
+    #[test]
+    fn short_last_block_duplicates_cyclically() {
+        let bs = BlockSet::new(packets(7), 5, layout());
+        assert_eq!(bs.block_count(), 2);
+        assert_eq!(bs.duplicated_count(), 3);
+        let last = bs.block(1).unwrap();
+        assert_eq!(last.packets.len(), 5);
+        // Slots 0,1 real; 2,3,4 duplicates of 0,1,0.
+        assert!(!last.packets[0].duplicate);
+        assert!(!last.packets[1].duplicate);
+        for s in 2..5 {
+            assert!(last.packets[s].duplicate);
+            assert_eq!(last.packets[s].seq, s as u8);
+            assert_eq!(
+                last.packets[s].entries,
+                last.packets[s % 2].entries,
+                "duplicate content must match its original"
+            );
+        }
+    }
+
+    #[test]
+    fn parities_decode_with_data_loss() {
+        let mut bs = BlockSet::new(packets(10), 5, layout());
+        let pars = bs.mint_parities(0, 2).unwrap();
+        // Lose data packets 0 and 3 of block 0; decode from 1,2,4 + pars.
+        let blk = bs.block(0).unwrap();
+        let mut shares: Vec<rse::Share> = [1usize, 2, 4]
+            .iter()
+            .map(|&s| rse::Share {
+                index: s,
+                data: blk.packets[s].fec_body(&layout()),
+            })
+            .collect();
+        for p in &pars {
+            shares.push(rse::Share {
+                index: 5 + p.seq as usize,
+                data: p.body.clone(),
+            });
+        }
+        let bodies = rse::decode(5, &shares).unwrap();
+        for (s, body) in bodies.iter().enumerate() {
+            let rebuilt =
+                EncPacket::from_fec_body(body, &layout(), 3, 0, s as u8).unwrap();
+            assert_eq!(rebuilt.entries, blk.packets[s].entries);
+        }
+    }
+
+    #[test]
+    fn parity_sequence_is_monotone_across_rounds() {
+        let mut bs = BlockSet::new(packets(10), 5, layout());
+        let round1 = bs.mint_parities(0, 3).unwrap();
+        let round2 = bs.mint_parities(0, 2).unwrap();
+        let seqs: Vec<u8> = round1.iter().chain(&round2).map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(bs.block(0).unwrap().parities_minted(), 5);
+    }
+
+    #[test]
+    fn proactive_count_formula() {
+        assert_eq!(proactive_parity_count(1.0, 10), 0);
+        assert_eq!(proactive_parity_count(1.2, 10), 2);
+        assert_eq!(proactive_parity_count(1.25, 10), 3); // ceil(2.5)
+        assert_eq!(proactive_parity_count(2.0, 10), 10);
+        assert_eq!(proactive_parity_count(1.05, 1), 1); // k=1: any rho>1 adds one
+        assert_eq!(proactive_parity_count(0.9, 10), 0); // rho < 1: none
+    }
+
+    #[test]
+    fn round_one_schedule_interleaves_blocks() {
+        let mut bs = BlockSet::new(packets(10), 5, layout());
+        let sched = bs.round_one_schedule(1.4).unwrap();
+        // 10 ENC + 2 parities per block * 2 blocks = 14 packets.
+        assert_eq!(sched.len(), 14);
+        // First two sends come from different blocks.
+        let bid = |p: &Packet| match p {
+            Packet::Enc(e) => e.block_id,
+            Packet::Parity(q) => q.block_id,
+            _ => panic!("unexpected packet type"),
+        };
+        assert_ne!(bid(&sched[0]), bid(&sched[1]));
+        // Adjacent same-block packets never touch while both lanes have
+        // packets left.
+        for w in sched.windows(2).take(12) {
+            assert_ne!(bid(&w[0]), bid(&w[1]));
+        }
+    }
+
+    #[test]
+    fn reactive_schedule_respects_amax() {
+        let mut bs = BlockSet::new(packets(15), 5, layout());
+        let sched = bs.reactive_schedule(&[2, 0, 1]).unwrap();
+        assert_eq!(sched.len(), 3);
+        let blocks: Vec<u8> = sched
+            .iter()
+            .map(|p| match p {
+                Packet::Parity(q) => q.block_id,
+                _ => panic!("reactive round sends only parity"),
+            })
+            .collect();
+        assert_eq!(blocks, vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn empty_message_yields_no_blocks() {
+        let mut bs = BlockSet::new(vec![], 10, layout());
+        assert_eq!(bs.block_count(), 0);
+        assert!(bs.round_one_schedule(2.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_packet_k10_is_one_block_of_duplicates() {
+        let bs = BlockSet::new(packets(1), 10, layout());
+        assert_eq!(bs.block_count(), 1);
+        assert_eq!(bs.duplicated_count(), 9);
+        let blk = bs.block(0).unwrap();
+        assert!(blk.packets[1..].iter().all(|p| p.duplicate));
+    }
+
+    #[test]
+    fn sequential_order_concatenates_blocks() {
+        let mut bs = BlockSet::new(packets(10), 5, layout());
+        let sched = bs
+            .round_one_schedule_ordered(1.4, SendOrder::Sequential)
+            .unwrap();
+        let bid = |p: &Packet| match p {
+            Packet::Enc(e) => e.block_id,
+            Packet::Parity(q) => q.block_id,
+            _ => unreachable!(),
+        };
+        // All of block 0 (5 ENC + 2 parity) before any of block 1.
+        assert!(sched[..7].iter().all(|p| bid(p) == 0));
+        assert!(sched[7..].iter().all(|p| bid(p) == 1));
+    }
+
+    #[test]
+    fn interleave_preserves_lane_order() {
+        let lanes = vec![vec![1, 4, 6], vec![2, 5], vec![3]];
+        assert_eq!(interleave(lanes), vec![1, 2, 3, 4, 5, 6]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Zero-copy packet views (the smoltcp idiom).
+//!
+//! [`wire`]'s `Repr`-style structs parse into owned values — convenient,
+//! but a server forwarding packets or a user peeking at one header field
+//! shouldn't have to materialise 46 sealed keys. These views wrap a byte
+//! buffer and expose field accessors that read (and, for mutable buffers,
+//! write) in place. `check_len` validates sizes once; accessors are then
+//! panic-free on the validated buffer.
+//!
+//! [`wire`]: crate::wire
+
+use crate::layout::{Layout, PAIR_LEN, PROTECTED_HEADER_LEN, UNPROTECTED_HEADER_LEN};
+use crate::wire::WireError;
+
+/// Zero-copy view of an ENC packet.
+#[derive(Debug, Clone)]
+pub struct EncView<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EncView<T> {
+    /// Wraps a buffer after validating its length and type tag.
+    pub fn new_checked(buffer: T, layout: &Layout) -> Result<Self, WireError> {
+        let len = buffer.as_ref().len();
+        if len != layout.enc_packet_len {
+            return Err(WireError::BadLength {
+                expected: layout.enc_packet_len,
+                got: len,
+            });
+        }
+        if buffer.as_ref()[0] >> 6 != 0 {
+            return Err(WireError::Truncated); // not an ENC tag
+        }
+        Ok(EncView { buffer })
+    }
+
+    /// Consumes the view, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Rekey message ID (6 bits).
+    pub fn msg_id(&self) -> u8 {
+        self.buffer.as_ref()[0] & 0x3f
+    }
+
+    /// Block ID.
+    pub fn block_id(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Sequence number within the block.
+    pub fn seq(&self) -> u8 {
+        self.buffer.as_ref()[2] & 0x7f
+    }
+
+    /// Last-block duplicate flag.
+    pub fn is_duplicate(&self) -> bool {
+        self.buffer.as_ref()[2] & 0x80 != 0
+    }
+
+    /// `maxKID`.
+    pub fn max_kid(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[3], b[4]])
+    }
+
+    /// First served user ID.
+    pub fn frm_id(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[5], b[6]])
+    }
+
+    /// Last served user ID (inclusive).
+    pub fn to_id(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[7], b[8]])
+    }
+
+    /// True when this packet serves user `m` — the one-field check a user
+    /// performs on every arriving packet, with no allocation.
+    pub fn serves(&self, m: u16) -> bool {
+        self.frm_id() <= m && m <= self.to_id()
+    }
+
+    /// Number of non-padding `<encryption, ID>` pairs.
+    pub fn entry_count(&self) -> usize {
+        self.entry_ids().count()
+    }
+
+    /// Iterator over the encryption IDs carried, without touching the
+    /// sealed bytes.
+    pub fn entry_ids(&self) -> impl Iterator<Item = u16> + '_ {
+        let b = self.buffer.as_ref();
+        let start = UNPROTECTED_HEADER_LEN + PROTECTED_HEADER_LEN;
+        b[start..]
+            .chunks_exact(PAIR_LEN)
+            .map(|pair| u16::from_be_bytes([pair[0], pair[1]]))
+            .take_while(|&id| id != 0)
+    }
+
+    /// Borrow of the sealed bytes for encryption `enc_id`, if present.
+    pub fn sealed_bytes(&self, enc_id: u16) -> Option<&[u8]> {
+        let b = self.buffer.as_ref();
+        let start = UNPROTECTED_HEADER_LEN + PROTECTED_HEADER_LEN;
+        for (i, pair) in b[start..].chunks_exact(PAIR_LEN).enumerate() {
+            let id = u16::from_be_bytes([pair[0], pair[1]]);
+            if id == 0 {
+                break;
+            }
+            if id == enc_id {
+                let off = start + i * PAIR_LEN + 2;
+                return Some(&b[off..off + PAIR_LEN - 2]);
+            }
+        }
+        None
+    }
+
+    /// The FEC-protected body (borrowed).
+    pub fn fec_body(&self) -> &[u8] {
+        &self.buffer.as_ref()[UNPROTECTED_HEADER_LEN..]
+    }
+}
+
+/// Zero-copy view of a PARITY packet.
+#[derive(Debug, Clone)]
+pub struct ParityView<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> ParityView<T> {
+    /// Wraps a buffer after validating its length and type tag.
+    pub fn new_checked(buffer: T, layout: &Layout) -> Result<Self, WireError> {
+        let len = buffer.as_ref().len();
+        if len != layout.enc_packet_len {
+            return Err(WireError::BadLength {
+                expected: layout.enc_packet_len,
+                got: len,
+            });
+        }
+        if buffer.as_ref()[0] >> 6 != 1 {
+            return Err(WireError::Truncated); // not a PARITY tag
+        }
+        Ok(ParityView { buffer })
+    }
+
+    /// Rekey message ID (6 bits).
+    pub fn msg_id(&self) -> u8 {
+        self.buffer.as_ref()[0] & 0x3f
+    }
+
+    /// Block ID.
+    pub fn block_id(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Parity index within the block.
+    pub fn seq(&self) -> u8 {
+        self.buffer.as_ref()[2]
+    }
+
+    /// The parity body (borrowed).
+    pub fn body(&self) -> &[u8] {
+        &self.buffer.as_ref()[UNPROTECTED_HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{EncPacket, Packet, ParityPacket};
+    use wirecrypto::{SealedKey, SymKey};
+
+    fn sample() -> EncPacket {
+        let kek = SymKey::from_bytes([5; 16]);
+        EncPacket {
+            msg_id: 21,
+            block_id: 3,
+            seq: 7,
+            duplicate: true,
+            max_kid: 1365,
+            frm_id: 1400,
+            to_id: 1450,
+            entries: vec![
+                (1400, SealedKey::seal(&kek, &SymKey::from_bytes([1; 16]), 1)),
+                (350, SealedKey::seal(&kek, &SymKey::from_bytes([2; 16]), 2)),
+            ],
+        }
+    }
+
+    #[test]
+    fn view_agrees_with_parse() {
+        let layout = Layout::DEFAULT;
+        let pkt = sample();
+        let bytes = pkt.emit(&layout);
+        let view = EncView::new_checked(&bytes[..], &layout).unwrap();
+        assert_eq!(view.msg_id(), pkt.msg_id);
+        assert_eq!(view.block_id(), pkt.block_id);
+        assert_eq!(view.seq(), pkt.seq);
+        assert!(view.is_duplicate());
+        assert_eq!(view.max_kid(), pkt.max_kid);
+        assert_eq!(view.frm_id(), pkt.frm_id);
+        assert_eq!(view.to_id(), pkt.to_id);
+        assert_eq!(view.entry_count(), 2);
+        assert!(view.serves(1425));
+        assert!(!view.serves(1399));
+        let ids: Vec<u16> = view.entry_ids().collect();
+        assert_eq!(ids, vec![1400, 350]);
+        // Sealed bytes line up with the owned parse.
+        assert_eq!(
+            view.sealed_bytes(350).unwrap(),
+            pkt.entries[1].1.as_bytes()
+        );
+        assert!(view.sealed_bytes(9999).is_none());
+        // FEC body identical to the Repr path.
+        assert_eq!(view.fec_body(), &pkt.fec_body(&layout)[..]);
+    }
+
+    #[test]
+    fn view_rejects_wrong_length_and_tag() {
+        let layout = Layout::DEFAULT;
+        let bytes = sample().emit(&layout);
+        assert!(EncView::new_checked(&bytes[..100], &layout).is_err());
+        let parity = ParityPacket {
+            msg_id: 1,
+            block_id: 0,
+            seq: 0,
+            body: vec![0; layout.fec_body_len()],
+        };
+        let pbytes = parity.emit(&layout);
+        assert!(EncView::new_checked(&pbytes[..], &layout).is_err());
+        assert!(ParityView::new_checked(&pbytes[..], &layout).is_ok());
+        assert!(ParityView::new_checked(&bytes[..], &layout).is_err());
+    }
+
+    #[test]
+    fn parity_view_fields() {
+        let layout = Layout::DEFAULT;
+        let parity = ParityPacket {
+            msg_id: 9,
+            block_id: 4,
+            seq: 200,
+            body: vec![0xCD; layout.fec_body_len()],
+        };
+        let bytes = parity.emit(&layout);
+        let view = ParityView::new_checked(&bytes[..], &layout).unwrap();
+        assert_eq!(view.msg_id(), 9);
+        assert_eq!(view.block_id(), 4);
+        assert_eq!(view.seq(), 200);
+        assert_eq!(view.body(), &parity.body[..]);
+        // Round trip through the owned parser agrees.
+        match Packet::parse(&bytes, &layout).unwrap() {
+            Packet::Parity(p) => assert_eq!(p, parity),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn owned_buffer_views_work() {
+        let layout = Layout::DEFAULT;
+        let bytes = sample().emit(&layout);
+        let view = EncView::new_checked(bytes.clone(), &layout).unwrap();
+        assert_eq!(view.entry_count(), 2);
+        assert_eq!(view.into_inner(), bytes);
+    }
+}

@@ -1,0 +1,580 @@
+//! Byte-level wire formats for the four protocol packet types.
+//!
+//! Following the smoltcp idiom, each packet type has a plain `Repr`-style
+//! struct with `emit` (serialise into exact wire bytes) and `parse`
+//! (validate + decode). `ENC`/`PARITY` packets always emit exactly
+//! [`Layout::enc_packet_len`] bytes; `USR`/`NACK` packets are variable
+//! length.
+
+use wirecrypto::{SealedKey, SEALED_KEY_LEN};
+
+use crate::layout::{Layout, PAIR_LEN, PROTECTED_HEADER_LEN, UNPROTECTED_HEADER_LEN};
+
+/// Packet type discriminator (2 bits on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum PacketType {
+    Enc = 0,
+    Parity = 1,
+    Usr = 2,
+    Nack = 3,
+}
+
+/// Wire parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than any packet header.
+    Truncated,
+    /// An ENC/PARITY packet whose length disagrees with the layout.
+    BadLength {
+        /// Expected number of bytes.
+        expected: usize,
+        /// Received number of bytes.
+        got: usize,
+    },
+    /// A list field would overrun the packet.
+    Overrun,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "packet shorter than its header"),
+            WireError::BadLength { expected, got } => {
+                write!(f, "fixed-size packet of {got} bytes, expected {expected}")
+            }
+            WireError::Overrun => write!(f, "list field overruns packet"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An `ENC` packet: a run of `<encryption, ID>` pairs for a contiguous
+/// range of user IDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncPacket {
+    /// Rekey message ID (6 bits on the wire).
+    pub msg_id: u8,
+    /// FEC block this packet belongs to.
+    pub block_id: u8,
+    /// Sequence number within the block (`0..k`).
+    pub seq: u8,
+    /// True for a last-block duplicate (used in FEC decoding but not in
+    /// block-ID estimation). Carried in the top bit of the seq byte.
+    pub duplicate: bool,
+    /// Maximum current k-node ID (`maxKID`): lets each user rederive its
+    /// own u-node ID via Theorem 4.2.
+    pub max_kid: u16,
+    /// This packet serves users with IDs in `frm_id ..= to_id`.
+    pub frm_id: u16,
+    /// Inclusive upper end of the served user-ID range.
+    pub to_id: u16,
+    /// `(encryption id, sealed key)` pairs. The encryption ID is the node
+    /// ID of the encrypting (child) key; it is never zero, which is what
+    /// makes zero padding unambiguous.
+    pub entries: Vec<(u16, SealedKey)>,
+}
+
+impl EncPacket {
+    /// Serialises to exactly `layout.enc_packet_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more entries than the layout admits, if an
+    /// entry has ID zero, or if `msg_id` exceeds 6 bits — all builder bugs.
+    pub fn emit(&self, layout: &Layout) -> Vec<u8> {
+        assert!(self.msg_id < 64, "msg_id is a 6-bit field");
+        assert!(self.seq < 128, "seq 7 bits (top bit is the duplicate flag)");
+        assert!(
+            self.entries.len() <= layout.encryptions_per_packet(),
+            "{} entries exceed packet capacity {}",
+            self.entries.len(),
+            layout.encryptions_per_packet()
+        );
+        let mut out = Vec::with_capacity(layout.enc_packet_len);
+        out.push((PacketType::Enc as u8) << 6 | self.msg_id);
+        out.push(self.block_id);
+        out.push(self.seq | if self.duplicate { 0x80 } else { 0 });
+        out.extend_from_slice(&self.max_kid.to_be_bytes());
+        out.extend_from_slice(&self.frm_id.to_be_bytes());
+        out.extend_from_slice(&self.to_id.to_be_bytes());
+        for (id, sealed) in &self.entries {
+            assert_ne!(*id, 0, "encryption ID zero is reserved for padding");
+            out.extend_from_slice(&id.to_be_bytes());
+            out.extend_from_slice(sealed.as_bytes());
+        }
+        out.resize(layout.enc_packet_len, 0);
+        out
+    }
+
+    /// The FEC-protected body: everything after the 3 unprotected header
+    /// bytes. All ENC packets of a message have equal-length bodies.
+    pub fn fec_body(&self, layout: &Layout) -> Vec<u8> {
+        self.emit(layout)[UNPROTECTED_HEADER_LEN..].to_vec()
+    }
+
+    fn parse(bytes: &[u8], layout: &Layout) -> Result<Self, WireError> {
+        if bytes.len() != layout.enc_packet_len {
+            return Err(WireError::BadLength {
+                expected: layout.enc_packet_len,
+                got: bytes.len(),
+            });
+        }
+        let msg_id = bytes[0] & 0x3f;
+        let block_id = bytes[1];
+        let duplicate = bytes[2] & 0x80 != 0;
+        let seq = bytes[2] & 0x7f;
+        let max_kid = u16::from_be_bytes([bytes[3], bytes[4]]);
+        let frm_id = u16::from_be_bytes([bytes[5], bytes[6]]);
+        let to_id = u16::from_be_bytes([bytes[7], bytes[8]]);
+        let mut entries = Vec::new();
+        let mut off = UNPROTECTED_HEADER_LEN + PROTECTED_HEADER_LEN;
+        while off + PAIR_LEN <= bytes.len() {
+            let id = u16::from_be_bytes([bytes[off], bytes[off + 1]]);
+            if id == 0 {
+                break; // padding reached
+            }
+            let sealed = SealedKey::from_slice(&bytes[off + 2..off + PAIR_LEN])
+                .expect("slice is SEALED_KEY_LEN by construction");
+            entries.push((id, sealed));
+            off += PAIR_LEN;
+        }
+        Ok(EncPacket {
+            msg_id,
+            block_id,
+            seq,
+            duplicate,
+            max_kid,
+            frm_id,
+            to_id,
+            entries,
+        })
+    }
+
+    /// Reconstructs an ENC packet from a FEC-decoded body (the packet's
+    /// unprotected header is re-synthesised from the known block/seq).
+    pub fn from_fec_body(
+        body: &[u8],
+        layout: &Layout,
+        msg_id: u8,
+        block_id: u8,
+        seq: u8,
+    ) -> Result<Self, WireError> {
+        if body.len() != layout.fec_body_len() {
+            return Err(WireError::BadLength {
+                expected: layout.fec_body_len(),
+                got: body.len(),
+            });
+        }
+        let mut bytes = Vec::with_capacity(layout.enc_packet_len);
+        bytes.push((PacketType::Enc as u8) << 6 | (msg_id & 0x3f));
+        bytes.push(block_id);
+        bytes.push(seq & 0x7f);
+        bytes.extend_from_slice(body);
+        Self::parse(&bytes, layout)
+    }
+
+    /// The sealed encryption for a given encryption (child-node) ID, if
+    /// this packet carries it.
+    pub fn entry(&self, enc_id: u16) -> Option<&SealedKey> {
+        self.entries
+            .iter()
+            .find(|(id, _)| *id == enc_id)
+            .map(|(_, s)| s)
+    }
+
+    /// True when this packet serves user ID `m`.
+    pub fn serves(&self, m: u16) -> bool {
+        self.frm_id <= m && m <= self.to_id
+    }
+}
+
+/// A `PARITY` packet: Reed–Solomon parity over the FEC bodies of one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityPacket {
+    /// Rekey message ID (6 bits).
+    pub msg_id: u8,
+    /// Block this parity belongs to.
+    pub block_id: u8,
+    /// Parity index within the block (share index is `k + seq`). Grows
+    /// monotonically across rounds so reactive parities are always fresh.
+    pub seq: u8,
+    /// Parity bytes over the block's ENC bodies.
+    pub body: Vec<u8>,
+}
+
+impl ParityPacket {
+    /// Serialises to exactly `layout.enc_packet_len` bytes.
+    pub fn emit(&self, layout: &Layout) -> Vec<u8> {
+        assert!(self.msg_id < 64);
+        assert_eq!(self.body.len(), layout.fec_body_len(), "parity body length");
+        let mut out = Vec::with_capacity(layout.enc_packet_len);
+        out.push((PacketType::Parity as u8) << 6 | self.msg_id);
+        out.push(self.block_id);
+        out.push(self.seq);
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    fn parse(bytes: &[u8], layout: &Layout) -> Result<Self, WireError> {
+        if bytes.len() != layout.enc_packet_len {
+            return Err(WireError::BadLength {
+                expected: layout.enc_packet_len,
+                got: bytes.len(),
+            });
+        }
+        Ok(ParityPacket {
+            msg_id: bytes[0] & 0x3f,
+            block_id: bytes[1],
+            seq: bytes[2],
+            body: bytes[UNPROTECTED_HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+/// A `USR` packet: one user's encryptions, unicast. Encryption IDs are
+/// omitted; sealed keys are ordered by increasing encryption ID and the
+/// user matches them against its own path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsrPacket {
+    /// Rekey message ID (6 bits).
+    pub msg_id: u8,
+    /// The user's (possibly new) u-node ID, so a moved user learns it
+    /// directly.
+    pub new_user_id: u16,
+    /// Sealed encryptions in increasing encryption-ID order.
+    pub sealed: Vec<SealedKey>,
+}
+
+impl UsrPacket {
+    /// Serialises; length is `3 + 20 * n`.
+    pub fn emit(&self) -> Vec<u8> {
+        assert!(self.msg_id < 64);
+        let mut out = Vec::with_capacity(3 + SEALED_KEY_LEN * self.sealed.len());
+        out.push((PacketType::Usr as u8) << 6 | self.msg_id);
+        out.extend_from_slice(&self.new_user_id.to_be_bytes());
+        for s in &self.sealed {
+            out.extend_from_slice(s.as_bytes());
+        }
+        out
+    }
+
+    fn parse(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < 3 {
+            return Err(WireError::Truncated);
+        }
+        if !(bytes.len() - 3).is_multiple_of(SEALED_KEY_LEN) {
+            return Err(WireError::Overrun);
+        }
+        let sealed = bytes[3..]
+            .chunks_exact(SEALED_KEY_LEN)
+            .map(|c| SealedKey::from_slice(c).expect("chunk is SEALED_KEY_LEN"))
+            .collect();
+        Ok(UsrPacket {
+            msg_id: bytes[0] & 0x3f,
+            new_user_id: u16::from_be_bytes([bytes[1], bytes[2]]),
+            sealed,
+        })
+    }
+}
+
+/// One per-block request inside a NACK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NackRequest {
+    /// Number of additional PARITY packets needed to decode the block
+    /// (`k` minus packets received).
+    pub count: u8,
+    /// The block being requested.
+    pub block_id: u8,
+}
+
+/// A `NACK` packet: feedback from a user that could not recover its block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NackPacket {
+    /// Rekey message ID (6 bits).
+    pub msg_id: u8,
+    /// Per-block parity requests (a range of blocks when the user could
+    /// not pin down its block ID exactly).
+    pub requests: Vec<NackRequest>,
+}
+
+impl NackPacket {
+    /// Serialises; length is `1 + 2 * n`.
+    pub fn emit(&self) -> Vec<u8> {
+        assert!(self.msg_id < 64);
+        let mut out = Vec::with_capacity(1 + 2 * self.requests.len());
+        out.push((PacketType::Nack as u8) << 6 | self.msg_id);
+        for r in &self.requests {
+            out.push(r.count);
+            out.push(r.block_id);
+        }
+        out
+    }
+
+    fn parse(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        if !(bytes.len() - 1).is_multiple_of(2) {
+            return Err(WireError::Overrun);
+        }
+        let requests = bytes[1..]
+            .chunks_exact(2)
+            .map(|c| NackRequest {
+                count: c[0],
+                block_id: c[1],
+            })
+            .collect();
+        Ok(NackPacket {
+            msg_id: bytes[0] & 0x3f,
+            requests,
+        })
+    }
+}
+
+/// Any protocol packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Multicast encryptions.
+    Enc(EncPacket),
+    /// Multicast FEC parity.
+    Parity(ParityPacket),
+    /// Unicast per-user keys.
+    Usr(UsrPacket),
+    /// User feedback.
+    Nack(NackPacket),
+}
+
+impl Packet {
+    /// Parses any packet by its 2-bit type tag.
+    pub fn parse(bytes: &[u8], layout: &Layout) -> Result<Self, WireError> {
+        if bytes.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        match bytes[0] >> 6 {
+            0 => EncPacket::parse(bytes, layout).map(Packet::Enc),
+            1 => ParityPacket::parse(bytes, layout).map(Packet::Parity),
+            2 => UsrPacket::parse(bytes).map(Packet::Usr),
+            _ => NackPacket::parse(bytes).map(Packet::Nack),
+        }
+    }
+
+    /// Serialises any packet.
+    pub fn emit(&self, layout: &Layout) -> Vec<u8> {
+        match self {
+            Packet::Enc(p) => p.emit(layout),
+            Packet::Parity(p) => p.emit(layout),
+            Packet::Usr(p) => p.emit(),
+            Packet::Nack(p) => p.emit(),
+        }
+    }
+
+    /// Wire length under `layout`.
+    pub fn wire_len(&self, layout: &Layout) -> usize {
+        match self {
+            Packet::Enc(_) | Packet::Parity(_) => layout.enc_packet_len,
+            Packet::Usr(p) => 3 + SEALED_KEY_LEN * p.sealed.len(),
+            Packet::Nack(p) => 1 + 2 * p.requests.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wirecrypto::SymKey;
+
+    fn layout() -> Layout {
+        Layout::DEFAULT
+    }
+
+    fn sealed(tag: u8) -> SealedKey {
+        let kek = SymKey::from_bytes([tag; 16]);
+        let plain = SymKey::from_bytes([tag.wrapping_add(1); 16]);
+        SealedKey::seal(&kek, &plain, tag as u64)
+    }
+
+    fn sample_enc() -> EncPacket {
+        EncPacket {
+            msg_id: 13,
+            block_id: 2,
+            seq: 5,
+            duplicate: false,
+            max_kid: 1365,
+            frm_id: 1366,
+            to_id: 1412,
+            entries: vec![(1366, sealed(1)), (341, sealed(2)), (85, sealed(3))],
+        }
+    }
+
+    #[test]
+    fn enc_round_trip() {
+        let p = sample_enc();
+        let bytes = p.emit(&layout());
+        assert_eq!(bytes.len(), 1027);
+        match Packet::parse(&bytes, &layout()).unwrap() {
+            Packet::Enc(q) => assert_eq!(q, p),
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enc_duplicate_flag_round_trip() {
+        let mut p = sample_enc();
+        p.duplicate = true;
+        let bytes = p.emit(&layout());
+        match Packet::parse(&bytes, &layout()).unwrap() {
+            Packet::Enc(q) => {
+                assert!(q.duplicate);
+                assert_eq!(q.seq, p.seq);
+            }
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enc_full_capacity_round_trip() {
+        let mut p = sample_enc();
+        p.entries = (1..=46u16).map(|i| (i, sealed(i as u8))).collect();
+        let bytes = p.emit(&layout());
+        assert_eq!(bytes.len(), 1027);
+        match Packet::parse(&bytes, &layout()).unwrap() {
+            Packet::Enc(q) => assert_eq!(q.entries.len(), 46),
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed packet capacity")]
+    fn enc_overfull_panics() {
+        let mut p = sample_enc();
+        p.entries = (1..=47u16).map(|i| (i, sealed(i as u8))).collect();
+        let _ = p.emit(&layout());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for padding")]
+    fn enc_id_zero_rejected() {
+        let mut p = sample_enc();
+        p.entries.push((0, sealed(9)));
+        let _ = p.emit(&layout());
+    }
+
+    #[test]
+    fn fec_body_reconstruction() {
+        let p = sample_enc();
+        let body = p.fec_body(&layout());
+        assert_eq!(body.len(), 1024);
+        let q = EncPacket::from_fec_body(&body, &layout(), p.msg_id, p.block_id, p.seq).unwrap();
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn parity_round_trip() {
+        let p = ParityPacket {
+            msg_id: 63,
+            block_id: 9,
+            seq: 200,
+            body: vec![0xAB; layout().fec_body_len()],
+        };
+        let bytes = p.emit(&layout());
+        assert_eq!(bytes.len(), 1027);
+        match Packet::parse(&bytes, &layout()).unwrap() {
+            Packet::Parity(q) => assert_eq!(q, p),
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn usr_round_trip_and_length() {
+        let p = UsrPacket {
+            msg_id: 1,
+            new_user_id: 4000,
+            sealed: vec![sealed(1), sealed(2), sealed(3)],
+        };
+        let bytes = p.emit();
+        assert_eq!(bytes.len(), 3 + 20 * 3, "the paper's 3 + 20h bound");
+        match Packet::parse(&bytes, &layout()).unwrap() {
+            Packet::Usr(q) => assert_eq!(q, p),
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nack_round_trip() {
+        let p = NackPacket {
+            msg_id: 7,
+            requests: vec![
+                NackRequest {
+                    count: 2,
+                    block_id: 1,
+                },
+                NackRequest {
+                    count: 4,
+                    block_id: 2,
+                },
+            ],
+        };
+        let bytes = p.emit();
+        assert_eq!(bytes.len(), 5);
+        match Packet::parse(&bytes, &layout()).unwrap() {
+            Packet::Nack(q) => assert_eq!(q, p),
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(
+            Packet::parse(&[], &layout()),
+            Err(WireError::Truncated)
+        );
+        // ENC with wrong length.
+        let enc = sample_enc().emit(&layout());
+        assert!(matches!(
+            Packet::parse(&enc[..100], &layout()),
+            Err(WireError::BadLength { .. })
+        ));
+        // USR with a ragged tail.
+        let usr = UsrPacket {
+            msg_id: 0,
+            new_user_id: 0,
+            sealed: vec![sealed(0)],
+        }
+        .emit();
+        assert_eq!(
+            Packet::parse(&usr[..usr.len() - 1], &layout()),
+            Err(WireError::Overrun)
+        );
+    }
+
+    #[test]
+    fn serves_range() {
+        let p = sample_enc();
+        assert!(p.serves(1366));
+        assert!(p.serves(1412));
+        assert!(!p.serves(1365));
+        assert!(!p.serves(1413));
+    }
+
+    #[test]
+    fn entry_lookup() {
+        let p = sample_enc();
+        assert!(p.entry(341).is_some());
+        assert!(p.entry(999).is_none());
+    }
+
+    #[test]
+    fn padding_is_unambiguous() {
+        // A packet with fewer entries than capacity parses back exactly,
+        // with the zero padding dropped.
+        let mut p = sample_enc();
+        p.entries.truncate(1);
+        let bytes = p.emit(&layout());
+        match Packet::parse(&bytes, &layout()).unwrap() {
+            Packet::Enc(q) => assert_eq!(q.entries.len(), 1),
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+}

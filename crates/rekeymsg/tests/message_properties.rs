@@ -1,0 +1,199 @@
+//! Property-based tests spanning the rekey-message pipeline: UKA packing
+//! guarantees, wire round-trips, block partitioning, and the block-ID
+//! estimator's bracketing guarantee under arbitrary loss patterns.
+
+use std::collections::HashSet;
+
+use keytree::{Batch, KeyTree, MemberId};
+use proptest::prelude::*;
+use rekeymsg::estimate::BlockIdEstimator;
+use rekeymsg::{assign, BlockSet, Layout, Packet, UkaAssignment};
+use wirecrypto::{KeyGen, SymKey};
+
+/// A random single-interval workload on a balanced tree.
+fn workload() -> impl Strategy<Value = (u32, u32, Vec<u32>, u32, u64)> {
+    // (n, degree, leaver seeds, joins, keygen seed)
+    (
+        4u32..300,
+        prop::sample::select(vec![2u32, 3, 4]),
+        proptest::collection::vec(any::<u32>(), 0..40),
+        0u32..40,
+        any::<u64>(),
+    )
+}
+
+fn build(
+    n: u32,
+    degree: u32,
+    leaver_seeds: &[u32],
+    joins: u32,
+    seed: u64,
+) -> (KeyTree, keytree::MarkOutcome) {
+    let mut kg = KeyGen::from_seed(seed);
+    let mut tree = KeyTree::balanced(n, degree, &mut kg);
+    let mut leavers: Vec<MemberId> = leaver_seeds.iter().map(|s| s % n).collect();
+    leavers.sort_unstable();
+    leavers.dedup();
+    let join_list: Vec<(MemberId, SymKey)> =
+        (0..joins).map(|i| (n + i, kg.next_key())).collect();
+    let outcome = tree.process_batch(&Batch::new(join_list, leavers), &mut kg);
+    (tree, outcome)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// UKA: every user with needs appears in exactly one packet, that
+    /// packet contains all of its encryptions, and packet ranges strictly
+    /// increase.
+    #[test]
+    fn uka_guarantees((n, d, leavers, joins, seed) in workload()) {
+        let (tree, outcome) = build(n, d, &leavers, joins, seed);
+        let layout = Layout::DEFAULT;
+        let plans = assign::plan(&tree, &outcome, &layout);
+
+        let mut seen_users = HashSet::new();
+        let mut last_to: Option<u32> = None;
+        for p in &plans {
+            prop_assert!(p.frm_id <= p.to_id);
+            if let Some(prev) = last_to {
+                prop_assert!(prev < p.frm_id, "ranges overlap");
+            }
+            last_to = Some(p.to_id);
+            prop_assert!(p.enc_indices.len() <= layout.encryptions_per_packet());
+            let have: HashSet<usize> = p.enc_indices.iter().copied().collect();
+            for &u in &p.users {
+                prop_assert!(seen_users.insert(u), "user {} twice", u);
+                for idx in outcome.encryptions_for_user(u, d) {
+                    prop_assert!(have.contains(&idx), "user {} missing enc {}", u, idx);
+                }
+            }
+        }
+        for uid in tree.user_ids() {
+            let needs = outcome.encryptions_for_user(uid, d);
+            prop_assert_eq!(seen_users.contains(&uid), !needs.is_empty());
+        }
+    }
+
+    /// Sealed assignment: every ENC packet survives an emit/parse wire
+    /// round-trip bit-exactly.
+    #[test]
+    fn enc_wire_round_trip((n, d, leavers, joins, seed) in workload()) {
+        let (tree, outcome) = build(n, d, &leavers, joins, seed);
+        let layout = Layout::DEFAULT;
+        let built = UkaAssignment::build(&tree, &outcome, seed % 1000, &layout);
+        for pkt in &built.packets {
+            let bytes = pkt.emit(&layout);
+            prop_assert_eq!(bytes.len(), layout.enc_packet_len);
+            match Packet::parse(&bytes, &layout) {
+                Ok(Packet::Enc(parsed)) => prop_assert_eq!(&parsed, pkt),
+                other => prop_assert!(false, "parse failed: {:?}", other),
+            }
+        }
+    }
+
+    /// Block partitioning: every packet appears exactly once as a
+    /// non-duplicate, block sizes are exactly k, and FEC bodies of
+    /// duplicates equal their originals.
+    #[test]
+    fn block_partition_structure(
+        (n, d, leavers, joins, seed) in workload(),
+        k in 1usize..25,
+    ) {
+        let (tree, outcome) = build(n, d, &leavers, joins, seed);
+        let layout = Layout::DEFAULT;
+        let built = UkaAssignment::build(&tree, &outcome, 5, &layout);
+        let n_real = built.packets.len();
+        prop_assume!(n_real > 0 && n_real.div_ceil(k) <= 256);
+        let bs = BlockSet::new(built.packets.clone(), k, layout);
+
+        prop_assert_eq!(bs.real_packet_count(), n_real);
+        prop_assert_eq!(bs.block_count(), n_real.div_ceil(k));
+        prop_assert_eq!(
+            bs.duplicated_count(),
+            bs.block_count() * k - n_real
+        );
+        let mut real_seen = 0;
+        for b in 0..bs.block_count() {
+            let blk = bs.block(b).unwrap();
+            prop_assert_eq!(blk.packets.len(), k);
+            for (s, p) in blk.packets.iter().enumerate() {
+                prop_assert_eq!(p.block_id as usize, b);
+                prop_assert_eq!(p.seq as usize, s);
+                if !p.duplicate {
+                    real_seen += 1;
+                    prop_assert_eq!(&p.entries, &built.packets[b * k + s].entries);
+                }
+            }
+        }
+        prop_assert_eq!(real_seen, n_real);
+    }
+
+    /// Estimator bracketing: for any loss pattern over a real message,
+    /// the surviving-packet estimate always contains the true block of
+    /// every user's specific packet.
+    #[test]
+    fn estimator_always_brackets_truth(
+        (n, d, leavers, joins, seed) in workload(),
+        k in 1usize..12,
+        pattern in any::<u64>(),
+    ) {
+        let (tree, outcome) = build(n, d, &leavers, joins, seed);
+        let layout = Layout::DEFAULT;
+        let built = UkaAssignment::build(&tree, &outcome, 3, &layout);
+        prop_assume!(built.packets.len() > 1 && built.packets.len().div_ceil(k) <= 256);
+        let bs = BlockSet::new(built.packets.clone(), k, layout);
+
+        for (&uid, &pi) in built.packet_of_user.iter().take(20) {
+            let true_block = (pi / k) as u32;
+            let mut est = BlockIdEstimator::new(uid as u16, k, d);
+            let mut bit = 0u32;
+            for b in 0..bs.block_count() {
+                for pkt in &bs.block(b).unwrap().packets {
+                    // Skip the user's own packet (it "lost" it) and apply
+                    // the pseudo-random loss pattern to the rest.
+                    let received = (pattern >> (bit % 64)) & 1 == 1;
+                    bit += 1;
+                    if pkt.serves(uid as u16) {
+                        continue;
+                    }
+                    if received {
+                        est.observe(pkt);
+                    }
+                }
+            }
+            prop_assert!(est.low() <= true_block,
+                "user {}: low {} > true {}", uid, est.low(), true_block);
+            if let Some((lo, hi)) = est.range() {
+                prop_assert!(lo <= true_block && true_block <= hi,
+                    "user {}: ({}, {}) excludes {}", uid, lo, hi, true_block);
+            }
+        }
+    }
+
+    /// USR packets for every member unseal to exactly the keys the tree
+    /// holds on that member's path.
+    #[test]
+    fn usr_packets_complete((n, d, leavers, joins, seed) in workload()) {
+        let (tree, outcome) = build(n, d, &leavers, joins, seed);
+        prop_assume!(!outcome.encryptions.is_empty());
+        let msg_seq = 77;
+        for m in tree.member_ids().into_iter().take(10) {
+            let usr = rekeymsg::build_usr_packet(&tree, &outcome, m, msg_seq)
+                .expect("live member");
+            let uid = tree.node_of_member(m).unwrap();
+            prop_assert_eq!(usr.new_user_id as u32, uid);
+            prop_assert_eq!(
+                usr.sealed.len(),
+                outcome.encryptions_for_user(uid, d).len()
+            );
+            // Wire round trip.
+            let layout = Layout::DEFAULT;
+            let bytes = Packet::Usr(usr.clone()).emit(&layout);
+            match Packet::parse(&bytes, &layout) {
+                Ok(Packet::Usr(q)) => prop_assert_eq!(q, usr),
+                other => prop_assert!(false, "usr parse failed: {:?}", other),
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The `AdjustRho` algorithm (Figure 11) and `numNACK` heuristics.
+
+/// Parameters of the adaptation.
+#[derive(Debug, Clone, Copy)]
+pub struct AdjustConfig {
+    /// FEC block size `k`.
+    pub k: usize,
+    /// Target number of first-round NACKs (`numNACK`).
+    pub num_nack: usize,
+}
+
+/// One step of `AdjustRho`: given the list `A` of per-user parity demands
+/// from the *first* round of the current message, returns the proactivity
+/// factor for the next message.
+///
+/// `rand01` supplies the uniform draw for the probabilistic decrease; the
+/// caller owns the RNG so whole simulations stay deterministic.
+pub fn adjust_rho(
+    a: &[usize],
+    rho: f64,
+    cfg: AdjustConfig,
+    rand01: impl FnOnce() -> f64,
+) -> f64 {
+    let k = cfg.k as f64;
+    let n = a.len();
+    if n > cfg.num_nack {
+        // Too many NACKs: raise rho so that the (numNACK+1)-th most
+        // demanding user would have been satisfied proactively.
+        let mut sorted: Vec<usize> = a.to_vec();
+        sorted.sort_unstable_by(|x, y| y.cmp(x));
+        let a_target = sorted[cfg.num_nack] as f64;
+        (a_target + (k * rho).ceil()) / k
+    } else if n < cfg.num_nack {
+        // Fewer NACKs than targeted: probabilistically shave one packet.
+        let p = ((cfg.num_nack as f64 - 2.0 * n as f64) / cfg.num_nack as f64).max(0.0);
+        if p > 0.0 && rand01() < p {
+            ((k * rho - 1.0).ceil() / k).max(0.0)
+        } else {
+            rho
+        }
+    } else {
+        rho
+    }
+}
+
+/// The `numNACK` deadline heuristics: grow by one (up to `max_nack`) when
+/// every user met the deadline; shrink by the number of users that missed.
+pub fn update_num_nack(num_nack: usize, missed: usize, max_nack: usize) -> usize {
+    if missed == 0 {
+        (num_nack + 1).min(max_nack)
+    } else {
+        num_nack.saturating_sub(missed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: AdjustConfig = AdjustConfig {
+        k: 10,
+        num_nack: 2,
+    };
+
+    #[test]
+    fn too_many_nacks_raises_rho_by_selected_demand() {
+        // Paper's example: 10 users request a0 >= a1 >= ... >= a9,
+        // numNACK = 2 -> next message sends a2 extra parities per block.
+        let a = vec![9, 8, 5, 4, 4, 3, 2, 2, 1, 1];
+        let rho = adjust_rho(&a, 1.0, CFG, || 0.5);
+        // a_target = 5 (third largest), ceil(10 * 1.0) = 10 -> 15/10.
+        assert!((rho - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raise_is_insensitive_to_input_order() {
+        let sorted = vec![9, 8, 5, 4, 3];
+        let mut shuffled = sorted.clone();
+        shuffled.swap(0, 4);
+        shuffled.swap(1, 3);
+        assert_eq!(
+            adjust_rho(&sorted, 1.2, CFG, || 0.0),
+            adjust_rho(&shuffled, 1.2, CFG, || 0.0)
+        );
+    }
+
+    #[test]
+    fn exact_target_leaves_rho_alone() {
+        let a = vec![4, 2];
+        assert_eq!(adjust_rho(&a, 1.7, CFG, || 0.0), 1.7);
+    }
+
+    #[test]
+    fn under_target_decreases_with_probability() {
+        // size(A) = 0, numNACK = 2 -> probability (2 - 0)/2 = 1.
+        let rho = adjust_rho(&[], 1.5, CFG, || 0.999);
+        // ceil(10 * 1.5 - 1)/10 = 14/10.
+        assert!((rho - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_target_probability_formula() {
+        // size(A) = 1, numNACK = 10 -> p = (10 - 2)/10 = 0.8.
+        let cfg = AdjustConfig {
+            k: 10,
+            num_nack: 10,
+        };
+        // Draw below p: decrease.
+        let dec = adjust_rho(&[1], 2.0, cfg, || 0.79);
+        assert!((dec - 1.9).abs() < 1e-12);
+        // Draw above p: unchanged.
+        let keep = adjust_rho(&[1], 2.0, cfg, || 0.81);
+        assert_eq!(keep, 2.0);
+    }
+
+    #[test]
+    fn no_decrease_when_half_target_reached() {
+        // size(A) * 2 >= numNACK -> probability clamps to 0.
+        let cfg = AdjustConfig {
+            k: 10,
+            num_nack: 4,
+        };
+        assert_eq!(adjust_rho(&[1, 1], 1.5, cfg, || 0.0), 1.5);
+        assert_eq!(adjust_rho(&[1, 1, 1], 1.5, cfg, || 0.0), 1.5);
+    }
+
+    #[test]
+    fn rho_floors_at_zero() {
+        let rho = adjust_rho(&[], 0.05, CFG, || 0.0);
+        assert!(rho >= 0.0);
+    }
+
+    #[test]
+    fn repeated_decreases_step_one_packet() {
+        let mut rho = 2.0;
+        for step in 0..10 {
+            rho = adjust_rho(&[], rho, CFG, || 0.0);
+            let expect = (20.0 - (step + 1) as f64) / 10.0;
+            assert!((rho - expect).abs() < 1e-9, "step {step}: {rho}");
+        }
+    }
+
+    #[test]
+    fn num_nack_heuristics() {
+        assert_eq!(update_num_nack(20, 0, 100), 21);
+        assert_eq!(update_num_nack(100, 0, 100), 100); // capped
+        assert_eq!(update_num_nack(20, 5, 100), 15);
+        assert_eq!(update_num_nack(3, 10, 100), 0); // floored
+    }
+}

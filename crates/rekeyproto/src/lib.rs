@@ -1,0 +1,44 @@
+//! Server and user protocol state machines for reliable group rekeying.
+//!
+//! This crate is **sans-I/O**: the state machines consume packets and emit
+//! packets/decisions, and a driver (the `grouprekey` crate) moves bytes
+//! over a real or simulated network. The machines implement the paper's
+//! Figures 2, 3, 11, 22, 26 and 27:
+//!
+//! * [`ServerController`] — cross-message state: the proactivity factor
+//!   `rho` and the NACK target `numNACK`, with the `AdjustRho` adaptation
+//!   (Figure 11) and the `numNACK` deadline heuristics.
+//! * [`ServerSession`] — one rekey message at the server: round-one
+//!   multicast schedule (ENC + proactive PARITY, interleaved), NACK
+//!   aggregation into `amax[i]`, reactive rounds, the multicast→unicast
+//!   switch rule, and escalating USR duplication (Figure 22).
+//! * [`UserSession`] — one rekey message at a user: ID rederivation from
+//!   `maxKID` (Theorem 4.2), packet collection, FEC decoding, block-ID
+//!   estimation for lost specific packets, and NACK construction.
+
+//! # Example
+//!
+//! ```
+//! use rekeyproto::{RoundDecision, ServerConfig, ServerController};
+//!
+//! let controller = ServerController::new(ServerConfig::default());
+//! // An empty rekey message completes immediately.
+//! let mut session = controller.begin_message(vec![], 100);
+//! assert!(session.start().is_empty());
+//! assert_eq!(session.end_of_round(), RoundDecision::Done);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adjust;
+mod server;
+pub mod timing;
+mod user;
+
+pub use adjust::{adjust_rho, update_num_nack, AdjustConfig};
+pub use server::{
+    RoundDecision, ServerConfig, ServerController, ServerSession, ServerStats, UnicastSend,
+};
+pub use timing::RoundTimer;
+pub use user::{UserOutcome, UserSession};

@@ -1,0 +1,112 @@
+//! Round-duration adaptation (Section 7.1).
+//!
+//! The duration of a multicast round is not fixed: the server sizes it so
+//! that all users are *expected* to meet the rekey-interval deadline. If
+//! some users missed the deadline in the previous message, the round
+//! shrinks by the missing time; otherwise it grows back by a small
+//! increment (trading fewer spurious NACKs against deadline slack).
+
+/// Adaptive round-duration controller.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundTimer {
+    duration_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+    grow_ms: f64,
+}
+
+impl RoundTimer {
+    /// Creates a timer.
+    ///
+    /// * `initial_ms` — starting round duration (>= `min_ms`); typically
+    ///   `max RTT` plus the transmission time of one round's packets.
+    /// * `min_ms` — floor; a round can never undercut the largest RTT or
+    ///   users' NACKs would arrive after the timeout.
+    /// * `max_ms` — ceiling (e.g. rekey interval / expected rounds).
+    /// * `grow_ms` — the "small value" added after an all-met message.
+    pub fn new(initial_ms: f64, min_ms: f64, max_ms: f64, grow_ms: f64) -> Self {
+        assert!(min_ms > 0.0 && min_ms <= max_ms);
+        assert!(grow_ms >= 0.0);
+        RoundTimer {
+            duration_ms: initial_ms.clamp(min_ms, max_ms),
+            min_ms,
+            max_ms,
+            grow_ms,
+        }
+    }
+
+    /// Current round duration in milliseconds.
+    pub fn duration_ms(&self) -> f64 {
+        self.duration_ms
+    }
+
+    /// Feedback after a rekey message: `missing_ms` is how far past the
+    /// deadline the last user finished (zero when everyone met it).
+    pub fn feedback(&mut self, missing_ms: f64) {
+        if missing_ms > 0.0 {
+            self.duration_ms = (self.duration_ms - missing_ms).max(self.min_ms);
+        } else {
+            self.duration_ms = (self.duration_ms + self.grow_ms).min(self.max_ms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_shrink_duration_by_missing_time() {
+        let mut t = RoundTimer::new(1000.0, 200.0, 2000.0, 50.0);
+        t.feedback(300.0);
+        assert_eq!(t.duration_ms(), 700.0);
+    }
+
+    #[test]
+    fn all_met_grows_slowly() {
+        let mut t = RoundTimer::new(1000.0, 200.0, 2000.0, 50.0);
+        t.feedback(0.0);
+        assert_eq!(t.duration_ms(), 1050.0);
+    }
+
+    #[test]
+    fn floor_and_ceiling_respected() {
+        let mut t = RoundTimer::new(250.0, 200.0, 400.0, 100.0);
+        t.feedback(5000.0);
+        assert_eq!(t.duration_ms(), 200.0, "never below min (RTT)");
+        for _ in 0..10 {
+            t.feedback(0.0);
+        }
+        assert_eq!(t.duration_ms(), 400.0, "capped at max");
+    }
+
+    #[test]
+    fn initial_clamped() {
+        let t = RoundTimer::new(10_000.0, 100.0, 500.0, 10.0);
+        assert_eq!(t.duration_ms(), 500.0);
+        let t2 = RoundTimer::new(1.0, 100.0, 500.0, 10.0);
+        assert_eq!(t2.duration_ms(), 100.0);
+    }
+
+    #[test]
+    fn oscillation_converges_to_band() {
+        // Alternating small misses and successes settles into a band
+        // rather than diverging.
+        let mut t = RoundTimer::new(1000.0, 200.0, 2000.0, 25.0);
+        for i in 0..100 {
+            if i % 3 == 0 {
+                t.feedback(40.0);
+            } else {
+                t.feedback(0.0);
+            }
+        }
+        let d = t.duration_ms();
+        assert!((200.0..=2000.0).contains(&d));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bounds_rejected() {
+        let _ = RoundTimer::new(1.0, 500.0, 100.0, 1.0);
+    }
+}

@@ -1,0 +1,477 @@
+//! The user side of the rekey transport protocol (Figures 3 and 27).
+
+use std::collections::BTreeMap;
+
+use keytree::{ident, NodeId};
+use rekeymsg::estimate::BlockIdEstimator;
+use rekeymsg::{EncPacket, Layout, NackPacket, NackRequest, Packet, UsrPacket};
+
+/// How a user ended up with its keys (or didn't).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserOutcome {
+    /// Received (or FEC-decoded) its specific ENC packet.
+    Enc(EncPacket),
+    /// Served by unicast.
+    Usr(UsrPacket),
+    /// Still waiting.
+    Pending,
+}
+
+/// Per-message user state machine.
+///
+/// Feed every packet the user receives through [`UserSession::receive`];
+/// at each round boundary call [`UserSession::end_of_round`], which either
+/// reports success or produces the NACK to send. FEC decoding is attempted
+/// lazily at round boundaries (and opportunistically when the specific
+/// packet arrives directly).
+#[derive(Debug)]
+pub struct UserSession {
+    /// The user's u-node ID before this rekey message.
+    old_id: NodeId,
+    /// Tree degree.
+    d: u32,
+    /// FEC block size.
+    k: usize,
+    layout: Layout,
+    /// Rederived current ID (from the first ENC packet's `maxKID`).
+    current_id: Option<NodeId>,
+    /// Wire message ID this session accepts (`None` = first seen wins).
+    expected_msg_id: Option<u8>,
+    msg_id: Option<u8>,
+    /// Received share bodies: block -> share index -> FEC body.
+    shares: BTreeMap<u8, BTreeMap<usize, Vec<u8>>>,
+    estimator: Option<BlockIdEstimator>,
+    max_block_seen: Option<u8>,
+    outcome: UserOutcome,
+    /// Rounds observed so far (1 = success within the first round).
+    rounds: usize,
+    success_round: Option<usize>,
+}
+
+impl UserSession {
+    /// Creates the session. `old_id` is the u-node ID the user held before
+    /// the batch (for a newly joined user, the ID granted at admission).
+    pub fn new(old_id: NodeId, d: u32, k: usize, layout: Layout) -> Self {
+        UserSession {
+            old_id,
+            d,
+            k,
+            layout,
+            current_id: None,
+            expected_msg_id: None,
+            msg_id: None,
+            shares: BTreeMap::new(),
+            estimator: None,
+            max_block_seen: None,
+            outcome: UserOutcome::Pending,
+            rounds: 0,
+            success_round: None,
+        }
+    }
+
+    /// Restricts the session to one wire message ID: packets from other
+    /// rekey messages (late retransmissions, overlap at the 6-bit
+    /// wrap-around) are ignored instead of poisoning the share sets.
+    pub fn expect_msg_id(mut self, msg_id: u8) -> Self {
+        self.expected_msg_id = Some(msg_id & 0x3f);
+        self
+    }
+
+    /// The user's current (rederived) ID, once known.
+    pub fn current_id(&self) -> Option<NodeId> {
+        self.current_id
+    }
+
+    /// True once the user holds everything it needs.
+    pub fn is_satisfied(&self) -> bool {
+        !matches!(self.outcome, UserOutcome::Pending)
+    }
+
+    /// The outcome so far.
+    pub fn outcome(&self) -> &UserOutcome {
+        &self.outcome
+    }
+
+    /// Number of rounds the user needed (defined once satisfied).
+    pub fn rounds_to_success(&self) -> Option<usize> {
+        self.success_round
+    }
+
+    /// Handles one received packet.
+    pub fn receive(&mut self, pkt: &Packet) {
+        if self.is_satisfied() {
+            return;
+        }
+        if let Some(expect) = self.expected_msg_id {
+            let wire_id = match pkt {
+                Packet::Enc(p) => Some(p.msg_id),
+                Packet::Parity(p) => Some(p.msg_id),
+                Packet::Usr(p) => Some(p.msg_id),
+                Packet::Nack(_) => None,
+            };
+            if wire_id.is_some_and(|id| id != expect) {
+                return;
+            }
+        }
+        match pkt {
+            Packet::Enc(enc) => self.receive_enc(enc),
+            Packet::Parity(par) => {
+                self.msg_id.get_or_insert(par.msg_id);
+                self.max_block_seen = Some(self.max_block_seen.unwrap_or(0).max(par.block_id));
+                self.shares
+                    .entry(par.block_id)
+                    .or_default()
+                    .insert(self.k + par.seq as usize, par.body.clone());
+            }
+            Packet::Usr(usr) => {
+                self.current_id = Some(usr.new_user_id as NodeId);
+                self.succeed(UserOutcome::Usr(usr.clone()));
+            }
+            Packet::Nack(_) => {} // users never receive NACKs
+        }
+    }
+
+    fn receive_enc(&mut self, enc: &EncPacket) {
+        self.msg_id.get_or_insert(enc.msg_id);
+        self.max_block_seen = Some(self.max_block_seen.unwrap_or(0).max(enc.block_id));
+
+        // First ENC packet reveals maxKID: rederive our ID (Theorem 4.2).
+        if self.current_id.is_none() {
+            self.current_id = ident::derive_current_id(self.old_id, enc.max_kid as NodeId, self.d);
+        }
+        let Some(m) = self.current_id else {
+            // We are not in the tree any more; nothing to collect.
+            return;
+        };
+        let m16 = m as u16;
+
+        if enc.serves(m16) {
+            self.succeed(UserOutcome::Enc(enc.clone()));
+            return;
+        }
+
+        self.estimator
+            .get_or_insert_with(|| BlockIdEstimator::new(m16, self.k, self.d))
+            .observe(enc);
+        self.shares
+            .entry(enc.block_id)
+            .or_default()
+            .insert(enc.seq as usize, enc.fec_body(&self.layout));
+    }
+
+    fn succeed(&mut self, outcome: UserOutcome) {
+        self.outcome = outcome;
+        // Success in the current round (rounds increments at boundaries,
+        // so during round r `self.rounds` is r - 1).
+        self.success_round = Some(self.rounds + 1);
+        self.shares.clear();
+    }
+
+    /// Attempts FEC decoding of any candidate block with >= k shares; on
+    /// success extracts the specific ENC packet if it is in that block.
+    fn try_decode(&mut self) {
+        if self.is_satisfied() {
+            return;
+        }
+        let Some(m) = self.current_id else { return };
+        let m16 = m as u16;
+        let (low, high) = match self.estimator.as_ref().and_then(|e| e.range()) {
+            Some(r) => r,
+            None => {
+                // No range: consider every block we have shares for.
+                let lo = self.shares.keys().next().copied().unwrap_or(0) as u32;
+                let hi = self.shares.keys().last().copied().unwrap_or(0) as u32;
+                (lo, hi)
+            }
+        };
+        let candidates: Vec<u8> = self
+            .shares
+            .keys()
+            .copied()
+            .filter(|&b| (b as u32) >= low && (b as u32) <= high)
+            .collect();
+        for b in candidates {
+            let block_shares = &self.shares[&b];
+            if block_shares.len() < self.k {
+                continue;
+            }
+            let shares: Vec<rse::Share> = block_shares
+                .iter()
+                .map(|(&index, body)| rse::Share {
+                    index,
+                    data: body.clone(),
+                })
+                .collect();
+            let Ok(bodies) = rse::decode(self.k, &shares) else {
+                continue;
+            };
+            let msg_id = self.msg_id.unwrap_or(0);
+            for (seq, body) in bodies.iter().enumerate() {
+                if let Ok(enc) =
+                    EncPacket::from_fec_body(body, &self.layout, msg_id, b, seq as u8)
+                {
+                    if enc.serves(m16) {
+                        self.succeed(UserOutcome::Enc(enc));
+                        return;
+                    }
+                }
+            }
+            // Decoded a full block that does not contain our packet: the
+            // estimator range was loose. Keep looking at other candidates.
+        }
+    }
+
+    /// Round boundary: returns the NACK to send, or `None` when satisfied.
+    pub fn end_of_round(&mut self) -> Option<NackPacket> {
+        self.try_decode();
+        self.rounds += 1;
+        if self.is_satisfied() {
+            return None;
+        }
+        let msg_id = self.msg_id.unwrap_or(0);
+
+        // Determine which blocks to request parities for.
+        let range = self.estimator.as_ref().and_then(|e| e.range());
+        let (low, high) = match (range, self.max_block_seen) {
+            (Some((lo, hi)), _) => (lo, hi),
+            (None, Some(maxb)) => {
+                let lo = self
+                    .estimator
+                    .as_ref()
+                    .map(|e| e.low())
+                    .unwrap_or(0);
+                (lo.min(maxb as u32), maxb as u32)
+            }
+            (None, None) => (0, 0), // total loss: ask for block 0
+        };
+        let mut requests = Vec::new();
+        for b in low..=high.min(255) {
+            let have = self
+                .shares
+                .get(&(b as u8))
+                .map(|s| s.len())
+                .unwrap_or(0);
+            let need = self.k.saturating_sub(have);
+            if need > 0 {
+                requests.push(NackRequest {
+                    count: need.min(255) as u8,
+                    block_id: b as u8,
+                });
+            }
+        }
+        if requests.is_empty() {
+            // All candidate blocks have k shares but none decoded to our
+            // packet — widen to a full re-request of the lowest block.
+            requests.push(NackRequest {
+                count: self.k.min(255) as u8,
+                block_id: low as u8,
+            });
+        }
+        Some(NackPacket { msg_id, requests })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rekeymsg::BlockSet;
+    use wirecrypto::{SealedKey, SymKey};
+
+    fn layout() -> Layout {
+        Layout::DEFAULT
+    }
+
+    /// A toy message: 6 ENC packets (k = 3, 2 blocks), one user per packet,
+    /// user IDs 101..=106, maxKID 50, degree 4.
+    fn toy_message() -> BlockSet {
+        let packets: Vec<EncPacket> = (0..6u16)
+            .map(|i| EncPacket {
+                msg_id: 9,
+                block_id: 0,
+                seq: 0,
+                duplicate: false,
+                max_kid: 50,
+                frm_id: 101 + i,
+                to_id: 101 + i,
+                entries: vec![(
+                    101 + i,
+                    SealedKey::seal(
+                        &SymKey::from_bytes([i as u8; 16]),
+                        &SymKey::from_bytes([7; 16]),
+                        0,
+                    ),
+                )],
+            })
+            .collect();
+        BlockSet::new(packets, 3, layout())
+    }
+
+    fn user(old_id: NodeId) -> UserSession {
+        UserSession::new(old_id, 4, 3, layout())
+    }
+
+    #[test]
+    fn direct_reception_succeeds_in_round_one() {
+        let blocks = toy_message();
+        let mut u = user(103);
+        // Deliver everything.
+        for b in 0..2 {
+            for p in &blocks.block(b).unwrap().packets {
+                u.receive(&Packet::Enc(p.clone()));
+            }
+        }
+        assert!(u.is_satisfied());
+        assert_eq!(u.current_id(), Some(103));
+        assert_eq!(u.end_of_round(), None);
+        assert_eq!(u.rounds_to_success(), Some(1));
+        match u.outcome() {
+            UserOutcome::Enc(e) => assert!(e.serves(103)),
+            other => panic!("outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fec_decode_recovers_lost_specific_packet() {
+        let mut blocks = toy_message();
+        let pars = blocks.mint_parities(0, 1).unwrap();
+        let mut u = user(102); // specific packet is block 0, seq 1
+        // Lose it; deliver block 0 seq 0 and 2 plus one parity.
+        let b0 = blocks.block(0).unwrap();
+        u.receive(&Packet::Enc(b0.packets[0].clone()));
+        u.receive(&Packet::Enc(b0.packets[2].clone()));
+        u.receive(&Packet::Parity(pars[0].clone()));
+        assert!(!u.is_satisfied(), "needs decode first");
+        assert_eq!(u.end_of_round(), None, "decoded at the round boundary");
+        assert!(u.is_satisfied());
+        match u.outcome() {
+            UserOutcome::Enc(e) => {
+                assert!(e.serves(102));
+                assert_eq!(e.entries, b0.packets[1].entries);
+            }
+            other => panic!("outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nack_requests_missing_parities_for_estimated_block() {
+        let blocks = toy_message();
+        let mut u = user(102);
+        // Receives only block 0 seq 2 (after its lost packet) and block 1
+        // seq 0 — pins block 0 and leaves it 2 shares short.
+        u.receive(&Packet::Enc(blocks.block(0).unwrap().packets[2].clone()));
+        u.receive(&Packet::Enc(blocks.block(1).unwrap().packets[0].clone()));
+        let nack = u.end_of_round().expect("unsatisfied");
+        assert_eq!(nack.msg_id, 9);
+        assert_eq!(
+            nack.requests,
+            vec![NackRequest {
+                count: 2,
+                block_id: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn nack_covers_range_when_block_ambiguous() {
+        let blocks = toy_message();
+        let mut u = user(104); // specific is block 1, seq 0
+        // Only receives block 0 seq 0 (range below it, middle of block):
+        // low stays 0, step-6 bound caps high.
+        u.receive(&Packet::Enc(blocks.block(0).unwrap().packets[0].clone()));
+        let nack = u.end_of_round().expect("unsatisfied");
+        assert!(!nack.requests.is_empty());
+        // Every request is for a block >= 0 and the true block 1 is
+        // covered by the range.
+        assert!(nack.requests.iter().any(|r| r.block_id == 1));
+    }
+
+    #[test]
+    fn total_loss_requests_block_zero() {
+        let mut u = user(101);
+        let nack = u.end_of_round().expect("nothing received");
+        assert_eq!(nack.requests.len(), 1);
+        assert_eq!(nack.requests[0].block_id, 0);
+        assert_eq!(nack.requests[0].count, 3);
+    }
+
+    #[test]
+    fn usr_packet_satisfies_and_updates_id() {
+        let mut u = user(102);
+        u.receive(&Packet::Usr(UsrPacket {
+            msg_id: 9,
+            new_user_id: 409,
+            sealed: vec![],
+        }));
+        assert!(u.is_satisfied());
+        assert_eq!(u.current_id(), Some(409));
+    }
+
+    #[test]
+    fn duplicate_shares_do_not_inflate_counts() {
+        let blocks = toy_message();
+        let mut u = user(102);
+        let pkt = blocks.block(0).unwrap().packets[0].clone();
+        u.receive(&Packet::Enc(pkt.clone()));
+        u.receive(&Packet::Enc(pkt.clone()));
+        u.receive(&Packet::Enc(pkt));
+        let nack = u.end_of_round().expect("unsatisfied");
+        // Still needs 2 more shares of block 0 (only one distinct held).
+        assert_eq!(nack.requests[0].count, 2);
+    }
+
+    #[test]
+    fn rounds_accumulate_until_success() {
+        let blocks = toy_message();
+        let mut u = user(102);
+        assert!(u.end_of_round().is_some()); // round 1: nothing
+        assert!(u.end_of_round().is_some()); // round 2: nothing
+        u.receive(&Packet::Enc(blocks.block(0).unwrap().packets[1].clone()));
+        assert_eq!(u.end_of_round(), None);
+        assert_eq!(u.rounds_to_success(), Some(3));
+    }
+
+    #[test]
+    fn stale_message_packets_ignored_when_pinned() {
+        let blocks = toy_message(); // msg_id 9
+        let mut u = UserSession::new(102, 4, 3, layout()).expect_msg_id(8);
+        // Packets from message 9 are dropped: the user stays hungry.
+        for p in &blocks.block(0).unwrap().packets {
+            u.receive(&Packet::Enc(p.clone()));
+        }
+        assert!(!u.is_satisfied());
+        // And a matching-ID USR is accepted.
+        u.receive(&Packet::Usr(UsrPacket {
+            msg_id: 8,
+            new_user_id: 102,
+            sealed: vec![],
+        }));
+        assert!(u.is_satisfied());
+    }
+
+    #[test]
+    fn moved_user_rederives_id_from_max_kid() {
+        // Old ID 6, maxKID 8 (degree 4): Theorem 4.2 gives 25 (see the
+        // ident tests). The packet serves 25.
+        let pkt = EncPacket {
+            msg_id: 1,
+            block_id: 0,
+            seq: 0,
+            duplicate: false,
+            max_kid: 8,
+            frm_id: 20,
+            to_id: 30,
+            entries: vec![(
+                25,
+                SealedKey::seal(
+                    &SymKey::from_bytes([1; 16]),
+                    &SymKey::from_bytes([2; 16]),
+                    0,
+                ),
+            )],
+        };
+        let mut u = UserSession::new(6, 4, 3, layout());
+        u.receive(&Packet::Enc(pkt));
+        assert_eq!(u.current_id(), Some(25));
+        assert!(u.is_satisfied());
+    }
+}

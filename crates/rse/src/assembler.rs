@@ -1,0 +1,185 @@
+//! Incremental share collection and decoding.
+//!
+//! The receiver side of an erasure block rarely sees shares in one batch:
+//! data packets dribble in, parities follow across rounds, duplicates
+//! arrive. [`Assembler`] accepts shares as they come, rejects conflicting
+//! duplicates, reports exactly how many more shares are needed (the `a`
+//! value a NACK carries), and decodes the moment `k` distinct shares are
+//! present.
+
+use crate::coder::{decode, RseError, Share, MAX_SYMBOLS};
+
+/// Incremental collector for one FEC block.
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    k: usize,
+    len: Option<usize>,
+    shares: Vec<Option<Vec<u8>>>,
+    have: usize,
+}
+
+impl Assembler {
+    /// Creates an assembler for a block of `k` data packets.
+    pub fn new(k: usize) -> Result<Self, RseError> {
+        if k == 0 || k >= MAX_SYMBOLS {
+            return Err(RseError::InvalidBlockSize(k));
+        }
+        Ok(Assembler {
+            k,
+            len: None,
+            shares: vec![None; MAX_SYMBOLS],
+            have: 0,
+        })
+    }
+
+    /// Block size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Distinct shares held.
+    pub fn have(&self) -> usize {
+        self.have
+    }
+
+    /// Additional shares needed before the block decodes — the `a` value
+    /// reported in NACKs. Zero once decodable.
+    pub fn deficit(&self) -> usize {
+        self.k.saturating_sub(self.have)
+    }
+
+    /// True once `k` distinct shares are present.
+    pub fn ready(&self) -> bool {
+        self.have >= self.k
+    }
+
+    /// Offers one share. Duplicate indices with identical bytes are
+    /// ignored; conflicting bytes for the same index are an error (a
+    /// corrupted or forged share).
+    pub fn offer(&mut self, share: Share) -> Result<(), RseError> {
+        if share.index >= MAX_SYMBOLS {
+            return Err(RseError::IndexOutOfRange {
+                index: share.index,
+                max: MAX_SYMBOLS - 1,
+            });
+        }
+        match &self.len {
+            None => self.len = Some(share.data.len()),
+            Some(expected) => {
+                if share.data.len() != *expected {
+                    return Err(RseError::LengthMismatch {
+                        expected: *expected,
+                        got: share.data.len(),
+                    });
+                }
+            }
+        }
+        match &self.shares[share.index] {
+            Some(existing) if *existing == share.data => Ok(()), // idempotent
+            Some(_) => Err(RseError::DuplicateShare(share.index)),
+            None => {
+                self.shares[share.index] = Some(share.data);
+                self.have += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Decodes the original `k` data packets; errors with
+    /// [`RseError::NotEnoughShares`] while short.
+    pub fn reconstruct(&self) -> Result<Vec<Vec<u8>>, RseError> {
+        let shares: Vec<Share> = self
+            .shares
+            .iter()
+            .enumerate()
+            .filter_map(|(index, s)| {
+                s.as_ref().map(|data| Share {
+                    index,
+                    data: data.clone(),
+                })
+            })
+            .collect();
+        decode(self.k, &shares)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coder::BlockEncoder;
+
+    fn block(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|b| (i * 13 + b * 7 + 1) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn deficit_counts_down_and_decodes() {
+        let k = 4;
+        let data = block(k, 16);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        let mut asm = Assembler::new(k).unwrap();
+        assert_eq!(asm.deficit(), 4);
+
+        asm.offer(Share { index: 1, data: data[1].clone() }).unwrap();
+        asm.offer(Share { index: 3, data: data[3].clone() }).unwrap();
+        assert_eq!(asm.deficit(), 2);
+        assert!(asm.reconstruct().is_err());
+
+        asm.offer(Share { index: 4, data: enc.parity(0, &data).unwrap() }).unwrap();
+        asm.offer(Share { index: 6, data: enc.parity(2, &data).unwrap() }).unwrap();
+        assert!(asm.ready());
+        assert_eq!(asm.reconstruct().unwrap(), data);
+    }
+
+    #[test]
+    fn idempotent_duplicates_ignored() {
+        let data = block(2, 8);
+        let mut asm = Assembler::new(2).unwrap();
+        let s = Share { index: 0, data: data[0].clone() };
+        asm.offer(s.clone()).unwrap();
+        asm.offer(s).unwrap();
+        assert_eq!(asm.have(), 1);
+    }
+
+    #[test]
+    fn conflicting_duplicate_rejected() {
+        let data = block(2, 8);
+        let mut asm = Assembler::new(2).unwrap();
+        asm.offer(Share { index: 0, data: data[0].clone() }).unwrap();
+        let forged = Share { index: 0, data: vec![0xFF; 8] };
+        assert_eq!(asm.offer(forged), Err(RseError::DuplicateShare(0)));
+        assert_eq!(asm.have(), 1, "forgery must not displace the original");
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut asm = Assembler::new(2).unwrap();
+        asm.offer(Share { index: 0, data: vec![1, 2, 3] }).unwrap();
+        assert_eq!(
+            asm.offer(Share { index: 1, data: vec![1] }),
+            Err(RseError::LengthMismatch { expected: 3, got: 1 })
+        );
+    }
+
+    #[test]
+    fn extra_shares_beyond_k_are_fine() {
+        let k = 3;
+        let data = block(k, 8);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        let mut asm = Assembler::new(k).unwrap();
+        for (i, d) in data.iter().enumerate() {
+            asm.offer(Share { index: i, data: d.clone() }).unwrap();
+        }
+        asm.offer(Share { index: k, data: enc.parity(0, &data).unwrap() }).unwrap();
+        assert_eq!(asm.have(), 4);
+        assert_eq!(asm.reconstruct().unwrap(), data);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(Assembler::new(0).is_err());
+        assert!(Assembler::new(255).is_err());
+    }
+}

@@ -1,0 +1,522 @@
+//! The encoder/decoder core.
+
+use gf256::{Gf256, Matrix};
+
+/// Maximum number of code symbols (data + parity) per block: the number of
+/// distinct evaluation points available in GF(2^8)*.
+pub const MAX_SYMBOLS: usize = 255;
+
+/// Errors surfaced by the erasure coder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RseError {
+    /// The block size `k` must satisfy `1 <= k < MAX_SYMBOLS`.
+    InvalidBlockSize(usize),
+    /// A parity index or share index exceeds the field limit.
+    IndexOutOfRange {
+        /// The offending share/parity index.
+        index: usize,
+        /// The maximum allowed index (inclusive).
+        max: usize,
+    },
+    /// The same share index was supplied twice to the decoder.
+    DuplicateShare(usize),
+    /// Fewer than `k` shares were supplied.
+    NotEnoughShares {
+        /// Shares supplied.
+        got: usize,
+        /// Shares required (the block size `k`).
+        need: usize,
+    },
+    /// Shares (or data packets) do not all have the same length.
+    LengthMismatch {
+        /// Expected packet length in bytes.
+        expected: usize,
+        /// The mismatching length encountered.
+        got: usize,
+    },
+    /// `encode` was called with the wrong number of data packets.
+    WrongDataCount {
+        /// Packets supplied.
+        got: usize,
+        /// Packets required (the block size `k`).
+        need: usize,
+    },
+}
+
+impl core::fmt::Display for RseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RseError::InvalidBlockSize(k) => {
+                write!(f, "block size {k} outside 1..{MAX_SYMBOLS}")
+            }
+            RseError::IndexOutOfRange { index, max } => {
+                write!(f, "share index {index} exceeds maximum {max}")
+            }
+            RseError::DuplicateShare(i) => write!(f, "duplicate share index {i}"),
+            RseError::NotEnoughShares { got, need } => {
+                write!(f, "need {need} shares to decode, got {got}")
+            }
+            RseError::LengthMismatch { expected, got } => {
+                write!(f, "expected packet length {expected}, got {got}")
+            }
+            RseError::WrongDataCount { got, need } => {
+                write!(f, "expected {need} data packets, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RseError {}
+
+/// One received code symbol handed to [`decode`].
+///
+/// `index < k` means "data packet `index`"; `index >= k` means "parity
+/// packet `index - k`".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Share {
+    /// Global symbol index within the block.
+    pub index: usize,
+    /// Packet body.
+    pub data: Vec<u8>,
+}
+
+/// Evaluation point for symbol `i`.
+#[inline]
+fn point(i: usize) -> Gf256 {
+    debug_assert!(i < MAX_SYMBOLS);
+    Gf256::alpha_pow(i)
+}
+
+/// The Lagrange basis coefficients `L_i(x)` over nodes `x_0 .. x_{k-1}`
+/// evaluated at `x`: the row vector `c` with `value(x) = sum_i c[i] d_i`.
+fn lagrange_row(k: usize, x: Gf256) -> Vec<Gf256> {
+    let nodes: Vec<Gf256> = (0..k).map(point).collect();
+    let mut row = vec![Gf256::ZERO; k];
+    for i in 0..k {
+        let mut num = Gf256::ONE;
+        let mut den = Gf256::ONE;
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            num *= x + nodes[j]; // x - x_j (char 2)
+            den *= nodes[i] + nodes[j];
+        }
+        row[i] = num / den;
+    }
+    row
+}
+
+/// Systematic encoder for one FEC block of size `k`.
+///
+/// Rows of parity coefficients are computed on first use and cached, so a
+/// long-lived server encoder pays the row-construction cost (O(k^2)) once
+/// per distinct parity index and O(k * len) per encoded packet thereafter.
+#[derive(Debug, Clone)]
+pub struct BlockEncoder {
+    k: usize,
+    rows: Vec<Vec<Gf256>>,
+}
+
+impl BlockEncoder {
+    /// Creates an encoder for blocks of `k` data packets.
+    pub fn new(k: usize) -> Result<Self, RseError> {
+        if k == 0 || k >= MAX_SYMBOLS {
+            return Err(RseError::InvalidBlockSize(k));
+        }
+        Ok(BlockEncoder { k, rows: Vec::new() })
+    }
+
+    /// The block size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Maximum number of distinct parity packets this block admits.
+    pub fn max_parities(&self) -> usize {
+        MAX_SYMBOLS - self.k
+    }
+
+    fn row(&mut self, parity_index: usize) -> Result<&[Gf256], RseError> {
+        let max = self.max_parities();
+        if parity_index >= max {
+            return Err(RseError::IndexOutOfRange {
+                index: parity_index,
+                max: max - 1,
+            });
+        }
+        while self.rows.len() <= parity_index {
+            let j = self.rows.len();
+            self.rows.push(lagrange_row(self.k, point(self.k + j)));
+        }
+        Ok(&self.rows[parity_index])
+    }
+
+    /// Encodes parity packet `parity_index` over the `k` data packets.
+    ///
+    /// All data packets must share one length (the protocol zero-pads ENC
+    /// packets to a fixed length for exactly this reason).
+    pub fn parity<D: AsRef<[u8]>>(
+        &mut self,
+        parity_index: usize,
+        data: &[D],
+    ) -> Result<Vec<u8>, RseError> {
+        if data.len() != self.k {
+            return Err(RseError::WrongDataCount {
+                got: data.len(),
+                need: self.k,
+            });
+        }
+        let len = data[0].as_ref().len();
+        for d in data {
+            if d.as_ref().len() != len {
+                return Err(RseError::LengthMismatch {
+                    expected: len,
+                    got: d.as_ref().len(),
+                });
+            }
+        }
+        let row = self.row(parity_index)?.to_vec();
+        let mut out = vec![0u8; len];
+        for (coeff, d) in row.iter().zip(data) {
+            Gf256::mul_acc_slice(*coeff, d.as_ref(), &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Encodes a consecutive run of parity packets
+    /// `first .. first + count`.
+    pub fn parities<D: AsRef<[u8]>>(
+        &mut self,
+        first: usize,
+        count: usize,
+        data: &[D],
+    ) -> Result<Vec<Vec<u8>>, RseError> {
+        (first..first + count)
+            .map(|j| self.parity(j, data))
+            .collect()
+    }
+}
+
+/// Reconstructs the `k` original data packets from any `k` distinct shares.
+///
+/// Shares beyond the first `k` distinct ones are ignored. Share `index`
+/// follows the convention of [`Share`]. The decode cost is dominated by a
+/// `k x k` matrix inversion plus `k^2` multiply-accumulate passes; when all
+/// surviving shares are data packets the inversion short-circuits to a copy.
+pub fn decode(k: usize, shares: &[Share]) -> Result<Vec<Vec<u8>>, RseError> {
+    if k == 0 || k >= MAX_SYMBOLS {
+        return Err(RseError::InvalidBlockSize(k));
+    }
+    // Collect up to k distinct shares, validating as we go.
+    let mut chosen: Vec<&Share> = Vec::with_capacity(k);
+    let mut seen = vec![false; MAX_SYMBOLS];
+    let mut len: Option<usize> = None;
+    for share in shares {
+        if share.index >= MAX_SYMBOLS {
+            return Err(RseError::IndexOutOfRange {
+                index: share.index,
+                max: MAX_SYMBOLS - 1,
+            });
+        }
+        if seen[share.index] {
+            return Err(RseError::DuplicateShare(share.index));
+        }
+        seen[share.index] = true;
+        match len {
+            None => len = Some(share.data.len()),
+            Some(expected) => {
+                if share.data.len() != expected {
+                    return Err(RseError::LengthMismatch {
+                        expected,
+                        got: share.data.len(),
+                    });
+                }
+            }
+        }
+        if chosen.len() < k {
+            chosen.push(share);
+        }
+    }
+    if chosen.len() < k {
+        return Err(RseError::NotEnoughShares {
+            got: chosen.len(),
+            need: k,
+        });
+    }
+    let len = len.expect("k >= 1 so at least one share was seen");
+
+    // Fast path: all data shares present among the chosen.
+    if chosen.iter().all(|s| s.index < k) {
+        let mut out = vec![Vec::new(); k];
+        for s in &chosen {
+            out[s.index] = s.data.clone();
+        }
+        return Ok(out);
+    }
+
+    // General path: rows of the generator matrix for the received indices.
+    // Row for a data share i < k is the unit vector e_i; row for parity j
+    // is the Lagrange row at x_{k+j} (which equals L evaluated at that
+    // point, by the systematic construction).
+    let gen = Matrix::from_fn(k, k, |r, c| {
+        let idx = chosen[r].index;
+        if idx < k {
+            if c == idx {
+                Gf256::ONE
+            } else {
+                Gf256::ZERO
+            }
+        } else {
+            lagrange_row(k, point(idx))[c]
+        }
+    });
+    let inv = gen
+        .inverse()
+        .expect("distinct evaluation points always yield an invertible matrix");
+
+    let mut out = vec![vec![0u8; len]; k];
+    for (i, out_pkt) in out.iter_mut().enumerate() {
+        for (r, share) in chosen.iter().enumerate() {
+            Gf256::mul_acc_slice(inv[(i, r)], &share.data, out_pkt);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|b| (i * 37 + b * 11 + 5) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn block_size_bounds() {
+        assert!(matches!(
+            BlockEncoder::new(0),
+            Err(RseError::InvalidBlockSize(0))
+        ));
+        assert!(matches!(
+            BlockEncoder::new(255),
+            Err(RseError::InvalidBlockSize(255))
+        ));
+        assert!(BlockEncoder::new(1).is_ok());
+        assert!(BlockEncoder::new(254).is_ok());
+    }
+
+    #[test]
+    fn no_loss_fast_path() {
+        let k = 4;
+        let data = block(k, 32);
+        let shares: Vec<Share> = data
+            .iter()
+            .enumerate()
+            .map(|(i, d)| Share {
+                index: i,
+                data: d.clone(),
+            })
+            .collect();
+        assert_eq!(decode(k, &shares).unwrap(), data);
+    }
+
+    #[test]
+    fn single_parity_repairs_single_loss() {
+        let k = 5;
+        let data = block(k, 64);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        let p = enc.parity(0, &data).unwrap();
+        for lost in 0..k {
+            let mut shares: Vec<Share> = (0..k)
+                .filter(|&i| i != lost)
+                .map(|i| Share {
+                    index: i,
+                    data: data[i].clone(),
+                })
+                .collect();
+            shares.push(Share {
+                index: k,
+                data: p.clone(),
+            });
+            assert_eq!(decode(k, &shares).unwrap(), data, "lost = {lost}");
+        }
+    }
+
+    #[test]
+    fn all_parities_no_data() {
+        let k = 6;
+        let data = block(k, 16);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        let shares: Vec<Share> = (0..k)
+            .map(|j| Share {
+                index: k + j,
+                data: enc.parity(j, &data).unwrap(),
+            })
+            .collect();
+        assert_eq!(decode(k, &shares).unwrap(), data);
+    }
+
+    #[test]
+    fn late_parities_compose_with_early_ones() {
+        // Reactive rounds: parities 0..2 sent proactively, 5..7 later.
+        let k = 4;
+        let data = block(k, 48);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        let shares = vec![
+            Share {
+                index: k + 1,
+                data: enc.parity(1, &data).unwrap(),
+            },
+            Share {
+                index: k + 5,
+                data: enc.parity(5, &data).unwrap(),
+            },
+            Share {
+                index: 2,
+                data: data[2].clone(),
+            },
+            Share {
+                index: k + 6,
+                data: enc.parity(6, &data).unwrap(),
+            },
+        ];
+        assert_eq!(decode(k, &shares).unwrap(), data);
+    }
+
+    #[test]
+    fn extra_shares_are_ignored() {
+        let k = 3;
+        let data = block(k, 8);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        let mut shares: Vec<Share> = (0..k)
+            .map(|i| Share {
+                index: i,
+                data: data[i].clone(),
+            })
+            .collect();
+        shares.push(Share {
+            index: k,
+            data: enc.parity(0, &data).unwrap(),
+        });
+        assert_eq!(decode(k, &shares).unwrap(), data);
+    }
+
+    #[test]
+    fn not_enough_shares() {
+        let k = 4;
+        let data = block(k, 8);
+        let shares: Vec<Share> = (0..k - 1)
+            .map(|i| Share {
+                index: i,
+                data: data[i].clone(),
+            })
+            .collect();
+        assert_eq!(
+            decode(k, &shares),
+            Err(RseError::NotEnoughShares { got: 3, need: 4 })
+        );
+    }
+
+    #[test]
+    fn duplicate_share_rejected() {
+        let k = 2;
+        let data = block(k, 8);
+        let shares = vec![
+            Share {
+                index: 0,
+                data: data[0].clone(),
+            },
+            Share {
+                index: 0,
+                data: data[0].clone(),
+            },
+        ];
+        assert_eq!(decode(k, &shares), Err(RseError::DuplicateShare(0)));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let k = 2;
+        let shares = vec![
+            Share {
+                index: 0,
+                data: vec![1, 2, 3],
+            },
+            Share {
+                index: 1,
+                data: vec![1, 2],
+            },
+        ];
+        assert_eq!(
+            decode(k, &shares),
+            Err(RseError::LengthMismatch {
+                expected: 3,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn parity_index_limit() {
+        let k = 250;
+        let data = block(k, 4);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        assert_eq!(enc.max_parities(), 5);
+        assert!(enc.parity(4, &data).is_ok());
+        assert_eq!(
+            enc.parity(5, &data),
+            Err(RseError::IndexOutOfRange { index: 5, max: 4 })
+        );
+    }
+
+    #[test]
+    fn wrong_data_count_rejected() {
+        let mut enc = BlockEncoder::new(4).unwrap();
+        let data = block(3, 8);
+        assert_eq!(
+            enc.parity(0, &data),
+            Err(RseError::WrongDataCount { got: 3, need: 4 })
+        );
+    }
+
+    #[test]
+    fn k_equals_one_duplicates_packet() {
+        // With k = 1 every parity is a copy of the single data packet
+        // (evaluations of a constant polynomial).
+        let data = block(1, 8);
+        let mut enc = BlockEncoder::new(1).unwrap();
+        for j in 0..10 {
+            assert_eq!(enc.parity(j, &data).unwrap(), data[0]);
+        }
+    }
+
+    #[test]
+    fn share_index_out_of_field_rejected() {
+        let shares = vec![Share {
+            index: 255,
+            data: vec![0],
+        }];
+        assert_eq!(
+            decode(1, &shares),
+            Err(RseError::IndexOutOfRange {
+                index: 255,
+                max: 254
+            })
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msgs = [
+            RseError::InvalidBlockSize(0).to_string(),
+            RseError::DuplicateShare(7).to_string(),
+            RseError::NotEnoughShares { got: 1, need: 3 }.to_string(),
+        ];
+        assert!(msgs[0].contains("block size"));
+        assert!(msgs[1].contains('7'));
+        assert!(msgs[2].contains("need 3"));
+    }
+}

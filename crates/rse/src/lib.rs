@@ -1,0 +1,52 @@
+//! A systematic Reed–Solomon **erasure** coder over GF(2^8).
+//!
+//! This is the FEC substrate of the rekey transport protocol. The paper
+//! uses L. Rizzo's RSE coder; this crate reimplements the same class of
+//! code from scratch:
+//!
+//! * **Systematic** — the first `k` code symbols *are* the data packets, so
+//!   a user that receives its specific `ENC` packet never decodes.
+//! * **MDS / any-k-of-n** — any `k` received packets out of the `n` sent
+//!   reconstruct the whole block.
+//! * **Incrementally extensible** — parity packets are indexed `0, 1, 2, …`
+//!   and can be generated on demand round after round (the server sends
+//!   `ceil((rho-1) * k)` proactive parities, then `amax[i]` fresh reactive
+//!   parities per round); all parities ever generated for a block remain
+//!   mutually compatible, up to the field limit of `255 - k`.
+//!
+//! The construction views the `k` data packets as the values of a degree
+//! `< k` polynomial (per byte position) at evaluation points
+//! `x_i = alpha^i`; parity `j` is the evaluation at `x_{k+j}`. Encoding a
+//! parity packet costs `k` multiply-accumulate passes over the packet body,
+//! i.e. time linear in `k` for fixed packet length — exactly the cost model
+//! the paper's "FEC encoding time vs block size" figure assumes.
+//!
+//! # Example
+//!
+//! ```
+//! use rse::{BlockEncoder, decode, Share};
+//!
+//! let data: Vec<Vec<u8>> = vec![b"pkt-0".to_vec(), b"pkt-1".to_vec(), b"pkt-2".to_vec()];
+//! let mut enc = BlockEncoder::new(3).unwrap();
+//! let p0 = enc.parity(0, &data).unwrap();
+//! let p1 = enc.parity(1, &data).unwrap();
+//!
+//! // Lose data packets 0 and 2; keep data 1 plus the two parities.
+//! let shares = vec![
+//!     Share { index: 1, data: data[1].clone() },
+//!     Share { index: 3, data: p0 },  // parity j has share index k + j
+//!     Share { index: 4, data: p1 },
+//! ];
+//! let recovered = decode(3, &shares).unwrap();
+//! assert_eq!(recovered, data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assembler;
+mod coder;
+pub mod cost;
+
+pub use assembler::Assembler;
+pub use coder::{decode, BlockEncoder, RseError, Share, MAX_SYMBOLS};

@@ -1,0 +1,124 @@
+//! Property-based tests: the MDS "any k of n decodes" guarantee under
+//! random loss patterns, and robustness of the share-validation layer.
+
+use proptest::prelude::*;
+use rse::{decode, BlockEncoder, Share};
+
+/// Deterministic pseudo-random data block derived from a seed.
+fn block_from_seed(seed: u64, k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| {
+            (0..len)
+                .map(|b| {
+                    let x = seed
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add((i * 1031 + b * 7 + 1) as u64);
+                    (x >> 24) as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Fisher–Yates selection of `take` distinct indices out of `0..n`.
+fn pick_distinct(n: usize, take: usize, mut state: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        idx.swap(i, j);
+    }
+    idx.truncate(take);
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any k survivors out of k data + p parity packets reconstruct the
+    /// block, regardless of which packets were lost.
+    #[test]
+    fn any_k_of_n_decodes(
+        seed in any::<u64>(),
+        k in 1usize..20,
+        extra_parities in 0usize..12,
+        len in 1usize..128,
+        pattern in any::<u64>(),
+    ) {
+        let data = block_from_seed(seed, k, len);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        let n = k + extra_parities;
+
+        let mut all: Vec<Share> = Vec::with_capacity(n);
+        for (i, d) in data.iter().enumerate() {
+            all.push(Share { index: i, data: d.clone() });
+        }
+        for j in 0..extra_parities {
+            all.push(Share { index: k + j, data: enc.parity(j, &data).unwrap() });
+        }
+
+        let survivors = pick_distinct(n, k, pattern);
+        let shares: Vec<Share> = survivors.iter().map(|&i| all[i].clone()).collect();
+        prop_assert_eq!(decode(k, &shares).unwrap(), data);
+    }
+
+    /// Fewer than k survivors is always reported as NotEnoughShares, never
+    /// a wrong answer.
+    #[test]
+    fn under_k_survivors_is_an_error(
+        seed in any::<u64>(),
+        k in 2usize..16,
+        len in 1usize..32,
+        pattern in any::<u64>(),
+    ) {
+        let data = block_from_seed(seed, k, len);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        let mut all: Vec<Share> = data
+            .iter()
+            .enumerate()
+            .map(|(i, d)| Share { index: i, data: d.clone() })
+            .collect();
+        for j in 0..3 {
+            all.push(Share { index: k + j, data: enc.parity(j, &data).unwrap() });
+        }
+        let survivors = pick_distinct(all.len(), k - 1, pattern);
+        let shares: Vec<Share> = survivors.iter().map(|&i| all[i].clone()).collect();
+        let failed = matches!(
+            decode(k, &shares),
+            Err(rse::RseError::NotEnoughShares { .. })
+        );
+        prop_assert!(failed);
+    }
+
+    /// Encoding is deterministic: the same parity index over the same data
+    /// always yields the same bytes, across encoder instances.
+    #[test]
+    fn encoding_is_deterministic(seed in any::<u64>(), k in 1usize..12, j in 0usize..8) {
+        let data = block_from_seed(seed, k, 40);
+        let mut e1 = BlockEncoder::new(k).unwrap();
+        let mut e2 = BlockEncoder::new(k).unwrap();
+        // Warm e2's cache differently to show caching doesn't change output.
+        let _ = e2.parity(j.saturating_add(1).min(e2.max_parities() - 1), &data);
+        prop_assert_eq!(e1.parity(j, &data).unwrap(), e2.parity(j, &data).unwrap());
+    }
+
+    /// Parity packets are linear in the data: parity(a ^ b) = parity(a) ^ parity(b).
+    #[test]
+    fn parity_is_linear(sa in any::<u64>(), sb in any::<u64>(), k in 1usize..10) {
+        let a = block_from_seed(sa, k, 24);
+        let b = block_from_seed(sb, k, 24);
+        let xored: Vec<Vec<u8>> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.iter().zip(y).map(|(p, q)| p ^ q).collect())
+            .collect();
+        let mut enc = BlockEncoder::new(k).unwrap();
+        let pa = enc.parity(2.min(enc.max_parities() - 1), &a).unwrap();
+        let pb = enc.parity(2.min(enc.max_parities() - 1), &b).unwrap();
+        let px = enc.parity(2.min(enc.max_parities() - 1), &xored).unwrap();
+        let manual: Vec<u8> = pa.iter().zip(&pb).map(|(x, y)| x ^ y).collect();
+        prop_assert_eq!(px, manual);
+    }
+}

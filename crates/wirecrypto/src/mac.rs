@@ -1,0 +1,150 @@
+//! A SipHash-2-4-class keyed MAC, implemented from scratch.
+//!
+//! Used to authenticate sealed key blobs (truncated to 32 bits) and for
+//! the challenge–response registration handshake (full 64 bits).
+
+use crate::SymKey;
+
+#[inline]
+fn sip_round(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13);
+    v[1] ^= v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16);
+    v[3] ^= v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21);
+    v[3] ^= v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17);
+    v[1] ^= v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
+/// Computes the 64-bit MAC of `data` under `key`.
+pub fn mac64(key: &SymKey, data: &[u8]) -> u64 {
+    let kb = key.as_bytes();
+    let k0 = u64::from_le_bytes(kb[0..8].try_into().expect("8 bytes"));
+    let k1 = u64::from_le_bytes(kb[8..16].try_into().expect("8 bytes"));
+
+    let mut v = [
+        k0 ^ 0x736f6d6570736575,
+        k1 ^ 0x646f72616e646f6d,
+        k0 ^ 0x6c7967656e657261,
+        k1 ^ 0x7465646279746573,
+    ];
+
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        v[3] ^= m;
+        sip_round(&mut v);
+        sip_round(&mut v);
+        v[0] ^= m;
+    }
+
+    // Final block: remaining bytes plus the length in the top byte.
+    let rem = chunks.remainder();
+    let mut last = [0u8; 8];
+    last[..rem.len()].copy_from_slice(rem);
+    last[7] = data.len() as u8;
+    let m = u64::from_le_bytes(last);
+    v[3] ^= m;
+    sip_round(&mut v);
+    sip_round(&mut v);
+    v[0] ^= m;
+
+    v[2] ^= 0xff;
+    for _ in 0..4 {
+        sip_round(&mut v);
+    }
+    v[0] ^ v[1] ^ v[2] ^ v[3]
+}
+
+/// Computes a 32-bit tag (the sealed-blob tag size).
+pub fn mac32(key: &SymKey, data: &[u8]) -> u32 {
+    let full = mac64(key, data);
+    (full ^ (full >> 32)) as u32
+}
+
+/// Constant-time-ish comparison of two tags. With simulated crypto this is
+/// about interface hygiene, not a real side-channel defence.
+pub fn tags_equal(a: u32, b: u32) -> bool {
+    (a ^ b) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u8) -> SymKey {
+        SymKey::from_bytes([b; 16])
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(mac64(&key(1), b"hello"), mac64(&key(1), b"hello"));
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        assert_ne!(mac64(&key(1), b"hello"), mac64(&key(2), b"hello"));
+    }
+
+    #[test]
+    fn message_sensitivity() {
+        assert_ne!(mac64(&key(1), b"hello"), mac64(&key(1), b"hellp"));
+        assert_ne!(mac64(&key(1), b""), mac64(&key(1), b"\0"));
+    }
+
+    #[test]
+    fn length_extension_blocked_by_length_byte() {
+        // "ab" + "c" must differ from "abc" even though the bytes align.
+        assert_ne!(mac64(&key(3), b"ab\0"), mac64(&key(3), b"ab"));
+    }
+
+    #[test]
+    fn all_block_boundaries() {
+        // Exercise remainder lengths 0..=8 around the 8-byte block size.
+        let k = key(9);
+        let data = [0x5Au8; 24];
+        let macs: Vec<u64> = (0..=16).map(|n| mac64(&k, &data[..n])).collect();
+        for i in 0..macs.len() {
+            for j in (i + 1)..macs.len() {
+                assert_ne!(macs[i], macs[j], "lengths {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn mac32_mixes_both_halves() {
+        let k = key(4);
+        let t = mac32(&k, b"data");
+        let full = mac64(&k, b"data");
+        assert_eq!(t, (full ^ (full >> 32)) as u32);
+    }
+
+    #[test]
+    fn tag_comparison() {
+        assert!(tags_equal(5, 5));
+        assert!(!tags_equal(5, 6));
+    }
+
+    #[test]
+    fn avalanche_rough_check() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let k = key(77);
+        let base = mac64(&k, b"avalanche-input!");
+        let mut total = 0u32;
+        let mut data = *b"avalanche-input!";
+        for byte in 0..data.len() {
+            data[byte] ^= 1;
+            total += (mac64(&k, &data) ^ base).count_ones();
+            data[byte] ^= 1;
+        }
+        let avg = total as f64 / 16.0;
+        assert!((20.0..44.0).contains(&avg), "average flipped bits {avg}");
+    }
+}

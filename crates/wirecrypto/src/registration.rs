@@ -1,0 +1,322 @@
+//! The registration handshake: how a user obtains its ID and individual key.
+//!
+//! The papers delegate registration to trusted registrars speaking an
+//! SSL-like mutually-authenticating protocol; the rekey transport only
+//! assumes that every user ends up with a unique ID and an *individual key*
+//! shared with the key server. This module provides a compact
+//! challenge–response protocol with the same outcome, built on the crate's
+//! own MAC and cipher:
+//!
+//! ```text
+//! user -> registrar : JoinRequest   { user_nonce }
+//! registrar -> user : Challenge     { registrar_nonce }
+//! user -> registrar : Proof         { mac(credential, user_nonce || registrar_nonce || "user") }
+//! registrar -> user : Grant         { user_id,
+//!                                     sealed individual key,
+//!                                     mac(credential, transcript || "registrar") }
+//! ```
+//!
+//! Both proofs are keyed by a pre-shared `credential` (standing in for the
+//! certificate exchange), so each side authenticates the other; the
+//! individual key travels sealed under a key derived from the credential
+//! and both nonces, so a passive observer learns nothing.
+
+use crate::{mac, KeyGen, SealedKey, StreamCipher, SymKey, UnsealError};
+
+/// First flow: the prospective user's hello.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinRequest {
+    /// Fresh user-chosen nonce.
+    pub user_nonce: u64,
+}
+
+/// Second flow: the registrar's challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Challenge {
+    /// Fresh registrar-chosen nonce.
+    pub registrar_nonce: u64,
+}
+
+/// Third flow: the user's proof of credential possession.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Proof {
+    /// `mac64(credential, user_nonce || registrar_nonce || "user")`.
+    pub tag: u64,
+}
+
+/// Fourth flow: acceptance, carrying the user's identity and sealed
+/// individual key plus the registrar's own authentication tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The ID assigned to the user (its u-node ID is assigned later by the
+    /// key server; this is the registration identity).
+    pub user_id: u32,
+    /// The individual key, sealed under the session key.
+    pub sealed_key: SealedKey,
+    /// `mac64(credential, transcript || "registrar")`.
+    pub tag: u64,
+}
+
+/// Errors of the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistrationError {
+    /// The user's proof did not verify against the shared credential.
+    BadUserProof,
+    /// The registrar's grant tag did not verify.
+    BadRegistrarProof,
+    /// The sealed individual key failed to open.
+    BadSealedKey(UnsealError),
+}
+
+impl core::fmt::Display for RegistrationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RegistrationError::BadUserProof => write!(f, "user proof rejected"),
+            RegistrationError::BadRegistrarProof => write!(f, "registrar proof rejected"),
+            RegistrationError::BadSealedKey(e) => write!(f, "individual key unsealing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistrationError {}
+
+fn proof_input(user_nonce: u64, registrar_nonce: u64, side: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(16 + side.len());
+    v.extend_from_slice(&user_nonce.to_le_bytes());
+    v.extend_from_slice(&registrar_nonce.to_le_bytes());
+    v.extend_from_slice(side);
+    v
+}
+
+/// Session key for sealing the individual key: derived from the credential
+/// and both nonces, so it is unique per handshake.
+fn session_key(credential: &SymKey, user_nonce: u64, registrar_nonce: u64) -> SymKey {
+    let mut bytes = [0u8; 16];
+    let a = mac::mac64(credential, &proof_input(user_nonce, registrar_nonce, b"sk-lo"));
+    let b = mac::mac64(credential, &proof_input(user_nonce, registrar_nonce, b"sk-hi"));
+    bytes[..8].copy_from_slice(&a.to_le_bytes());
+    bytes[8..].copy_from_slice(&b.to_le_bytes());
+    SymKey::from_bytes(bytes)
+}
+
+/// User side of the handshake.
+#[derive(Debug)]
+pub struct UserRegistration {
+    credential: SymKey,
+    user_nonce: u64,
+    registrar_nonce: Option<u64>,
+}
+
+impl UserRegistration {
+    /// Starts a handshake; `nonce_seed` feeds the user's nonce.
+    pub fn start(credential: SymKey, nonce_seed: u64) -> (Self, JoinRequest) {
+        // Derive the nonce through the cipher so weak seeds don't produce
+        // predictable nonces across users.
+        let mut stream = StreamCipher::new(&credential, nonce_seed);
+        let bytes = stream.keystream(8);
+        let user_nonce = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+        (
+            UserRegistration {
+                credential,
+                user_nonce,
+                registrar_nonce: None,
+            },
+            JoinRequest { user_nonce },
+        )
+    }
+
+    /// Answers the registrar's challenge.
+    pub fn prove(&mut self, challenge: Challenge) -> Proof {
+        self.registrar_nonce = Some(challenge.registrar_nonce);
+        Proof {
+            tag: mac::mac64(
+                &self.credential,
+                &proof_input(self.user_nonce, challenge.registrar_nonce, b"user"),
+            ),
+        }
+    }
+
+    /// Verifies the grant and extracts `(user_id, individual_key)`.
+    pub fn accept(&self, grant: Grant) -> Result<(u32, SymKey), RegistrationError> {
+        let registrar_nonce = self
+            .registrar_nonce
+            .expect("accept called before prove");
+        let mut transcript = proof_input(self.user_nonce, registrar_nonce, b"registrar");
+        transcript.extend_from_slice(&grant.user_id.to_le_bytes());
+        transcript.extend_from_slice(grant.sealed_key.as_bytes());
+        if mac::mac64(&self.credential, &transcript) != grant.tag {
+            return Err(RegistrationError::BadRegistrarProof);
+        }
+        let sk = session_key(&self.credential, self.user_nonce, registrar_nonce);
+        let individual = grant
+            .sealed_key
+            .unseal(&sk, grant.user_id as u64)
+            .map_err(RegistrationError::BadSealedKey)?;
+        Ok((grant.user_id, individual))
+    }
+}
+
+/// Registrar side of the handshake (one instance per in-flight user).
+#[derive(Debug)]
+pub struct RegistrarSession {
+    credential: SymKey,
+    user_nonce: u64,
+    registrar_nonce: u64,
+}
+
+impl RegistrarSession {
+    /// Accepts a join request and issues a challenge.
+    pub fn challenge(credential: SymKey, request: JoinRequest, nonce_seed: u64) -> (Self, Challenge) {
+        let mut stream = StreamCipher::new(&credential, nonce_seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+        let bytes = stream.keystream(8);
+        let registrar_nonce = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+        (
+            RegistrarSession {
+                credential,
+                user_nonce: request.user_nonce,
+                registrar_nonce,
+            },
+            Challenge { registrar_nonce },
+        )
+    }
+
+    /// Verifies the user's proof and, if valid, issues the grant with a
+    /// freshly minted individual key.
+    pub fn grant(
+        &self,
+        proof: Proof,
+        user_id: u32,
+        keygen: &mut KeyGen,
+    ) -> Result<(Grant, SymKey), RegistrationError> {
+        let expect = mac::mac64(
+            &self.credential,
+            &proof_input(self.user_nonce, self.registrar_nonce, b"user"),
+        );
+        if proof.tag != expect {
+            return Err(RegistrationError::BadUserProof);
+        }
+        let individual = keygen.next_key();
+        let sk = session_key(&self.credential, self.user_nonce, self.registrar_nonce);
+        let sealed_key = SealedKey::seal(&sk, &individual, user_id as u64);
+        let mut transcript = proof_input(self.user_nonce, self.registrar_nonce, b"registrar");
+        transcript.extend_from_slice(&user_id.to_le_bytes());
+        transcript.extend_from_slice(sealed_key.as_bytes());
+        let tag = mac::mac64(&self.credential, &transcript);
+        Ok((
+            Grant {
+                user_id,
+                sealed_key,
+                tag,
+            },
+            individual,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cred(b: u8) -> SymKey {
+        SymKey::from_bytes([b; 16])
+    }
+
+    fn run_handshake(
+        user_cred: SymKey,
+        registrar_cred: SymKey,
+    ) -> Result<(u32, SymKey, SymKey), RegistrationError> {
+        let mut keygen = KeyGen::from_seed(99);
+        let (mut user, join) = UserRegistration::start(user_cred, 1);
+        let (registrar, challenge) = RegistrarSession::challenge(registrar_cred, join, 2);
+        let proof = user.prove(challenge);
+        let (grant, server_copy) = registrar.grant(proof, 1234, &mut keygen)?;
+        let (id, user_copy) = user.accept(grant)?;
+        Ok((id, user_copy, server_copy))
+    }
+
+    #[test]
+    fn honest_handshake_succeeds_and_keys_agree() {
+        let (id, user_key, server_key) = run_handshake(cred(5), cred(5)).unwrap();
+        assert_eq!(id, 1234);
+        assert_eq!(user_key, server_key);
+    }
+
+    #[test]
+    fn wrong_user_credential_rejected_by_registrar() {
+        let err = run_handshake(cred(5), cred(6)).unwrap_err();
+        assert_eq!(err, RegistrationError::BadUserProof);
+    }
+
+    #[test]
+    fn forged_grant_rejected_by_user() {
+        let mut keygen = KeyGen::from_seed(1);
+        let (mut user, join) = UserRegistration::start(cred(5), 1);
+        let (registrar, challenge) = RegistrarSession::challenge(cred(5), join, 2);
+        let proof = user.prove(challenge);
+        let (grant, _) = registrar.grant(proof, 7, &mut keygen).unwrap();
+
+        // Attacker rewrites the user id.
+        let forged = Grant {
+            user_id: 8,
+            ..grant
+        };
+        assert_eq!(
+            user.accept(forged).unwrap_err(),
+            RegistrationError::BadRegistrarProof
+        );
+    }
+
+    #[test]
+    fn tampered_sealed_key_rejected() {
+        let mut keygen = KeyGen::from_seed(1);
+        let (mut user, join) = UserRegistration::start(cred(5), 1);
+        let (registrar, challenge) = RegistrarSession::challenge(cred(5), join, 2);
+        let proof = user.prove(challenge);
+        let (grant, _) = registrar.grant(proof, 7, &mut keygen).unwrap();
+
+        let mut bytes = *grant.sealed_key.as_bytes();
+        bytes[0] ^= 1;
+        let forged = Grant {
+            sealed_key: SealedKey::from_bytes(bytes),
+            ..grant
+        };
+        // Either tag catches it (transcript covers the sealed key).
+        assert_eq!(
+            user.accept(forged).unwrap_err(),
+            RegistrationError::BadRegistrarProof
+        );
+    }
+
+    #[test]
+    fn distinct_handshakes_mint_distinct_keys() {
+        let mut keygen = KeyGen::from_seed(3);
+        let mut keys = Vec::new();
+        for i in 0..10u64 {
+            let (mut user, join) = UserRegistration::start(cred(5), i);
+            let (registrar, challenge) = RegistrarSession::challenge(cred(5), join, 100 + i);
+            let proof = user.prove(challenge);
+            let (grant, _) = registrar.grant(proof, i as u32, &mut keygen).unwrap();
+            let (_, key) = user.accept(grant).unwrap();
+            keys.push(key);
+        }
+        keys.sort_by_key(|k| *k.as_bytes());
+        keys.dedup();
+        assert_eq!(keys.len(), 10);
+    }
+
+    #[test]
+    fn replayed_proof_fails_against_new_session() {
+        // Record a proof from one session, replay it into a session with a
+        // different registrar nonce.
+        let mut keygen = KeyGen::from_seed(1);
+        let (mut user, join) = UserRegistration::start(cred(5), 1);
+        let (_registrar1, challenge1) = RegistrarSession::challenge(cred(5), join, 2);
+        let proof = user.prove(challenge1);
+
+        let (registrar2, _challenge2) = RegistrarSession::challenge(cred(5), join, 3);
+        assert_eq!(
+            registrar2.grant(proof, 7, &mut keygen).unwrap_err(),
+            RegistrationError::BadUserProof
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Sealed key blobs: the 20-byte authenticated encryption `{k'}_k` that the
+//! paper calls an *encryption*.
+//!
+//! Layout: 16 bytes of ciphertext (the encrypted key) followed by a 4-byte
+//! MAC tag. The nonce is not carried on the wire; both sides derive it from
+//! context (`(rekey message id, encryption id)`), which is unique because a
+//! key encrypts at most one other key per rekey message.
+
+use crate::{mac, StreamCipher, SymKey};
+
+/// Wire length of a sealed key: 16-byte ciphertext + 4-byte tag. This is
+/// the `20` in the paper's USR-packet bound `3 + 20h` bytes.
+pub const SEALED_KEY_LEN: usize = 20;
+
+/// Why unsealing failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsealError {
+    /// The authentication tag did not verify: wrong key-encrypting key,
+    /// wrong context, or corrupted bytes.
+    BadTag,
+}
+
+impl core::fmt::Display for UnsealError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UnsealError::BadTag => write!(f, "sealed key failed authentication"),
+        }
+    }
+}
+
+impl std::error::Error for UnsealError {}
+
+/// A sealed (encrypted + authenticated) key as carried in ENC and USR
+/// packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealedKey {
+    bytes: [u8; SEALED_KEY_LEN],
+}
+
+impl SealedKey {
+    /// Seals `plain` under the key-encrypting key `kek` within `context`
+    /// (a caller-chosen unique value — the protocol uses
+    /// `(rekey message id << 32) | encryption id`).
+    pub fn seal(kek: &SymKey, plain: &SymKey, context: u64) -> Self {
+        let mut ct = *plain.as_bytes();
+        StreamCipher::apply_oneshot(kek, context, &mut ct);
+
+        // Tag binds ciphertext and context under the same key.
+        let mut mac_input = [0u8; 24];
+        mac_input[..16].copy_from_slice(&ct);
+        mac_input[16..].copy_from_slice(&context.to_le_bytes());
+        let tag = mac::mac32(kek, &mac_input);
+
+        let mut bytes = [0u8; SEALED_KEY_LEN];
+        bytes[..16].copy_from_slice(&ct);
+        bytes[16..].copy_from_slice(&tag.to_le_bytes());
+        SealedKey { bytes }
+    }
+
+    /// Attempts to recover the sealed key with `kek` in `context`.
+    pub fn unseal(&self, kek: &SymKey, context: u64) -> Result<SymKey, UnsealError> {
+        let ct: [u8; 16] = self.bytes[..16].try_into().expect("16 bytes");
+        let wire_tag = u32::from_le_bytes(self.bytes[16..].try_into().expect("4 bytes"));
+
+        let mut mac_input = [0u8; 24];
+        mac_input[..16].copy_from_slice(&ct);
+        mac_input[16..].copy_from_slice(&context.to_le_bytes());
+        if !mac::tags_equal(mac::mac32(kek, &mac_input), wire_tag) {
+            return Err(UnsealError::BadTag);
+        }
+
+        let mut pt = ct;
+        StreamCipher::apply_oneshot(kek, context, &mut pt);
+        Ok(SymKey::from_bytes(pt))
+    }
+
+    /// Raw wire bytes.
+    pub fn as_bytes(&self) -> &[u8; SEALED_KEY_LEN] {
+        &self.bytes
+    }
+
+    /// Parses wire bytes (no verification happens until [`Self::unseal`]).
+    pub fn from_bytes(bytes: [u8; SEALED_KEY_LEN]) -> Self {
+        SealedKey { bytes }
+    }
+
+    /// Parses from a slice, returning `None` on wrong length.
+    pub fn from_slice(slice: &[u8]) -> Option<Self> {
+        let bytes: [u8; SEALED_KEY_LEN] = slice.try_into().ok()?;
+        Some(SealedKey { bytes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u8) -> SymKey {
+        SymKey::from_bytes([b; 16])
+    }
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let kek = key(1);
+        let plain = key(2);
+        let sealed = SealedKey::seal(&kek, &plain, 42);
+        assert_eq!(sealed.unseal(&kek, 42).unwrap(), plain);
+    }
+
+    #[test]
+    fn wrong_kek_fails() {
+        let sealed = SealedKey::seal(&key(1), &key(2), 42);
+        assert_eq!(sealed.unseal(&key(3), 42), Err(UnsealError::BadTag));
+    }
+
+    #[test]
+    fn wrong_context_fails() {
+        let sealed = SealedKey::seal(&key(1), &key(2), 42);
+        assert_eq!(sealed.unseal(&key(1), 43), Err(UnsealError::BadTag));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let kek = key(1);
+        let sealed = SealedKey::seal(&kek, &key(2), 7);
+        for i in 0..SEALED_KEY_LEN {
+            let mut bytes = *sealed.as_bytes();
+            bytes[i] ^= 0x40;
+            let tampered = SealedKey::from_bytes(bytes);
+            assert_eq!(
+                tampered.unseal(&kek, 7),
+                Err(UnsealError::BadTag),
+                "flip in byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let sealed = SealedKey::seal(&key(1), &key(2), 1);
+        assert_ne!(&sealed.as_bytes()[..16], key(2).as_bytes());
+    }
+
+    #[test]
+    fn same_plain_different_context_different_wire() {
+        let a = SealedKey::seal(&key(1), &key(2), 1);
+        let b = SealedKey::seal(&key(1), &key(2), 2);
+        assert_ne!(a.as_bytes(), b.as_bytes());
+    }
+
+    #[test]
+    fn from_slice_length_check() {
+        assert!(SealedKey::from_slice(&[0u8; SEALED_KEY_LEN]).is_some());
+        assert!(SealedKey::from_slice(&[0u8; 19]).is_none());
+        assert!(SealedKey::from_slice(&[0u8; 21]).is_none());
+    }
+}

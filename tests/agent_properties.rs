@@ -1,0 +1,84 @@
+//! Property-based end-to-end churn: arbitrary join/leave sequences over
+//! lossy networks must always leave every agent holding the group key,
+//! with keys never reused and departed members locked out.
+
+use grouprekey::driver::Group;
+use grouprekey::ServerOptions;
+use keytree::Batch;
+use netsim::NetworkConfig;
+use proptest::prelude::*;
+use rekeyproto::ServerConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_churn_end_to_end(
+        seed in any::<u64>(),
+        n0 in 8u32..48,
+        k in prop::sample::select(vec![1usize, 3, 5, 10]),
+        alpha in prop::sample::select(vec![0.0, 0.3, 1.0]),
+        rounds in proptest::collection::vec((0usize..6, 0usize..6), 1..5),
+    ) {
+        let options = ServerOptions {
+            protocol: ServerConfig {
+                block_size: k,
+                ..ServerConfig::default()
+            },
+            ..ServerOptions::default()
+        };
+        let mut group = Group::new(
+            n0,
+            options,
+            NetworkConfig {
+                n_users: n0 as usize + 64,
+                alpha,
+                p_high: 0.25,
+                seed,
+                ..NetworkConfig::default()
+            },
+        );
+        let mut next_member = n0;
+        let mut state = seed;
+        let mut keys_seen = vec![group.group_key().unwrap()];
+
+        for (j, l) in rounds {
+            let mut members: Vec<u32> = group.agents.keys().copied().collect();
+            members.sort_unstable();
+            // Keep at least one member.
+            let l = l.min(members.len().saturating_sub(1));
+            let mut leaves = Vec::new();
+            for _ in 0..l {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let idx = (state >> 33) as usize % members.len();
+                leaves.push(members.swap_remove(idx));
+            }
+            let joins: Vec<_> = (0..j)
+                .map(|_| {
+                    let m = next_member;
+                    next_member += 1;
+                    group.mint_join(m)
+                })
+                .collect();
+            if joins.is_empty() && leaves.is_empty() {
+                continue;
+            }
+            let departed_agents: Vec<_> = leaves
+                .iter()
+                .map(|m| group.agents[m].clone())
+                .collect();
+            group.rekey(Batch::new(joins, leaves));
+
+            prop_assert!(group.all_agents_synchronized());
+            let gk = group.group_key().unwrap();
+            prop_assert!(!keys_seen.contains(&gk), "group key reuse");
+            for old in &departed_agents {
+                prop_assert_ne!(old.group_key(), Some(gk), "departed member kept up");
+            }
+            keys_seen.push(gk);
+            prop_assert_eq!(group.server.tree().check_invariants(), Ok(()));
+        }
+    }
+}

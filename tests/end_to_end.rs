@@ -1,0 +1,197 @@
+//! Full-stack integration: server, wire bytes, lossy network, FEC, user
+//! agents with real cryptography.
+
+use grouprekey::driver::Group;
+use grouprekey::ServerOptions;
+use keytree::Batch;
+use netsim::NetworkConfig;
+use rekeyproto::ServerConfig;
+use wirecrypto::registration::{RegistrarSession, UserRegistration};
+use wirecrypto::{KeyGen, SymKey};
+
+fn net(n: usize, seed: u64) -> NetworkConfig {
+    NetworkConfig {
+        n_users: n,
+        seed,
+        ..NetworkConfig::default()
+    }
+}
+
+#[test]
+fn churn_sequence_keeps_group_synchronized() {
+    let mut group = Group::new(64, ServerOptions::default(), net(160, 5));
+    let mut next = 64u32;
+    let mut keys_seen = vec![group.group_key().unwrap()];
+
+    for round in 0u32..10 {
+        let members: Vec<u32> = {
+            let mut m: Vec<u32> = group.agents.keys().copied().collect();
+            m.sort_unstable();
+            m
+        };
+        let leaves: Vec<u32> = members
+            .iter()
+            .copied()
+            .filter(|m| (m + round) % 7 == 0)
+            .take(5)
+            .collect();
+        let joins: Vec<(u32, SymKey)> = (0..(round % 4))
+            .map(|_| {
+                let j = group.mint_join(next);
+                next += 1;
+                j
+            })
+            .collect();
+        if joins.is_empty() && leaves.is_empty() {
+            continue;
+        }
+        group.rekey(Batch::new(joins, leaves));
+        let gk = group.group_key().unwrap();
+        assert!(
+            !keys_seen.contains(&gk),
+            "round {round}: group key repeated"
+        );
+        keys_seen.push(gk);
+        assert!(group.all_agents_synchronized(), "round {round}");
+    }
+}
+
+#[test]
+fn forward_secrecy_departed_member_locked_out() {
+    let mut group = Group::new(32, ServerOptions::default(), net(32, 9));
+    let victim_agent = group.agents[&7].clone();
+    group.rekey(Batch::new(vec![], vec![7]));
+
+    // The departed member's frozen agent must not know the new group key,
+    // and no encryption in any subsequent message can be opened with its
+    // old keys (its individual key no longer encrypts anything).
+    let new_gk = group.group_key().unwrap();
+    assert_ne!(victim_agent.group_key(), Some(new_gk));
+}
+
+#[test]
+fn backward_secrecy_joiner_cannot_read_past() {
+    let mut group = Group::new(32, ServerOptions::default(), net(64, 11));
+    let old_gk = group.group_key().unwrap();
+    let join = group.mint_join(500);
+    group.rekey(Batch::new(vec![join], vec![]));
+    let newcomer = &group.agents[&500];
+    assert_eq!(newcomer.group_key(), group.group_key());
+    assert_ne!(newcomer.group_key(), Some(old_gk), "backward secrecy");
+}
+
+#[test]
+fn high_loss_network_still_delivers() {
+    let cfg = NetworkConfig {
+        n_users: 48,
+        alpha: 1.0,
+        p_high: 0.35,
+        p_source: 0.05,
+        seed: 13,
+        ..NetworkConfig::default()
+    };
+    let mut group = Group::new(48, ServerOptions::default(), cfg);
+    for i in 0..5 {
+        group.rekey(Batch::new(vec![], vec![i * 7]));
+        assert!(group.all_agents_synchronized(), "message {i}");
+    }
+}
+
+#[test]
+fn single_multicast_round_forces_unicast_tail() {
+    let options = ServerOptions {
+        protocol: ServerConfig {
+            max_multicast_rounds: 1,
+            initial_rho: 1.0,
+            ..ServerConfig::default()
+        },
+        ..ServerOptions::default()
+    };
+    let cfg = NetworkConfig {
+        n_users: 192,
+        alpha: 1.0,
+        p_high: 0.30,
+        seed: 21,
+        ..NetworkConfig::default()
+    };
+    let mut group = Group::new(192, options, cfg);
+    let mut unicast_used = false;
+    // Scattered leavers make the rekey subtree wide (several ENC packets),
+    // so some user plausibly loses its block in the one multicast round.
+    let mut join_id = 1000u32;
+    for i in 0..4u32 {
+        let mut alive: Vec<u32> = group.agents.keys().copied().collect();
+        alive.sort_unstable();
+        let leaves: Vec<u32> = alive
+            .iter()
+            .copied()
+            .skip(i as usize)
+            .step_by(4)
+            .take(40)
+            .collect();
+        let joins: Vec<_> = leaves
+            .iter()
+            .map(|_| {
+                join_id += 1;
+                group.mint_join(join_id)
+            })
+            .collect();
+        let report = group.rekey(Batch::new(joins, leaves));
+        unicast_used |= report.usr_packets > 0;
+        assert!(group.all_agents_synchronized());
+    }
+    assert!(
+        unicast_used,
+        "30% loss with one multicast round must exercise unicast"
+    );
+}
+
+#[test]
+fn mass_join_with_splits_end_to_end() {
+    // 16-user full tree + 40 joins forces repeated node splitting; moved
+    // users must rederive their IDs from maxKID and still get their keys.
+    let mut group = Group::new(16, ServerOptions::default(), net(80, 17));
+    let joins: Vec<(u32, SymKey)> = (0..40).map(|i| group.mint_join(100 + i)).collect();
+    group.rekey(Batch::new(joins, vec![]));
+    assert_eq!(group.agents.len(), 56);
+    assert!(group.all_agents_synchronized());
+}
+
+#[test]
+fn group_shrinks_to_one_member() {
+    let mut group = Group::new(8, ServerOptions::default(), net(8, 23));
+    group.rekey(Batch::new(vec![], (1..8).collect()));
+    assert_eq!(group.agents.len(), 1);
+    assert!(group.all_agents_synchronized());
+}
+
+#[test]
+fn registration_handshake_feeds_admission() {
+    // Run the real challenge-response registration, then admit the user
+    // with the key it negotiated and verify it can follow a rekey.
+    let credential = SymKey::from_bytes(*b"shared-credentia");
+    let mut keygen = KeyGen::from_seed(99);
+
+    let (mut user_side, join_req) = UserRegistration::start(credential, 1);
+    let (registrar, challenge) = RegistrarSession::challenge(credential, join_req, 2);
+    let proof = user_side.prove(challenge);
+    let (grant, server_copy) = registrar.grant(proof, 4242, &mut keygen).unwrap();
+    let (reg_id, user_copy) = user_side.accept(grant).unwrap();
+    assert_eq!(reg_id, 4242);
+    assert_eq!(user_copy, server_copy);
+
+    let mut group = Group::new(16, ServerOptions::default(), net(32, 29));
+    group.rekey(Batch::new(vec![(4242, user_copy)], vec![]));
+    assert!(group.agents.contains_key(&4242));
+    assert!(group.all_agents_synchronized());
+}
+
+#[test]
+fn empty_batch_changes_nothing() {
+    let mut group = Group::new(16, ServerOptions::default(), net(16, 31));
+    let gk = group.group_key();
+    let report = group.rekey(Batch::default());
+    assert_eq!(report.enc_packets, 0);
+    assert_eq!(group.group_key(), gk);
+    assert!(group.all_agents_synchronized());
+}

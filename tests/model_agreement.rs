@@ -1,0 +1,239 @@
+//! The high-throughput transport simulator (`grouprekey::sim`, share-count
+//! users) and the byte-faithful path (`rekeyproto::UserSession` over wire
+//! bytes) must produce *identical* delivery dynamics when driven by the
+//! same network randomness: same per-user success rounds, same NACK
+//! counts, same server decisions. This is the justification for using the
+//! fast model in the figure experiments.
+
+use std::collections::HashMap;
+
+use keytree::{Batch, KeyTree, NodeId};
+use netsim::{Network, NetworkConfig};
+use rekeymsg::{build_usr_packet, Layout, Packet, UkaAssignment};
+use rekeyproto::{RoundDecision, ServerConfig, ServerController, UserSession};
+use wirecrypto::KeyGen;
+
+use grouprekey::sim::{run_message_transport, SimConfig, SimUser};
+
+struct Scenario {
+    tree: KeyTree,
+    outcome: keytree::MarkOutcome,
+    assignment: UkaAssignment,
+    proto: ServerConfig,
+    net_cfg: NetworkConfig,
+}
+
+fn scenario(seed: u64, alpha: f64, p_high: f64, max_rounds: usize) -> Scenario {
+    let n = 128u32;
+    let mut kg = KeyGen::from_seed(seed);
+    let mut tree = KeyTree::balanced(n, 4, &mut kg);
+    let leaves: Vec<u32> = (0..32u32).map(|i| i * 4).collect();
+    let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
+    let assignment = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT);
+    let proto = ServerConfig {
+        block_size: 5,
+        initial_rho: 1.0,
+        adapt_rho: false,
+        max_multicast_rounds: max_rounds,
+        ..ServerConfig::default()
+    };
+    let net_cfg = NetworkConfig {
+        n_users: n as usize,
+        alpha,
+        p_high,
+        seed: seed ^ 0xBEEF,
+        ..NetworkConfig::default()
+    };
+    Scenario {
+        tree,
+        outcome,
+        assignment,
+        proto,
+        net_cfg,
+    }
+}
+
+/// Byte-faithful replica of `run_message_transport`'s loop, with real
+/// packets crossing the network as bytes.
+fn run_byte_faithful(sc: &Scenario) -> (HashMap<NodeId, usize>, usize, f64) {
+    let layout = Layout::DEFAULT;
+    let controller = ServerController::new(sc.proto);
+    let mut session = controller.begin_message(sc.assignment.packets.clone(), 100);
+    let mut net = Network::new(sc.net_cfg);
+    let mut clock = 0.0f64;
+    let send_interval = sc.net_cfg.send_interval_ms;
+    let rtt = 2.0 * sc.net_cfg.one_way_delay_ms;
+
+    // Users in sorted member order, identically to the sim run.
+    let mut members = sc.tree.member_ids();
+    members.sort_unstable();
+    let nodes: Vec<NodeId> = members
+        .iter()
+        .map(|&m| sc.tree.node_of_member(m).unwrap())
+        .collect();
+    let mut users: Vec<UserSession> = nodes
+        .iter()
+        .map(|&node| UserSession::new(node, 4, sc.proto.block_size, layout))
+        .collect();
+    let member_by_node: HashMap<NodeId, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
+
+    let mut round = 1usize;
+    let mut action = RoundDecision::Multicast(session.start());
+    loop {
+        match &action {
+            RoundDecision::Multicast(schedule) => {
+                for pkt in schedule {
+                    clock += send_interval;
+                    let bytes = pkt.emit(&layout);
+                    let listeners: Vec<usize> = (0..users.len())
+                        .filter(|&i| !users[i].is_satisfied())
+                        .collect();
+                    if listeners.is_empty() {
+                        break;
+                    }
+                    for (slot, ok) in net.multicast_to(clock, &listeners) {
+                        if ok {
+                            let parsed = Packet::parse(&bytes, &layout).unwrap();
+                            users[slot].receive(&parsed);
+                        }
+                    }
+                }
+            }
+            RoundDecision::Unicast(wave) => {
+                for node in &wave.targets {
+                    let slot = member_by_node[node];
+                    let usr =
+                        build_usr_packet(&sc.tree, &sc.outcome, members[slot], 1).unwrap();
+                    let bytes = Packet::Usr(usr).emit(&layout);
+                    for _ in 0..wave.duplicates {
+                        clock += send_interval;
+                        if net.unicast(clock, slot) {
+                            let parsed = Packet::parse(&bytes, &layout).unwrap();
+                            users[slot].receive(&parsed);
+                        }
+                    }
+                }
+            }
+            RoundDecision::Done => {}
+        }
+        clock += rtt;
+        for (i, u) in users.iter_mut().enumerate() {
+            if let Some(nack) = u.end_of_round() {
+                session.accept_nack(nodes[i], &nack);
+            }
+        }
+        action = session.end_of_round();
+        if matches!(action, RoundDecision::Done) {
+            break;
+        }
+        round += 1;
+        assert!(round < 64, "byte-faithful run did not converge");
+    }
+
+    let per_user: HashMap<NodeId, usize> = nodes
+        .iter()
+        .zip(&users)
+        .map(|(&n, u)| (n, u.rounds_to_success().expect("all served")))
+        .collect();
+    (
+        per_user,
+        session.first_round_nack_count(),
+        session.bandwidth_overhead(),
+    )
+}
+
+fn run_fast_model(sc: &Scenario) -> (HashMap<NodeId, usize>, usize, f64) {
+    let controller = ServerController::new(sc.proto);
+    let mut session = controller.begin_message(sc.assignment.packets.clone(), 100);
+    let mut net = Network::new(sc.net_cfg);
+    let mut clock = 0.0f64;
+    let k = sc.proto.block_size;
+
+    let mut members = sc.tree.member_ids();
+    members.sort_unstable();
+    let mut users: Vec<SimUser> = members
+        .iter()
+        .enumerate()
+        .map(|(idx, &m)| {
+            let uid = sc.tree.node_of_member(m).unwrap();
+            let tb = sc
+                .assignment
+                .packet_of_user
+                .get(&uid)
+                .map(|&pi| (pi / k) as u8);
+            SimUser::new(idx, uid, k, 4, tb)
+        })
+        .collect();
+
+    let stats = run_message_transport(
+        &mut net,
+        &mut clock,
+        &mut session,
+        &mut users,
+        &SimConfig::default(),
+    );
+    assert_eq!(stats.unserved, 0);
+
+    let per_user: HashMap<NodeId, usize> = users
+        .iter()
+        .map(|u| (u.node_id, u.satisfied_round().expect("served")))
+        .collect();
+    (
+        per_user,
+        session.first_round_nack_count(),
+        session.bandwidth_overhead(),
+    )
+}
+
+fn assert_agreement(seed: u64, alpha: f64, p_high: f64, max_rounds: usize) {
+    let sc = scenario(seed, alpha, p_high, max_rounds);
+    let (bytes_rounds, bytes_nacks, bytes_bw) = run_byte_faithful(&sc);
+    let (fast_rounds, fast_nacks, fast_bw) = run_fast_model(&sc);
+
+    assert_eq!(bytes_nacks, fast_nacks, "round-1 NACK counts differ");
+    assert!((bytes_bw - fast_bw).abs() < 1e-12, "bandwidth overhead differs");
+    assert_eq!(
+        bytes_rounds.len(),
+        fast_rounds.len(),
+        "user population differs"
+    );
+    for (node, r) in &bytes_rounds {
+        assert_eq!(
+            fast_rounds.get(node),
+            Some(r),
+            "node {node}: byte-faithful round {r} vs fast {:?}",
+            fast_rounds.get(node)
+        );
+    }
+}
+
+#[test]
+fn agreement_low_loss() {
+    assert_agreement(11, 0.2, 0.20, usize::MAX);
+}
+
+#[test]
+fn agreement_heavy_loss_multicast_only() {
+    assert_agreement(12, 1.0, 0.30, usize::MAX);
+}
+
+#[test]
+fn agreement_with_unicast_tail() {
+    assert_agreement(13, 1.0, 0.30, 1);
+}
+
+#[test]
+fn agreement_two_round_switch() {
+    assert_agreement(14, 0.4, 0.25, 2);
+}
+
+#[test]
+fn agreement_many_seeds() {
+    for seed in 20..30 {
+        assert_agreement(seed, 0.2, 0.20, 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! Shape assertions from the paper's evaluation, at reduced scale so they
+//! run in test time. The bench binaries regenerate the full figures; these
+//! tests pin the qualitative claims so regressions are caught by
+//! `cargo test`.
+
+use grouprekey::experiment::{
+    encryption_cost_batch, encryption_cost_individual, run_experiment, workload_stats,
+    ExperimentParams, ExperimentRun,
+};
+use netsim::NetworkConfig;
+use rekeymsg::Layout;
+use rekeyproto::ServerConfig;
+
+fn base(n: u32, messages: usize) -> ExperimentParams {
+    ExperimentParams {
+        messages,
+        net: NetworkConfig {
+            ..NetworkConfig::default()
+        },
+        ..ExperimentParams::default()
+    }
+    .with_n(n)
+}
+
+/// Figure 6: ENC packets grow roughly linearly with N for L = N/4.
+#[test]
+fn fig6_enc_packets_linear_in_n() {
+    let p512 = workload_stats(512, 4, 0, 128, 3, 1, &Layout::DEFAULT);
+    let p1024 = workload_stats(1024, 4, 0, 256, 3, 1, &Layout::DEFAULT);
+    let p2048 = workload_stats(2048, 4, 0, 512, 3, 1, &Layout::DEFAULT);
+    let r1 = p1024.enc_packets / p512.enc_packets;
+    let r2 = p2048.enc_packets / p1024.enc_packets;
+    assert!((1.6..2.4).contains(&r1), "512->1024 ratio {r1}");
+    assert!((1.6..2.4).contains(&r2), "1024->2048 ratio {r2}");
+}
+
+/// Figure 6 (middle): for fixed L, message size grows with J; for fixed J,
+/// it peaks around L = N/d.
+#[test]
+fn fig6_join_leave_shape() {
+    let n = 1024u32;
+    let l_fixed = 256usize;
+    let j_small = workload_stats(n, 4, 64, l_fixed, 3, 2, &Layout::DEFAULT);
+    let j_big = workload_stats(n, 4, 512, l_fixed, 3, 2, &Layout::DEFAULT);
+    assert!(
+        j_big.enc_packets > j_small.enc_packets,
+        "more joins -> bigger message"
+    );
+
+    // L sweep at J = 0: peak near N/d, smaller at the extremes.
+    let at = |l: usize| workload_stats(n, 4, 0, l, 4, 3, &Layout::DEFAULT).encryptions;
+    let small = at(16);
+    let peak = at((n / 4) as usize);
+    let huge = at(n as usize - 8);
+    assert!(peak > small, "peak {peak} vs small-L {small}");
+    assert!(peak > huge, "peak {peak} vs huge-L {huge}");
+}
+
+/// Figure 7: duplication overhead is small (< (log_d N - 1) / 46 + eps)
+/// and grows with log N.
+#[test]
+fn fig7_duplication_bounds() {
+    let p256 = workload_stats(256, 4, 0, 64, 4, 4, &Layout::DEFAULT);
+    let p4096 = workload_stats(4096, 4, 0, 1024, 2, 4, &Layout::DEFAULT);
+    assert!(p256.duplication < (4.0 - 1.0) / 46.0 + 0.05, "{}", p256.duplication);
+    assert!(p4096.duplication < (6.0 - 1.0) / 46.0 + 0.05, "{}", p4096.duplication);
+    assert!(
+        p4096.duplication > p256.duplication,
+        "duplication should grow with log N: {} vs {}",
+        p4096.duplication,
+        p256.duplication
+    );
+}
+
+/// Figure 9 (left): first-round NACKs fall sharply as rho rises.
+#[test]
+fn fig9_nacks_fall_with_rho() {
+    let nacks_at = |rho: f64| -> f64 {
+        let params = ExperimentParams {
+            protocol: ServerConfig {
+                initial_rho: rho,
+                adapt_rho: false,
+                ..ServerConfig::default()
+            },
+            messages: 4,
+            ..base(1024, 4)
+        }
+        .multicast_only();
+        let reports = run_experiment(params);
+        reports.iter().map(|r| r.nacks_round1 as f64).sum::<f64>() / reports.len() as f64
+    };
+    let n1 = nacks_at(1.0);
+    let n2 = nacks_at(2.0);
+    assert!(
+        n2 < n1 / 4.0,
+        "rho 1 -> 2 should collapse NACKs: {n1} -> {n2}"
+    );
+}
+
+/// Figure 10 (left): at rho = 1 with alpha = 20%, well over 90% of users
+/// succeed within a single round.
+#[test]
+fn fig10_most_users_one_round() {
+    let params = ExperimentParams {
+        protocol: ServerConfig {
+            initial_rho: 1.0,
+            adapt_rho: false,
+            ..ServerConfig::default()
+        },
+        messages: 4,
+        ..base(1024, 4)
+    }
+    .multicast_only();
+    let reports = run_experiment(params);
+    for r in &reports {
+        assert!(
+            r.fraction_within(1) > 0.90,
+            "only {:.4} within one round",
+            r.fraction_within(1)
+        );
+    }
+}
+
+/// Figures 12–13: the adaptive controller pins first-round NACKs near the
+/// target from either initial rho.
+#[test]
+fn fig12_13_nack_control_converges() {
+    for initial_rho in [1.0, 2.0] {
+        let params = ExperimentParams {
+            protocol: ServerConfig {
+                initial_rho,
+                initial_num_nack: 20,
+                adapt_num_nack: false,
+                ..ServerConfig::default()
+            },
+            messages: 15,
+            ..base(1024, 15)
+        }
+        .multicast_only();
+        let reports = run_experiment(params);
+        // After convergence (skip the first five), NACKs average near 20.
+        let tail: Vec<usize> = reports[5..].iter().map(|r| r.nacks_round1).collect();
+        let avg = tail.iter().sum::<usize>() as f64 / tail.len() as f64;
+        assert!(
+            (2.0..60.0).contains(&avg),
+            "initial rho {initial_rho}: tail NACK average {avg} not controlled (tail {tail:?})"
+        );
+    }
+}
+
+/// Figure 17: block size has little effect on per-user delivery rounds.
+#[test]
+fn fig17_rounds_insensitive_to_k() {
+    let rounds_at = |k: usize| -> f64 {
+        let params = ExperimentParams {
+            protocol: ServerConfig {
+                block_size: k,
+                ..ServerConfig::default()
+            },
+            messages: 5,
+            ..base(1024, 5)
+        }
+        .multicast_only();
+        let reports = run_experiment(params);
+        reports.iter().map(|r| r.avg_user_rounds()).sum::<f64>() / reports.len() as f64
+    };
+    let r5 = rounds_at(5);
+    let r30 = rounds_at(30);
+    assert!((r5 - r30).abs() < 0.2, "k=5: {r5}, k=30: {r30}");
+    assert!(r5 < 1.3 && r30 < 1.3, "per-user rounds should be near 1");
+}
+
+/// SIGCOMM axis: batch rekeying costs far fewer encryptions than
+/// processing requests individually.
+#[test]
+fn sigcomm_batch_savings() {
+    let batch = encryption_cost_batch(512, 4, 0, 128, 2, 5);
+    let individual = encryption_cost_individual(512, 4, 0, 128, 2, 5);
+    assert!(
+        batch < individual / 2.0,
+        "batch {batch} vs individual {individual}"
+    );
+}
+
+/// SIGCOMM axis: rekey workload is sparse — a user needs only O(log_d N)
+/// encryptions out of a message that grows with N.
+#[test]
+fn sigcomm_sparseness() {
+    let p = workload_stats(1024, 4, 0, 256, 3, 6, &Layout::DEFAULT);
+    assert!(p.per_user_need <= 6.0, "per-user need {}", p.per_user_need);
+    assert!(
+        p.encryptions / p.per_user_need > 50.0,
+        "message should dwarf per-user needs"
+    );
+}
+
+/// Unserved users never happen: reliability is eventual even at alpha = 1
+/// with 40% loss.
+#[test]
+fn reliability_under_extreme_loss() {
+    let params = ExperimentParams {
+        net: NetworkConfig {
+            alpha: 1.0,
+            p_high: 0.40,
+            ..NetworkConfig::default()
+        },
+        messages: 3,
+        ..base(512, 3)
+    };
+    let reports = run_experiment(params);
+    for r in &reports {
+        assert_eq!(r.unserved_users, 0);
+    }
+}
+
+/// Deadline accounting: with a 1-round deadline some users miss; with a
+/// generous deadline nobody does.
+#[test]
+fn deadline_accounting() {
+    let mut strict = base(512, 3);
+    strict.sim.deadline_rounds = 1;
+    strict.protocol.initial_rho = 1.0;
+    strict.protocol.adapt_rho = false;
+    let strict_reports = run_experiment(strict.multicast_only());
+
+    let mut loose = base(512, 3);
+    loose.sim.deadline_rounds = 50;
+    let loose_reports = run_experiment(loose.multicast_only());
+
+    assert!(
+        strict_reports.iter().any(|r| r.missed_deadline > 0),
+        "1-round deadline at rho=1 should be missed by someone"
+    );
+    assert!(loose_reports.iter().all(|r| r.missed_deadline == 0));
+}
+
+/// The controller state is observable and persists across messages.
+#[test]
+fn controller_state_persists() {
+    let params = ExperimentParams {
+        protocol: ServerConfig {
+            initial_rho: 1.0,
+            initial_num_nack: 5,
+            ..ServerConfig::default()
+        },
+        messages: 6,
+        ..base(512, 6)
+    }
+    .multicast_only();
+    let mut run = ExperimentRun::new(params);
+    let mut rhos = Vec::new();
+    for _ in 0..6 {
+        let r = run.step();
+        rhos.push(r.rho);
+    }
+    // rho was adapted at least once across the sequence.
+    assert!(
+        rhos.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9),
+        "rho never moved: {rhos:?}"
+    );
+}

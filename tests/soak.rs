@@ -1,0 +1,100 @@
+//! Long-haul soak: one persistent group run byte-faithfully through 100
+//! rekey intervals of mixed churn, with every invariant checked every
+//! interval. This is the drift test — bugs that only manifest after holes
+//! accumulate, nodes split repeatedly, or message IDs wrap the 6-bit wire
+//! field show up here.
+
+use grouprekey::driver::Group;
+use grouprekey::frontend::{IntervalCollector, JoinRequest, LeaveRequest};
+use grouprekey::ServerOptions;
+use netsim::NetworkConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wirecrypto::SymKey;
+
+#[test]
+fn hundred_intervals_of_churn() {
+    let mut group = Group::new(
+        48,
+        ServerOptions::default(),
+        NetworkConfig {
+            n_users: 160,
+            alpha: 0.25,
+            seed: 404,
+            ..NetworkConfig::default()
+        },
+    );
+    let mut rng = SmallRng::seed_from_u64(2026);
+    let mut collector = IntervalCollector::new();
+    let mut next_member = 48u32;
+    let credential = SymKey::from_bytes(*b"soak-credential!");
+    let mut group_keys_seen = vec![group.group_key().unwrap()];
+
+    for interval in 0..100u64 {
+        // Random churn submitted through the authenticated front end.
+        let n_leaves = rng.gen_range(0..6usize);
+        let n_joins = rng.gen_range(0..6usize);
+
+        let mut members: Vec<u32> = group.agents.keys().copied().collect();
+        members.sort_unstable();
+        for _ in 0..n_leaves.min(members.len().saturating_sub(1)) {
+            let idx = rng.gen_range(0..members.len());
+            let m = members.swap_remove(idx);
+            let key = group.agents[&m]
+                .key_of(group.agents[&m].node_id())
+                .expect("individual key");
+            let req = LeaveRequest::sign(m, collector.interval(), &key);
+            collector
+                .submit_leave(req, |mm| {
+                    group
+                        .agents
+                        .get(&mm)
+                        .and_then(|a| a.key_of(a.node_id()))
+                })
+                .unwrap_or_else(|e| panic!("interval {interval}: leave {m}: {e}"));
+        }
+        for _ in 0..n_joins {
+            let m = next_member;
+            next_member += 1;
+            // Full registration handshake for every joiner.
+            let (_, key) = group
+                .register_join(m, credential, 0x1000 + m as u64)
+                .expect("registration succeeds");
+            let req = JoinRequest::sign(m, collector.interval(), &key);
+            collector
+                .submit_join(req, key, group.agents.contains_key(&m))
+                .unwrap_or_else(|e| panic!("interval {interval}: join {m}: {e}"));
+        }
+
+        let batch = collector.close_interval();
+        let changed = !batch.is_empty();
+        let before_key = group.group_key();
+        group.rekey(batch);
+
+        // Invariants, every interval.
+        group
+            .server
+            .tree()
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("interval {interval}: {e}"));
+        assert!(
+            group.all_agents_synchronized(),
+            "interval {interval}: agent desynchronized"
+        );
+        let gk = group.group_key().unwrap();
+        if changed {
+            assert_ne!(Some(gk), before_key, "interval {interval}: key unchanged");
+            assert!(
+                !group_keys_seen.contains(&gk),
+                "interval {interval}: group key reuse"
+            );
+            group_keys_seen.push(gk);
+        } else {
+            assert_eq!(Some(gk), before_key);
+        }
+        assert!(!group.agents.is_empty(), "group must never empty out here");
+    }
+
+    // 100 intervals means the 6-bit wire message ID wrapped at least once.
+    assert!(group.server.msg_seq() >= 100);
+}
