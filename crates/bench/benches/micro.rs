@@ -1,9 +1,15 @@
-//! Criterion microbenchmarks of the hot paths:
+//! Self-timed microbenchmarks of the hot paths:
 //! GF(2^8) fused multiply-accumulate, Reed–Solomon encode/decode across
 //! block sizes, the marking algorithm at the paper's scale, UKA planning,
 //! and sealing throughput.
+//!
+//! The harness is criterion-shaped but dependency-free (the build
+//! environment is offline): each benchmark is warmed up, then timed over
+//! enough iterations to fill a ~200 ms measurement window, and reported
+//! as ns/iter plus MiB/s where a byte throughput is meaningful.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use gf256::Gf256;
 use keytree::{Batch, KeyTree};
@@ -11,18 +17,66 @@ use rekeymsg::{assign, Layout};
 use rse::{decode, BlockEncoder, Share};
 use wirecrypto::{KeyGen, SealedKey, SymKey};
 
-fn bench_gf_mul_acc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gf256_mul_acc_slice");
-    let src = vec![0xA7u8; 1024];
-    let mut dst = vec![0u8; 1024];
-    group.throughput(Throughput::Bytes(1024));
-    group.bench_function("coeff_generic_1KiB", |b| {
-        b.iter(|| Gf256::mul_acc_slice(Gf256::new(0x8E), &src, &mut dst))
-    });
-    group.bench_function("coeff_one_1KiB", |b| {
-        b.iter(|| Gf256::mul_acc_slice(Gf256::ONE, &src, &mut dst))
-    });
-    group.finish();
+/// Times `op` and prints one report line. `bytes` adds a throughput
+/// column. `setup` runs outside the timed region before every iteration
+/// batch, supplying the per-iteration input.
+fn bench<S, T, O>(name: &str, bytes: Option<u64>, mut setup: S, mut op: O)
+where
+    S: FnMut() -> T,
+    O: FnMut(T) -> Box<dyn FnOnce()>,
+{
+    // The closure returns a deferred drop so teardown cost (freeing large
+    // outputs) stays outside the measured region.
+    const WINDOW: Duration = Duration::from_millis(200);
+
+    // Warm-up and calibration: how many iterations fit in the window?
+    let mut iters_per_round = 1u64;
+    loop {
+        let input = setup();
+        let start = Instant::now();
+        let cleanup = op(input);
+        let elapsed = start.elapsed();
+        drop(cleanup);
+        if elapsed * u32::try_from(iters_per_round).unwrap_or(u32::MAX) >= WINDOW
+            || iters_per_round >= 1 << 20
+        {
+            break;
+        }
+        iters_per_round *= 2;
+    }
+
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    while total < WINDOW {
+        let input = setup();
+        let start = Instant::now();
+        let cleanup = op(input);
+        total += start.elapsed();
+        drop(cleanup);
+        iters += 1;
+    }
+
+    let ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    match bytes {
+        Some(n) => {
+            let mib_s = (n as f64 * iters as f64) / total.as_secs_f64() / (1024.0 * 1024.0);
+            println!("{name:<44} {ns_per_iter:>12.0} ns/iter {mib_s:>10.1} MiB/s");
+        }
+        None => println!("{name:<44} {ns_per_iter:>12.0} ns/iter"),
+    }
+}
+
+/// Simple value benchmark: no per-iteration setup, output black-boxed.
+fn bench_simple<R>(name: &str, bytes: Option<u64>, mut op: impl FnMut() -> R) {
+    bench(
+        name,
+        bytes,
+        || (),
+        |()| {
+            black_box(op());
+            Box::new(|| ())
+        },
+    );
 }
 
 fn block(k: usize, len: usize) -> Vec<Vec<u8>> {
@@ -31,23 +85,33 @@ fn block(k: usize, len: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
-fn bench_rse_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rse_encode_parity");
-    for k in [1usize, 5, 10, 20, 50] {
-        let data = block(k, 1024);
-        group.throughput(Throughput::Bytes((k * 1024) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            let mut enc = BlockEncoder::new(k).unwrap();
-            // Warm the coefficient row cache: the steady-state server cost.
-            let _ = enc.parity(0, &data).unwrap();
-            b.iter(|| enc.parity(0, &data).unwrap())
-        });
-    }
-    group.finish();
+fn bench_gf_mul_acc() {
+    let src = vec![0xA7u8; 1024];
+    let mut dst = vec![0u8; 1024];
+    bench_simple("gf256_mul_acc_slice/coeff_generic_1KiB", Some(1024), || {
+        Gf256::mul_acc_slice(Gf256::new(0x8E), &src, &mut dst)
+    });
+    let mut dst2 = vec![0u8; 1024];
+    bench_simple("gf256_mul_acc_slice/coeff_one_1KiB", Some(1024), || {
+        Gf256::mul_acc_slice(Gf256::ONE, &src, &mut dst2)
+    });
 }
 
-fn bench_rse_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rse_decode_worst_case");
+fn bench_rse_encode() {
+    for k in [1usize, 5, 10, 20, 50] {
+        let data = block(k, 1024);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        // Warm the coefficient row cache: the steady-state server cost.
+        let _ = enc.parity(0, &data).unwrap();
+        bench_simple(
+            &format!("rse_encode_parity/k={k}"),
+            Some((k * 1024) as u64),
+            || enc.parity(0, &data).unwrap(),
+        );
+    }
+}
+
+fn bench_rse_decode() {
     for k in [5usize, 10, 20] {
         let data = block(k, 1024);
         let mut enc = BlockEncoder::new(k).unwrap();
@@ -58,90 +122,85 @@ fn bench_rse_decode(c: &mut Criterion) {
                 data: enc.parity(j, &data).unwrap(),
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| decode(k, &shares).unwrap())
+        bench_simple(&format!("rse_decode_worst_case/k={k}"), None, || {
+            decode(k, &shares).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_marking(c: &mut Criterion) {
-    let mut group = c.benchmark_group("marking_algorithm");
-    group.sample_size(20);
-    group.bench_function("N4096_L1024", |b| {
-        b.iter_batched(
-            || {
-                let mut kg = KeyGen::from_seed(1);
-                let tree = KeyTree::balanced(4096, 4, &mut kg);
-                let leaves: Vec<u32> = (0..1024u32).map(|i| i * 4).collect();
-                (tree, kg, leaves)
-            },
-            |(mut tree, mut kg, leaves)| tree.process_batch(&Batch::new(vec![], leaves), &mut kg),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+fn marked_setup() -> (KeyTree, KeyGen, Vec<u32>) {
+    let mut kg = KeyGen::from_seed(1);
+    let tree = KeyTree::balanced(4096, 4, &mut kg);
+    let leaves: Vec<u32> = (0..1024u32).map(|i| i * 4).collect();
+    (tree, kg, leaves)
 }
 
-fn bench_uka(c: &mut Criterion) {
-    let mut group = c.benchmark_group("uka_plan");
-    group.sample_size(20);
+fn bench_marking() {
+    bench(
+        "marking_algorithm/N4096_L1024",
+        None,
+        marked_setup,
+        |(mut tree, mut kg, leaves)| {
+            let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
+            black_box(&outcome);
+            Box::new(move || drop((tree, kg, outcome)))
+        },
+    );
+}
+
+fn bench_uka() {
     let mut kg = KeyGen::from_seed(2);
     let mut tree = KeyTree::balanced(4096, 4, &mut kg);
     let leaves: Vec<u32> = (0..1024u32).map(|i| i * 4).collect();
     let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
-    group.bench_function("N4096_L1024", |b| {
-        b.iter(|| assign::plan(&tree, &outcome, &Layout::DEFAULT))
+    bench_simple("uka_plan/N4096_L1024", None, || {
+        assign::plan(&tree, &outcome, &Layout::DEFAULT)
     });
-    group.finish();
 }
 
-fn bench_full_message_construction(c: &mut Criterion) {
+fn bench_full_message_construction() {
     // The whole server-side pipeline at the paper's scale: marking,
     // UKA packing, sealing, block partitioning, proactive parity encoding.
-    let mut group = c.benchmark_group("full_message_construction");
-    group.sample_size(10);
-    group.bench_function("N4096_L1024_k10_rho1_5", |b| {
-        b.iter_batched(
-            || {
-                let mut kg = KeyGen::from_seed(9);
-                let tree = KeyTree::balanced(4096, 4, &mut kg);
-                let leaves: Vec<u32> = (0..1024u32).map(|i| i * 4).collect();
-                (tree, kg, leaves)
-            },
-            |(mut tree, mut kg, leaves)| {
-                let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
-                let built =
-                    rekeymsg::UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT);
-                let mut blocks = rekeymsg::BlockSet::new(built.packets, 10, Layout::DEFAULT);
-                blocks.round_one_schedule(1.5).unwrap()
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    bench(
+        "full_message_construction/N4096_L1024_k10",
+        None,
+        || {
+            let mut kg = KeyGen::from_seed(9);
+            let tree = KeyTree::balanced(4096, 4, &mut kg);
+            let leaves: Vec<u32> = (0..1024u32).map(|i| i * 4).collect();
+            (tree, kg, leaves)
+        },
+        |(mut tree, mut kg, leaves)| {
+            let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
+            let built =
+                rekeymsg::UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT).unwrap();
+            let mut blocks = rekeymsg::BlockSet::new(built.packets, 10, Layout::DEFAULT);
+            let schedule = blocks.round_one_schedule(1.5).unwrap();
+            black_box(&schedule);
+            Box::new(move || drop((tree, kg, schedule)))
+        },
+    );
 }
 
-fn bench_seal(c: &mut Criterion) {
+fn bench_seal() {
     let kek = SymKey::from_bytes([1; 16]);
     let plain = SymKey::from_bytes([2; 16]);
-    c.bench_function("seal_one_encryption", |b| {
-        b.iter(|| SealedKey::seal(&kek, &plain, 12345))
+    bench_simple("seal_one_encryption", None, || {
+        SealedKey::seal(&kek, &plain, 12345)
     });
     let sealed = SealedKey::seal(&kek, &plain, 12345);
-    c.bench_function("unseal_one_encryption", |b| {
-        b.iter(|| sealed.unseal(&kek, 12345).unwrap())
+    bench_simple("unseal_one_encryption", None, || {
+        sealed.unseal(&kek, 12345).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_gf_mul_acc,
-    bench_rse_encode,
-    bench_rse_decode,
-    bench_marking,
-    bench_uka,
-    bench_full_message_construction,
-    bench_seal
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<44} {:>20} {:>16}", "benchmark", "time", "throughput");
+    bench_gf_mul_acc();
+    bench_rse_encode();
+    bench_rse_decode();
+    bench_marking();
+    bench_uka();
+    bench_full_message_construction();
+    bench_seal();
+}

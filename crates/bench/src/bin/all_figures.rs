@@ -4,8 +4,10 @@ use bench::Mode;
 
 fn main() {
     let mode = Mode::from_env();
-    println!("# Figure regeneration run (messages/point = {}, workload runs = {}, trajectory = {})",
-             mode.messages, mode.runs, mode.trajectory);
+    println!(
+        "# Figure regeneration run (messages/point = {}, workload runs = {}, trajectory = {})",
+        mode.messages, mode.runs, mode.trajectory
+    );
     figures::fig06(mode);
     figures::fig07(mode);
     figures::fig08(mode);

@@ -48,7 +48,10 @@ fn params_for(
 /// Figure 6 (middle): average # ENC packets as a function of J and L
 /// (N = 4096); (right): as a function of N for three (J, L) mixes.
 pub fn fig06(mode: Mode) {
-    header("Figure 6 (middle)", "avg # ENC packets vs (J, L), N = 4096, d = 4");
+    header(
+        "Figure 6 (middle)",
+        "avg # ENC packets vs (J, L), N = 4096, d = 4",
+    );
     let steps = [0usize, 512, 1024, 2048, 3072, 4096];
     print!("{:>6}", "J\\L");
     for &l in &steps {
@@ -58,7 +61,15 @@ pub fn fig06(mode: Mode) {
     for &j in &steps {
         print!("{j:>6}");
         for &l in &steps {
-            let p = workload_stats(4096, 4, j, l, mode.runs, 600 + j as u64 * 31 + l as u64, &Layout::DEFAULT);
+            let p = workload_stats(
+                4096,
+                4,
+                j,
+                l,
+                mode.runs,
+                600 + j as u64 * 31 + l as u64,
+                &Layout::DEFAULT,
+            );
             print!("{:>9.1}", p.enc_packets);
         }
         println!();
@@ -83,7 +94,10 @@ pub fn fig06(mode: Mode) {
 
 /// Figure 7: UKA duplication overhead vs (J, L) and vs N.
 pub fn fig07(mode: Mode) {
-    header("Figure 7 (left)", "avg duplication overhead vs (J, L), N = 4096");
+    header(
+        "Figure 7 (left)",
+        "avg duplication overhead vs (J, L), N = 4096",
+    );
     let steps = [0usize, 512, 1024, 2048, 3072, 4096];
     print!("{:>6}", "J\\L");
     for &l in &steps {
@@ -93,7 +107,15 @@ pub fn fig07(mode: Mode) {
     for &j in &steps {
         print!("{j:>6}");
         for &l in &steps {
-            let p = workload_stats(4096, 4, j, l, mode.runs, 700 + j as u64 * 17 + l as u64, &Layout::DEFAULT);
+            let p = workload_stats(
+                4096,
+                4,
+                j,
+                l,
+                mode.runs,
+                700 + j as u64 * 17 + l as u64,
+                &Layout::DEFAULT,
+            );
             print!("{:>9.4}", p.duplication);
         }
         println!();
@@ -175,7 +197,10 @@ pub fn fig08(mode: Mode) {
 /// the proactivity factor.
 pub fn fig09(mode: Mode) {
     let rhos = [1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.4, 3.0];
-    header("Figure 9 (left)", "avg # NACKs after round 1 vs rho (k = 10)");
+    header(
+        "Figure 9 (left)",
+        "avg # NACKs after round 1 vs rho (k = 10)",
+    );
     print!("{:>5}", "rho");
     for a in ALPHAS {
         print!("  alpha={a:<8}");
@@ -225,16 +250,18 @@ pub fn fig10(mode: Mode) {
         "Figure 10 (left)",
         "fraction of users needing r rounds (alpha = 20%)",
     );
-    println!("{:>5} {:>12} {:>12} {:>12} {:>12}", "rho", "r=1", "r=2", "r=3", "r>=4");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12}",
+        "rho", "r=1", "r=2", "r=3", "r>=4"
+    );
     for rho in [1.0, 1.6, 2.0] {
         let proto = ServerConfig {
             initial_rho: rho,
             adapt_rho: false,
             ..ServerConfig::default()
         };
-        let reports = run_experiment(
-            params_for(4096, 0.2, proto, mode.messages, 1000).multicast_only(),
-        );
+        let reports =
+            run_experiment(params_for(4096, 0.2, proto, mode.messages, 1000).multicast_only());
         let mut dist = [0.0f64; 4];
         let mut total = 0.0;
         for r in &reports {
@@ -270,7 +297,10 @@ pub fn fig10(mode: Mode) {
             let reports = run_experiment(
                 params_for(4096, alpha, proto, mode.messages, 1010).multicast_only(),
             );
-            print!("  {:<14.3}", mean(reports.iter().map(|r| r.bandwidth_overhead)));
+            print!(
+                "  {:<14.3}",
+                mean(reports.iter().map(|r| r.bandwidth_overhead))
+            );
         }
         println!();
     }
@@ -408,7 +438,10 @@ pub fn fig16(mode: Mode) {
             let reports = run_experiment(
                 params_for(4096, alpha, proto, mode.messages, 1600 + k as u64).multicast_only(),
             );
-            print!("  {:<12.3}", mean(reports.iter().map(|r| r.bandwidth_overhead)));
+            print!(
+                "  {:<12.3}",
+                mean(reports.iter().map(|r| r.bandwidth_overhead))
+            );
         }
         println!();
     }
@@ -435,7 +468,10 @@ pub fn fig16(mode: Mode) {
             let reports = run_experiment(
                 params_for(n, 0.2, proto, mode.messages, 1650 + k as u64).multicast_only(),
             );
-            print!("  {:<10.3}", mean(reports.iter().map(|r| r.bandwidth_overhead)));
+            print!(
+                "  {:<10.3}",
+                mean(reports.iter().map(|r| r.bandwidth_overhead))
+            );
         }
         println!();
     }
@@ -585,7 +621,10 @@ pub fn fig21(mode: Mode) {
     params.sim.deadline_rounds = 2;
     let messages = params.messages;
     let mut run = ExperimentRun::new(params);
-    println!("{:>4} {:>10} {:>9} {:>8} {:>8}", "msg", "missed", "numNACK", "rho", "usrPkts");
+    println!(
+        "{:>4} {:>10} {:>9} {:>8} {:>8}",
+        "msg", "missed", "numNACK", "rho", "usrPkts"
+    );
     for msg in 1..=messages {
         let r = run.step();
         println!(
@@ -623,7 +662,13 @@ pub fn sigcomm_batch(mode: Mode) {
         "{:>6} {:>6} {:>12} {:>14} {:>9}",
         "J", "L", "batch", "individual", "saving"
     );
-    for (j, l) in [(0usize, 256usize), (0, 1024), (256, 256), (1024, 1024), (1024, 0)] {
+    for (j, l) in [
+        (0usize, 256usize),
+        (0, 1024),
+        (256, 256),
+        (1024, 1024),
+        (1024, 0),
+    ] {
         let b = encryption_cost_batch(4096, 4, j, l, mode.runs.min(3), 2300);
         let i = encryption_cost_individual(4096, 4, j, l, 1, 2300);
         println!("{j:>6} {l:>6} {b:>12.1} {i:>14.1} {:>8.1}x", i / b.max(1.0));
@@ -637,7 +682,10 @@ pub fn sigcomm_model(mode: Mode) {
         "T-model [SIGCOMM axis]",
         "closed-form E[encryptions] vs measured marking algorithm (d = 4, N = 4096)",
     );
-    println!("{:>6} {:>12} {:>12} {:>8}", "L", "model", "measured", "err%");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "L", "model", "measured", "err%"
+    );
     for l in [1usize, 64, 256, 1024, 2048, 3584] {
         let model = keytree::analysis::expected_encryptions_leave_only(4, 6, l as u64);
         let measured = encryption_cost_batch(4096, 4, 0, l, mode.runs, 2500 + l as u64);

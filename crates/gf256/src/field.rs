@@ -222,8 +222,7 @@ impl Div for Gf256 {
     type Output = Gf256;
     #[inline]
     fn div(self, rhs: Self) -> Self {
-        self.checked_div(rhs)
-            .expect("division by zero in GF(2^8)")
+        self.checked_div(rhs).expect("division by zero in GF(2^8)")
     }
 }
 

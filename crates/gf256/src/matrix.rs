@@ -47,8 +47,20 @@ impl Matrix {
     /// Any `cols` rows of this matrix are linearly independent as long as
     /// `rows <= 255`, which is the property erasure codes rely on.
     pub fn vandermonde(rows: usize, cols: usize) -> Self {
-        assert!(rows <= 255, "at most 255 distinct non-zero evaluation points");
-        Matrix::from_fn(rows, cols, |r, c| Gf256::alpha_pow(r).pow(c as u32))
+        assert!(
+            rows <= 255,
+            "at most 255 distinct non-zero evaluation points"
+        );
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            let x = Gf256::alpha_pow(r);
+            let mut acc = Gf256::ONE;
+            for c in 0..cols {
+                m[(r, c)] = acc;
+                acc *= x;
+            }
+        }
+        m
     }
 
     /// Number of rows.

@@ -3,9 +3,9 @@
 //! The tables are produced by `const fn` evaluation so there is no runtime
 //! initialisation and no interior mutability anywhere in the field core.
 
-use crate::REDUCTION_POLY;
 #[cfg(test)]
 use crate::GENERATOR;
+use crate::REDUCTION_POLY;
 
 /// `EXP[i] = alpha^i` for `i in 0..510`. The table is doubled so that
 /// `EXP[log(a) + log(b)]` never needs a modulo reduction.
@@ -117,8 +117,8 @@ mod tests {
     #[test]
     fn exp_hits_every_nonzero_element_exactly_once() {
         let mut seen = [false; 256];
-        for i in 0..255 {
-            let v = EXP[i] as usize;
+        for (i, &e) in EXP.iter().enumerate().take(255) {
+            let v = e as usize;
             assert_ne!(v, 0, "generator power must not be zero");
             assert!(!seen[v], "alpha^{i} repeats value {v}; 0x02 not primitive?");
             seen[v] = true;
@@ -144,8 +144,7 @@ mod tests {
     fn tables_agree_with_slow_multiplication() {
         for a in 1..=255u16 {
             for b in 1..=255u16 {
-                let via_tables =
-                    EXP[LOG[a as usize] as usize + LOG[b as usize] as usize];
+                let via_tables = EXP[LOG[a as usize] as usize + LOG[b as usize] as usize];
                 assert_eq!(via_tables, slow_mul(a as u8, b as u8));
             }
         }

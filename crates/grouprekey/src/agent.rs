@@ -208,7 +208,7 @@ mod tests {
         let join_list: Vec<(MemberId, SymKey)> =
             (0..joins).map(|i| (n + i, kg.next_key())).collect();
         let outcome = tree.process_batch(&Batch::new(join_list, leaves), &mut kg);
-        let assignment = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT);
+        let assignment = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT).unwrap();
         (before, tree, outcome, assignment)
     }
 
@@ -272,10 +272,9 @@ mod tests {
         let mut tree = KeyTree::balanced(16, 4, &mut kg);
         let before = tree.clone();
         let moved = tree.member_at(5).unwrap();
-        let outcome =
-            tree.process_batch(&Batch::new(vec![(100, kg.next_key())], vec![]), &mut kg);
+        let outcome = tree.process_batch(&Batch::new(vec![(100, kg.next_key())], vec![]), &mut kg);
         assert_eq!(outcome.moves.len(), 1);
-        let assignment = UkaAssignment::build(&tree, &outcome, 2, &Layout::DEFAULT);
+        let assignment = UkaAssignment::build(&tree, &outcome, 2, &Layout::DEFAULT).unwrap();
 
         let mut agent = agent_for(&before, moved, 4);
         assert_eq!(agent.node_id(), 5);

@@ -157,7 +157,11 @@ fn main() {
         a.p_low,
         a.k,
         a.rho,
-        if a.adaptive { " (adaptive)" } else { " (fixed)" },
+        if a.adaptive {
+            " (adaptive)"
+        } else {
+            " (fixed)"
+        },
         a.num_nack,
         a.joins,
         leaves,

@@ -94,16 +94,14 @@ impl Group {
         member: MemberId,
         credential: wirecrypto::SymKey,
         nonce_seed: u64,
-    ) -> Result<(MemberId, wirecrypto::SymKey), wirecrypto::registration::RegistrationError>
-    {
+    ) -> Result<(MemberId, wirecrypto::SymKey), wirecrypto::registration::RegistrationError> {
         use wirecrypto::registration::{RegistrarSession, UserRegistration};
         let (mut user, join_req) = UserRegistration::start(credential, nonce_seed);
         let (registrar, challenge) =
             RegistrarSession::challenge(credential, join_req, nonce_seed ^ 0x5EED);
         let proof = user.prove(challenge);
-        let mut keygen_proxy = wirecrypto::KeyGen::from_seed(
-            nonce_seed ^ self.server.msg_seq() ^ 0xA11C_E5ED,
-        );
+        let mut keygen_proxy =
+            wirecrypto::KeyGen::from_seed(nonce_seed ^ self.server.msg_seq() ^ 0xA11C_E5ED);
         let (grant, server_copy) = registrar.grant(proof, member, &mut keygen_proxy)?;
         let (granted_id, user_copy) = user.accept(grant)?;
         debug_assert_eq!(granted_id, member);
@@ -207,8 +205,8 @@ impl Group {
                         let delivered = self.net.multicast_to(self.clock, &listeners);
                         for (pos, (_, ok)) in delivered.iter().enumerate() {
                             if *ok {
-                                let parsed = Packet::parse(&bytes, &layout)
-                                    .expect("wire round-trip");
+                                let parsed =
+                                    Packet::parse(&bytes, &layout).expect("wire round-trip");
                                 sessions
                                     .get_mut(&members[pos])
                                     .expect("member session")
@@ -230,8 +228,8 @@ impl Group {
                         for _ in 0..wave.duplicates {
                             self.clock += send_interval;
                             if self.net.unicast(self.clock, self.net_index[&m]) {
-                                let parsed = Packet::parse(&bytes, &layout)
-                                    .expect("wire round-trip");
+                                let parsed =
+                                    Packet::parse(&bytes, &layout).expect("wire round-trip");
                                 sessions.get_mut(&m).expect("session").receive(&parsed);
                             }
                         }
@@ -251,11 +249,7 @@ impl Group {
                     let Packet::Nack(parsed) = Packet::parse(&bytes, &layout).unwrap() else {
                         unreachable!()
                     };
-                    let node = self
-                        .server
-                        .tree()
-                        .node_of_member(m)
-                        .expect("live member");
+                    let node = self.server.tree().node_of_member(m).expect("live member");
                     artifacts.session.accept_nack(node, &parsed);
                 }
             }

@@ -57,9 +57,13 @@ fn one_batch(
         pool.swap(i, pick);
     }
     let leaves: Vec<MemberId> = pool[..l].to_vec();
-    let joins: Vec<(MemberId, SymKey)> =
-        (0..j as u32).map(|i| (n + i, kg.next_key())).collect();
-    let outcome = tree.process_batch(&Batch::new(joins, leaves), kg);
+    let joins: Vec<(MemberId, SymKey)> = (0..j as u32).map(|i| (n + i, kg.next_key())).collect();
+    let batch = Batch::new(joins, leaves);
+    #[cfg(feature = "sanitize")]
+    let before = tree.clone();
+    let outcome = tree.process_batch(&batch, kg);
+    #[cfg(feature = "sanitize")]
+    crate::sanitize::check_batch(&before, &tree, &batch, &outcome);
     (tree, outcome)
 }
 
@@ -153,8 +157,7 @@ pub fn encryption_cost_individual(
         }
         for i in 0..j as u32 {
             let key = kg.next_key();
-            let outcome =
-                tree.process_batch(&Batch::new(vec![(n + i, key)], vec![]), &mut kg);
+            let outcome = tree.process_batch(&Batch::new(vec![(n + i, key)], vec![]), &mut kg);
             total += outcome.encryptions.len();
         }
     }
@@ -259,19 +262,24 @@ impl ExperimentRun {
         let p = &self.params;
         let mut kg = KeyGen::from_seed(self.rng.gen());
 
-        let (tree, outcome) =
-            one_batch(p.n, p.degree, p.joins, p.leaves, &mut kg, &mut self.rng);
-        let assignment =
-            UkaAssignment::build(&tree, &outcome, self.msg_seq, &p.protocol.layout);
-        let usr_hint = p
-            .protocol
-            .layout
-            .usr_packet_len(tree.height() as usize + 1);
+        let (tree, outcome) = one_batch(p.n, p.degree, p.joins, p.leaves, &mut kg, &mut self.rng);
+        let assignment = UkaAssignment::build(&tree, &outcome, self.msg_seq, &p.protocol.layout)
+            .expect("marking outcome always seals against its own tree");
+        let usr_hint = p.protocol.layout.usr_packet_len(tree.height() as usize + 1);
 
         let num_nack_used = self.controller.num_nack;
         let mut session = self
             .controller
             .begin_message(assignment.packets.clone(), usr_hint);
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::check_message(
+            &tree,
+            &outcome,
+            &assignment,
+            session.blocks(),
+            self.msg_seq,
+            &p.protocol.layout,
+        );
 
         // One SimUser per current member; network index = enumeration
         // order (loss classes persist per index across messages).
@@ -291,8 +299,13 @@ impl ExperimentRun {
             })
             .collect();
 
-        let stats =
-            run_message_transport(&mut self.net, &mut self.clock, &mut session, &mut users, &p.sim);
+        let stats = run_message_transport(
+            &mut self.net,
+            &mut self.clock,
+            &mut session,
+            &mut users,
+            &p.sim,
+        );
 
         self.controller
             .absorb_feedback(&session, stats.missed_deadline);

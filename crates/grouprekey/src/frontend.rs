@@ -315,7 +315,8 @@ mod tests {
     fn join_then_leave_within_interval_cancels() {
         let mut c = IntervalCollector::new();
         let k = key(9);
-        c.submit_join(JoinRequest::sign(9, 0, &k), k, false).unwrap();
+        c.submit_join(JoinRequest::sign(9, 0, &k), k, false)
+            .unwrap();
         assert_eq!(c.pending(), (1, 0));
         c.submit_leave(LeaveRequest::sign(9, 0, &k), |_| Some(k))
             .unwrap();
@@ -331,17 +332,18 @@ mod tests {
         let mut tree = keytree::KeyTree::balanced(16, 4, &mut kg);
         let mut c = IntervalCollector::new();
 
-        let leaver_key = tree
-            .keys_for_member(3)
-            .expect("member 3 exists")[0]
-            .1;
+        let leaver_key = tree.keys_for_member(3).expect("member 3 exists")[0].1;
         c.submit_leave(LeaveRequest::sign(3, 0, &leaver_key), |m| {
             tree.node_of_member(m).and_then(|id| tree.key_of(id))
         })
         .unwrap();
         let newcomer_key = kg.next_key();
-        c.submit_join(JoinRequest::sign(100, 0, &newcomer_key), newcomer_key, false)
-            .unwrap();
+        c.submit_join(
+            JoinRequest::sign(100, 0, &newcomer_key),
+            newcomer_key,
+            false,
+        )
+        .unwrap();
 
         let batch = c.close_interval();
         let outcome = tree.process_batch(&batch, &mut kg);

@@ -60,6 +60,9 @@ pub mod driver;
 pub mod experiment;
 pub mod frontend;
 mod metrics;
+/// Deep invariant pass run after every batch (`--features sanitize`).
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 mod server;
 pub mod sim;
 

@@ -102,8 +102,7 @@ impl KeyServer {
     /// Typical USR packet length for the current tree (the `3 + 20h`
     /// bound), used by the early-unicast byte rule.
     pub fn usr_len_hint(&self) -> usize {
-        self.layout
-            .usr_packet_len(self.tree.height() as usize + 1)
+        self.layout.usr_packet_len(self.tree.height() as usize + 1)
     }
 
     /// Processes one batch: updates the tree, runs UKA, and opens a
@@ -111,11 +110,26 @@ impl KeyServer {
     pub fn rekey(&mut self, batch: Batch) -> RekeyArtifacts {
         self.msg_seq += 1;
         let msg_seq = self.msg_seq;
+        #[cfg(feature = "sanitize")]
+        let tree_before = self.tree.clone();
         let outcome = self.tree.process_batch(&batch, &mut self.keygen);
-        let assignment = UkaAssignment::build(&self.tree, &outcome, msg_seq, &self.layout);
+        let assignment = UkaAssignment::build(&self.tree, &outcome, msg_seq, &self.layout)
+            .expect("marking outcome always seals against its own tree");
         let session = self
             .controller
             .begin_message(assignment.packets.clone(), self.usr_len_hint());
+        #[cfg(feature = "sanitize")]
+        {
+            crate::sanitize::check_batch(&tree_before, &self.tree, &batch, &outcome);
+            crate::sanitize::check_message(
+                &self.tree,
+                &outcome,
+                &assignment,
+                session.blocks(),
+                msg_seq,
+                &self.layout,
+            );
+        }
         self.last_outcome = Some(outcome.clone());
         RekeyArtifacts {
             msg_seq,
@@ -218,8 +232,7 @@ mod tests {
         server.rekey(Batch::new(vec![], vec![5, 6, 7]));
         let snap = server.snapshot();
 
-        let mut restored =
-            KeyServer::restore(&snap, ServerOptions::default(), 0xF4E5).unwrap();
+        let mut restored = KeyServer::restore(&snap, ServerOptions::default(), 0xF4E5).unwrap();
         assert_eq!(restored.msg_seq(), server.msg_seq());
         assert_eq!(restored.tree().group_key(), server.tree().group_key());
         assert_eq!(restored.tree().user_count(), 61);

@@ -42,7 +42,13 @@ pub struct SimUser {
 impl SimUser {
     /// Creates a simulated user. `true_block` is the FEC block holding its
     /// specific packet (`None` for a user that needs nothing).
-    pub fn new(net_index: usize, node_id: NodeId, k: usize, d: u32, true_block: Option<u8>) -> Self {
+    pub fn new(
+        net_index: usize,
+        node_id: NodeId,
+        k: usize,
+        d: u32,
+        true_block: Option<u8>,
+    ) -> Self {
         SimUser {
             net_index,
             node_id,
@@ -72,8 +78,7 @@ impl SimUser {
         }
         match pkt {
             Packet::Enc(enc) => {
-                self.max_block_seen =
-                    Some(self.max_block_seen.unwrap_or(0).max(enc.block_id));
+                self.max_block_seen = Some(self.max_block_seen.unwrap_or(0).max(enc.block_id));
                 if enc.serves(self.node_id as u16) {
                     self.satisfied_round = Some(round);
                     self.shares.clear();
@@ -90,8 +95,7 @@ impl SimUser {
                     .insert(enc.seq as usize);
             }
             Packet::Parity(par) => {
-                self.max_block_seen =
-                    Some(self.max_block_seen.unwrap_or(0).max(par.block_id));
+                self.max_block_seen = Some(self.max_block_seen.unwrap_or(0).max(par.block_id));
                 self.shares
                     .entry(par.block_id)
                     .or_default()
@@ -127,7 +131,11 @@ impl SimUser {
         ) {
             (Some((lo, hi)), _) => (lo, hi),
             (None, Some(maxb)) => (
-                self.estimator.as_ref().map(|e| e.low()).unwrap_or(0).min(maxb as u32),
+                self.estimator
+                    .as_ref()
+                    .map(|e| e.low())
+                    .unwrap_or(0)
+                    .min(maxb as u32),
                 maxb as u32,
             ),
             (None, None) => (0, 0),

@@ -49,14 +49,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Closed-form cost analysis of marking outcomes (paper Section 4).
 pub mod analysis;
+/// Node-ID arithmetic: Lemma 4.1 ordering and Theorem 4.2 derivation.
 pub mod ident;
 mod marking;
 mod node;
+/// Brute-force marking cross-checks (tests / `--features sanitize`).
+#[cfg(any(test, feature = "sanitize"))]
+pub mod sanitize;
 mod snapshot;
 mod tree;
 
 pub use marking::{Batch, EncEdge, Label, MarkOutcome, UserMove};
-pub use snapshot::SnapshotError;
 pub use node::{MemberId, Node, NodeId};
+pub use snapshot::SnapshotError;
 pub use tree::KeyTree;

@@ -179,13 +179,7 @@ impl KeyTree {
             for (i, &slot) in departed_ids.iter().enumerate() {
                 if i < j {
                     let (member, key) = *joins.next().expect("i < j");
-                    self.set_node(
-                        slot,
-                        Node::U {
-                            member,
-                            key,
-                        },
-                    );
+                    self.set_node(slot, Node::U { member, key });
                     user_labels.insert(slot, Label::Replace);
                 } else {
                     self.set_node(slot, Node::N);
@@ -312,9 +306,7 @@ impl KeyTree {
         // ---- Phase 3: fresh keys and encryption edges --------------------
         let mut updated: Vec<NodeId> = labels
             .iter()
-            .filter(|(id, l)| {
-                self.node(**id).is_k() && matches!(l, Label::Join | Label::Replace)
-            })
+            .filter(|(id, l)| self.node(**id).is_k() && matches!(l, Label::Join | Label::Replace))
             .map(|(id, _)| *id)
             .collect();
         // Bottom-up: deepest (largest BFS id) first.
@@ -335,7 +327,10 @@ impl KeyTree {
                     continue;
                 }
                 index_by_child.insert(c, encryptions.len());
-                encryptions.push(EncEdge { child: c, parent: p });
+                encryptions.push(EncEdge {
+                    child: c,
+                    parent: p,
+                });
             }
         }
 
@@ -422,11 +417,7 @@ mod tests {
     /// Every current member, given only the encryptions it can decrypt
     /// starting from the keys it held before the batch, must end up with
     /// the new group key; every departed member must not.
-    fn assert_delivery(
-        tree_before: &KeyTree,
-        tree_after: &KeyTree,
-        outcome: &MarkOutcome,
-    ) {
+    fn assert_delivery(tree_before: &KeyTree, tree_after: &KeyTree, outcome: &MarkOutcome) {
         let d = tree_after.degree();
         let new_group_key = tree_after.group_key();
 

@@ -145,8 +145,7 @@ impl KeyTree {
         if r.pos != bytes.len() {
             return Err(SnapshotError::Invalid("trailing bytes".into()));
         }
-        tree.check_invariants()
-            .map_err(SnapshotError::Invalid)?;
+        tree.check_invariants().map_err(SnapshotError::Invalid)?;
         Ok(tree)
     }
 }
@@ -238,7 +237,7 @@ mod tests {
         // Turn the root k-node into an n-node: u-nodes lose their
         // ancestor chain and validation must fail.
         let tree = churned_tree();
-        let mut snap = tree.snapshot();
+        let snap = tree.snapshot();
         assert_eq!(snap[16], 1, "root is a k-node");
         // Remove the root record (tag + 16 key bytes) by marking N and
         // shifting the remainder up.
@@ -247,7 +246,9 @@ mod tests {
         cut.drain(17..33);
         assert!(matches!(
             KeyTree::restore(&cut),
-            Err(SnapshotError::Invalid(_)) | Err(SnapshotError::Truncated) | Err(SnapshotError::BadTag(_))
+            Err(SnapshotError::Invalid(_))
+                | Err(SnapshotError::Truncated)
+                | Err(SnapshotError::BadTag(_))
         ));
     }
 

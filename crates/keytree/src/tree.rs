@@ -292,9 +292,7 @@ impl KeyTree {
                 Node::N => {}
             }
         }
-        if self.members.len()
-            != self.nodes.iter().filter(|n| n.is_u()).count()
-        {
+        if self.members.len() != self.nodes.iter().filter(|n| n.is_u()).count() {
             return Err("member index size mismatch".into());
         }
         if let (Some(k), Some(u)) = (max_k, min_u) {
@@ -307,6 +305,20 @@ impl KeyTree {
                 if max_u as u64 > bound {
                     return Err(format!("u-node {max_u} beyond d*nk+d = {bound}"));
                 }
+            }
+        }
+        // No orphan keys: every k-node must lie on some member's path to
+        // the root (marking prunes emptied subtrees, so a k-node with no
+        // u-node descendant is dead weight and a leak of key material).
+        let mut on_path = vec![false; self.nodes.len()];
+        for &uid in self.members.values() {
+            for id in ident::path_to_root(uid, self.degree) {
+                on_path[id as usize] = true;
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.is_k() && !on_path[i] {
+                return Err(format!("k-node {i} has no u-node descendant"));
             }
         }
         Ok(())

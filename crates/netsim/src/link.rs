@@ -42,7 +42,13 @@ impl MarkovLink {
     /// Creates a link with stationary loss rate `p` (`0 <= p < 1`) and the
     /// given burst cycle in milliseconds.
     pub fn new(p: f64, burst_cycle_ms: f64, seed: u64) -> Self {
-        Self::with_model(p, LossModel::Burst { cycle_ms: burst_cycle_ms }, seed)
+        Self::with_model(
+            p,
+            LossModel::Burst {
+                cycle_ms: burst_cycle_ms,
+            },
+            seed,
+        )
     }
 
     /// Creates a link with an explicit loss model.
@@ -161,10 +167,7 @@ mod tests {
         for &p in &[0.02, 0.20, 0.50] {
             // Widely spaced packets decorrelate; loss fraction ~ p.
             let got = empirical_loss(p, 99, 200_000, 997.0);
-            assert!(
-                (got - p).abs() < 0.01,
-                "p = {p}, measured {got}"
-            );
+            assert!((got - p).abs() < 0.01, "p = {p}, measured {got}");
         }
     }
 

@@ -209,8 +209,8 @@ mod tests {
         // Expected delivery: (1 - p_source)(1 - p_class).
         let mut high_rate = Vec::new();
         let mut low_rate = Vec::new();
-        for u in 0..400 {
-            let rate = received[u] as f64 / rounds as f64;
+        for (u, &r) in received.iter().enumerate() {
+            let rate = r as f64 / rounds as f64;
             match net.class_of(u) {
                 UserClass::HighLoss => high_rate.push(rate),
                 UserClass::LowLoss => low_rate.push(rate),
@@ -219,7 +219,10 @@ mod tests {
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let high = mean(&high_rate);
         let low = mean(&low_rate);
-        assert!((high - 0.99 * 0.80).abs() < 0.02, "high-class delivery {high}");
+        assert!(
+            (high - 0.99 * 0.80).abs() < 0.02,
+            "high-class delivery {high}"
+        );
         assert!((low - 0.99 * 0.98).abs() < 0.02, "low-class delivery {low}");
     }
 

@@ -1,0 +1,11 @@
+//! Single-import surface mirroring `proptest::prelude`.
+
+pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, ProptestConfig,
+    TestCaseError, TestCaseResult,
+};
+
+/// Alias of the crate root so tests can write `prop::sample::select(...)`
+/// as they would with the upstream prelude.
+pub use crate as prop;

@@ -1,0 +1,46 @@
+//! Sampling strategies over explicit value lists.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Strategy that picks uniformly from a fixed list of values.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(
+        !options.is_empty(),
+        "sample::select needs at least one option"
+    );
+    Select { options }
+}
+
+/// The result of [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_every_option() {
+        let mut rng = TestRng::from_name("sample::tests");
+        let strategy = select(vec![2u32, 3, 4, 8]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..400 {
+            let v = strategy.new_value(&mut rng);
+            assert!([2, 3, 4, 8].contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

@@ -1,0 +1,286 @@
+//! The [`Strategy`] trait and the core strategy implementations: numeric
+//! ranges, `any`, [`Just`], tuples, [`Union`] (behind `prop_oneof!`), and
+//! the `prop_map` combinator.
+
+use crate::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// The trait is object-safe: boxed strategies ([`BoxedStrategy`]) are how
+/// `prop_oneof!` mixes heterogeneous strategy types with a common value
+/// type. Combinators carry `where Self: Sized` so they do not break
+/// object safety.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.new_value(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options`.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].new_value(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy; see [`any`].
+pub trait ArbitraryValue: Sized {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty => $shift:expr),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                (rng.next_u64() >> $shift) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8 => 56, u16 => 48, u32 => 32, u64 => 0, usize => 0);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+/// Strategy over every value of a type; the result of [`any`].
+#[derive(Clone, Debug, Default)]
+pub struct Any<T> {
+    marker: core::marker::PhantomData<T>,
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`, e.g. `any::<u8>()`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any {
+        marker: core::marker::PhantomData,
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return start + rng.next_u64() as $t;
+                }
+                start + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let value = self.start + (self.end - self.start) * rng.unit_f64();
+        if value < self.end {
+            value
+        } else {
+            self.start
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A 0, B 1);
+tuple_strategy!(A 0, B 1, C 2);
+tuple_strategy!(A 0, B 1, C 2, D 3);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy::tests")
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = rng();
+        for _ in 0..2_000 {
+            let v = (3u8..9).new_value(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (1u8..=255).new_value(&mut rng);
+            assert!(w >= 1);
+            let f = (1.0f64..2.5).new_value(&mut rng);
+            assert!((1.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_endpoints() {
+        let mut rng = rng();
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            match (0u32..=3).new_value(&mut rng) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn map_and_just_and_union() {
+        let mut rng = rng();
+        let doubled = (1u8..5).prop_map(|v| u32::from(v) * 2);
+        for _ in 0..100 {
+            let v = doubled.new_value(&mut rng);
+            assert!([2, 4, 6, 8].contains(&v));
+        }
+        assert_eq!(Just(41u8).new_value(&mut rng), 41);
+
+        let union = Union::new(vec![Just(1u8).boxed(), Just(9u8).boxed()]);
+        let mut saw = [false, false];
+        for _ in 0..200 {
+            match union.new_value(&mut rng) {
+                1 => saw[0] = true,
+                9 => saw[1] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(saw[0] && saw[1]);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = rng();
+        let (a, b, c) = (0u8..2, 10u32..12, Just(7usize)).new_value(&mut rng);
+        assert!(a < 2);
+        assert!((10..12).contains(&b));
+        assert_eq!(c, 7);
+    }
+}

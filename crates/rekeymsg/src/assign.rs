@@ -90,10 +90,7 @@ pub fn plan(tree: &KeyTree, outcome: &MarkOutcome, layout: &Layout) -> Vec<Packe
              layout too small for this tree height",
             needs.len()
         );
-        let extra = needs
-            .iter()
-            .filter(|i| !current_set.contains(*i))
-            .count();
+        let extra = needs.iter().filter(|i| !current_set.contains(*i)).count();
         if !current_users.is_empty() && current_set.len() + extra > capacity {
             plans.push(close_plan(outcome, &mut current_users, &mut current_list));
             current_set.clear();
@@ -111,21 +108,55 @@ pub fn plan(tree: &KeyTree, outcome: &MarkOutcome, layout: &Layout) -> Vec<Packe
     plans
 }
 
-fn close_plan(
-    outcome: &MarkOutcome,
-    users: &mut Vec<NodeId>,
-    list: &mut Vec<usize>,
-) -> PacketPlan {
+fn close_plan(outcome: &MarkOutcome, users: &mut Vec<NodeId>, list: &mut Vec<usize>) -> PacketPlan {
     let mut enc_indices = std::mem::take(list);
     enc_indices.sort_by_key(|&i| outcome.encryptions[i].child);
     let users_taken = std::mem::take(users);
+    // Both call sites guard on a non-empty user list; fall back to 0 so
+    // this stays total.
+    let (frm_id, to_id) = match (users_taken.first(), users_taken.last()) {
+        (Some(&first), Some(&last)) => (first, last),
+        _ => (0, 0),
+    };
     PacketPlan {
-        frm_id: *users_taken.first().expect("non-empty plan"),
-        to_id: *users_taken.last().expect("non-empty plan"),
+        frm_id,
+        to_id,
         enc_indices,
         users: users_taken,
     }
 }
+
+/// Why sealing an assignment failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignError {
+    /// An encryption edge refers to a key the tree no longer holds.
+    MissingKey {
+        /// The encrypting (child) node of the edge.
+        child: NodeId,
+        /// The encrypted (parent) node of the edge.
+        parent: NodeId,
+    },
+    /// A node ID does not fit the 16-bit wire representation.
+    IdOutOfRange(NodeId),
+}
+
+impl core::fmt::Display for AssignError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AssignError::MissingKey { child, parent } => {
+                write!(
+                    f,
+                    "encryption edge {child} -> {parent} refers to a missing key"
+                )
+            }
+            AssignError::IdOutOfRange(id) => {
+                write!(f, "node ID {id} exceeds the 16-bit wire range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssignError {}
 
 /// Statistics of the *naive* (non-UKA) assignment baseline: encryptions
 /// packed in rekey-subtree generation order with no per-user alignment.
@@ -190,7 +221,11 @@ pub fn naive_plan_stats(
     }
     NaiveAssignmentStats {
         packets,
-        avg_packets_per_user: if users == 0 { 0.0 } else { sum as f64 / users as f64 },
+        avg_packets_per_user: if users == 0 {
+            0.0
+        } else {
+            sum as f64 / users as f64
+        },
         max_packets_per_user: max,
         single_packet_fraction: if users == 0 {
             1.0
@@ -218,49 +253,69 @@ impl UkaAssignment {
     /// Runs UKA and seals every encryption (each distinct encryption is
     /// sealed once and copied wherever duplicated).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any node ID exceeds the 16-bit wire range.
+    /// Fails when an encryption edge refers to a key absent from the tree
+    /// or when a node ID exceeds the 16-bit wire range — both indicate a
+    /// tree/marking mismatch upstream.
     pub fn build(
         tree: &KeyTree,
         outcome: &MarkOutcome,
         msg_seq: u64,
         layout: &Layout,
-    ) -> UkaAssignment {
+    ) -> Result<UkaAssignment, AssignError> {
         let plans = plan(tree, outcome, layout);
         let msg_id = (msg_seq & 0x3f) as u8;
         let max_kid = outcome.nk.unwrap_or(0);
-        assert!(max_kid <= u16::MAX as NodeId, "maxKID exceeds wire range");
+        if max_kid > u16::MAX as NodeId {
+            return Err(AssignError::IdOutOfRange(max_kid));
+        }
 
         // Seal each distinct encryption once.
         let mut sealed_cache: HashMap<usize, SealedKey> = HashMap::new();
-        let mut seal = |i: usize| -> SealedKey {
-            *sealed_cache.entry(i).or_insert_with(|| {
+        for plan in &plans {
+            for &i in &plan.enc_indices {
+                if sealed_cache.contains_key(&i) {
+                    continue;
+                }
                 let edge = outcome.encryptions[i];
-                let kek = tree.key_of(edge.child).expect("child key exists");
-                let plain = tree.key_of(edge.parent).expect("parent key exists");
-                SealedKey::seal(&kek, &plain, seal_context(msg_seq, edge.child))
-            })
-        };
+                if edge.child > u16::MAX as NodeId {
+                    return Err(AssignError::IdOutOfRange(edge.child));
+                }
+                let (Some(kek), Some(plain)) = (tree.key_of(edge.child), tree.key_of(edge.parent))
+                else {
+                    return Err(AssignError::MissingKey {
+                        child: edge.child,
+                        parent: edge.parent,
+                    });
+                };
+                sealed_cache.insert(
+                    i,
+                    SealedKey::seal(&kek, &plain, seal_context(msg_seq, edge.child)),
+                );
+            }
+        }
 
         let mut packets = Vec::with_capacity(plans.len());
         let mut packet_of_user = HashMap::new();
         let mut entries_emitted = 0;
         for (pi, plan) in plans.iter().enumerate() {
-            let entries: Vec<(u16, SealedKey)> = plan
-                .enc_indices
-                .iter()
-                .map(|&i| {
-                    let child = outcome.encryptions[i].child;
-                    assert!(child <= u16::MAX as NodeId, "encryption ID exceeds wire range");
-                    (child as u16, seal(i))
-                })
-                .collect();
+            let mut entries: Vec<(u16, SealedKey)> = Vec::with_capacity(plan.enc_indices.len());
+            for &i in &plan.enc_indices {
+                let child = outcome.encryptions[i].child;
+                let Some(sealed) = sealed_cache.get(&i) else {
+                    // Every plan index was sealed above.
+                    return Err(AssignError::IdOutOfRange(child));
+                };
+                entries.push((child as u16, *sealed));
+            }
             entries_emitted += entries.len();
             for &u in &plan.users {
                 packet_of_user.insert(u, pi);
             }
-            assert!(plan.frm_id <= u16::MAX as NodeId && plan.to_id <= u16::MAX as NodeId);
+            if plan.frm_id > u16::MAX as NodeId || plan.to_id > u16::MAX as NodeId {
+                return Err(AssignError::IdOutOfRange(plan.frm_id.max(plan.to_id)));
+            }
             packets.push(EncPacket {
                 msg_id,
                 block_id: 0,
@@ -278,12 +333,12 @@ impl UkaAssignment {
             entries_emitted,
             distinct_encryptions: outcome.encryptions.len(),
         };
-        UkaAssignment {
+        Ok(UkaAssignment {
             packets,
             plans,
             packet_of_user,
             stats,
-        }
+        })
     }
 }
 
@@ -299,10 +354,7 @@ mod tests {
         // Spread the leavers uniformly over the leaf level (contiguous
         // leavers would prune whole subtrees and shrink the message).
         let stride = (n / leaves).max(1);
-        let batch = Batch::new(
-            vec![],
-            (0..leaves).map(|i| (i * stride) % n).collect(),
-        );
+        let batch = Batch::new(vec![], (0..leaves).map(|i| (i * stride) % n).collect());
         let outcome = tree.process_batch(&batch, &mut kg);
         (tree, outcome)
     }
@@ -372,9 +424,8 @@ mod tests {
         let small = plan(&tree, &outcome, &small_layout);
         assert!(small.len() > big.len());
 
-        let emitted = |plans: &[PacketPlan]| -> usize {
-            plans.iter().map(|p| p.enc_indices.len()).sum()
-        };
+        let emitted =
+            |plans: &[PacketPlan]| -> usize { plans.iter().map(|p| p.enc_indices.len()).sum() };
         assert!(emitted(&small) >= emitted(&big));
     }
 
@@ -384,7 +435,7 @@ mod tests {
         let mut tree = KeyTree::balanced(64, 4, &mut kg);
         let outcome = tree.process_batch(&Batch::default(), &mut kg);
         assert!(plan(&tree, &outcome, &Layout::DEFAULT).is_empty());
-        let built = UkaAssignment::build(&tree, &outcome, 0, &Layout::DEFAULT);
+        let built = UkaAssignment::build(&tree, &outcome, 0, &Layout::DEFAULT).unwrap();
         assert_eq!(built.stats.packets, 0);
         assert_eq!(built.stats.duplication_overhead(), 0.0);
     }
@@ -393,7 +444,7 @@ mod tests {
     fn build_seals_decryptable_entries() {
         let (tree, outcome) = setup(64, 16);
         let msg_seq = 9;
-        let built = UkaAssignment::build(&tree, &outcome, msg_seq, &Layout::DEFAULT);
+        let built = UkaAssignment::build(&tree, &outcome, msg_seq, &Layout::DEFAULT).unwrap();
         assert_eq!(built.stats.distinct_encryptions, outcome.encryptions.len());
 
         // Every entry unseals under the child key with the right context.
@@ -413,11 +464,11 @@ mod tests {
     #[test]
     fn duplication_overhead_matches_hand_count() {
         let (tree, outcome) = setup(1024, 256);
-        let built = UkaAssignment::build(&tree, &outcome, 0, &Layout::DEFAULT);
+        let built = UkaAssignment::build(&tree, &outcome, 0, &Layout::DEFAULT).unwrap();
         let emitted: usize = built.packets.iter().map(|p| p.entries.len()).sum();
         assert_eq!(built.stats.entries_emitted, emitted);
-        let expect = (emitted - outcome.encryptions.len()) as f64
-            / outcome.encryptions.len() as f64;
+        let expect =
+            (emitted - outcome.encryptions.len()) as f64 / outcome.encryptions.len() as f64;
         assert!((built.stats.duplication_overhead() - expect).abs() < 1e-12);
         assert!(built.stats.duplication_overhead() >= 0.0);
     }
@@ -453,7 +504,7 @@ mod tests {
     #[test]
     fn packet_of_user_agrees_with_ranges() {
         let (tree, outcome) = setup(256, 64);
-        let built = UkaAssignment::build(&tree, &outcome, 0, &Layout::DEFAULT);
+        let built = UkaAssignment::build(&tree, &outcome, 0, &Layout::DEFAULT).unwrap();
         for (&u, &pi) in &built.packet_of_user {
             assert!(built.packets[pi].serves(u as u16));
         }

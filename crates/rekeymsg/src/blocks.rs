@@ -73,10 +73,15 @@ impl BlockSet {
     /// Panics when `k` is not a valid block size or when the message needs
     /// more than 256 blocks (wire limit of the 8-bit block ID).
     pub fn new(mut packets: Vec<EncPacket>, k: usize, layout: Layout) -> Self {
-        assert!((1..rse::MAX_SYMBOLS).contains(&k), "invalid block size {k}");
+        let Ok(proto_encoder) = BlockEncoder::new(k) else {
+            panic!("invalid block size {k}");
+        };
         let real_packets = packets.len();
         let block_count = packets.len().div_ceil(k);
-        assert!(block_count <= 256, "message needs {block_count} blocks, wire limit 256");
+        assert!(
+            block_count <= 256,
+            "message needs {block_count} blocks, wire limit 256"
+        );
 
         let mut blocks = Vec::with_capacity(block_count);
         for (b, chunk) in packets.chunks_mut(k).enumerate() {
@@ -97,22 +102,16 @@ impl BlockSet {
                 block_packets.push(dup);
                 s += 1;
             }
-            let bodies: Vec<Vec<u8>> = block_packets
-                .iter()
-                .map(|p| p.fec_body(&layout))
-                .collect();
+            let bodies: Vec<Vec<u8>> = block_packets.iter().map(|p| p.fec_body(&layout)).collect();
             blocks.push(Block {
                 id: b as u8,
                 packets: block_packets,
                 bodies,
-                encoder: BlockEncoder::new(k).expect("validated k"),
+                encoder: proto_encoder.clone(),
                 next_parity: 0,
             });
         }
-        let msg_id = blocks
-            .first()
-            .map(|b| b.packets[0].msg_id)
-            .unwrap_or(0);
+        let msg_id = blocks.first().map(|b| b.packets[0].msg_id).unwrap_or(0);
         BlockSet {
             k,
             layout,
@@ -253,8 +252,7 @@ fn apply_order<T>(lanes: Vec<Vec<T>>, order: SendOrder) -> Vec<T> {
 /// Round-robin interleave across lanes, preserving order within a lane.
 pub fn interleave<T>(lanes: Vec<Vec<T>>) -> Vec<T> {
     let total: usize = lanes.iter().map(Vec::len).sum();
-    let mut iters: Vec<std::vec::IntoIter<T>> =
-        lanes.into_iter().map(Vec::into_iter).collect();
+    let mut iters: Vec<std::vec::IntoIter<T>> = lanes.into_iter().map(Vec::into_iter).collect();
     let mut out = Vec::with_capacity(total);
     while out.len() < total {
         for it in iters.iter_mut() {
@@ -353,8 +351,7 @@ mod tests {
         }
         let bodies = rse::decode(5, &shares).unwrap();
         for (s, body) in bodies.iter().enumerate() {
-            let rebuilt =
-                EncPacket::from_fec_body(body, &layout(), 3, 0, s as u8).unwrap();
+            let rebuilt = EncPacket::from_fec_body(body, &layout(), 3, 0, s as u8).unwrap();
             assert_eq!(rebuilt.entries, blk.packets[s].entries);
         }
     }

@@ -71,8 +71,7 @@ impl BlockIdEstimator {
             // At worst one packet per remaining user ID: there are at most
             // d*(maxKID+1) - toID user IDs above toID, and k - 1 - seq
             // packets left in this block.
-            let remaining_users =
-                (self.d as i64) * (pkt.max_kid as i64 + 1) - pkt.to_id as i64;
+            let remaining_users = (self.d as i64) * (pkt.max_kid as i64 + 1) - pkt.to_id as i64;
             let after_this_block = remaining_users - (k as i64 - 1 - pkt.seq as i64);
             let remaining = after_this_block.max(0);
             let extra_blocks = ((remaining + k as i64 - 1) / k as i64) as u32;

@@ -32,7 +32,7 @@
 //! let mut tree = KeyTree::balanced(64, 4, &mut kg);
 //! let outcome = tree.process_batch(&Batch::new(vec![], vec![3, 17]), &mut kg);
 //!
-//! let msg = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT);
+//! let msg = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT).unwrap();
 //! // Every remaining user's encryptions sit in exactly one packet.
 //! for (&user, &pkt) in &msg.packet_of_user {
 //!     assert!(msg.packets[pkt].serves(user as u16));
@@ -46,16 +46,20 @@ pub mod assign;
 pub mod blocks;
 pub mod estimate;
 mod layout;
+/// Deep message audits: UKA coverage, seal/unseal, wire identity
+/// (tests / `--features sanitize`).
+#[cfg(any(test, feature = "sanitize"))]
+pub mod sanitize;
 pub mod view;
 pub mod wire;
 
-pub use assign::{naive_plan_stats, AssignmentStats, NaiveAssignmentStats, UkaAssignment};
+pub use assign::{
+    naive_plan_stats, AssignError, AssignmentStats, NaiveAssignmentStats, UkaAssignment,
+};
 pub use blocks::{BlockSet, SendItem, SendOrder};
 pub use layout::Layout;
 pub use view::{EncView, ParityView};
-pub use wire::{
-    EncPacket, NackPacket, NackRequest, Packet, ParityPacket, UsrPacket, WireError,
-};
+pub use wire::{EncPacket, NackPacket, NackRequest, Packet, ParityPacket, UsrPacket, WireError};
 
 /// Builds the USR packet for one user: the sealed encryptions it needs,
 /// in increasing encryption-ID order (IDs omitted on the wire).
@@ -70,15 +74,17 @@ pub fn build_usr_packet(
     // Path order is leaf-first; wire order is increasing encryption (child)
     // ID, which is root-side first.
     idxs.sort_by_key(|&i| outcome.encryptions[i].child);
-    let sealed = idxs
-        .iter()
-        .map(|&i| {
-            let edge = outcome.encryptions[i];
-            let kek = tree.key_of(edge.child).expect("edge child key exists");
-            let plain = tree.key_of(edge.parent).expect("edge parent key exists");
-            wirecrypto::SealedKey::seal(&kek, &plain, seal_context(msg_seq, edge.child))
-        })
-        .collect();
+    let mut sealed = Vec::with_capacity(idxs.len());
+    for &i in &idxs {
+        let edge = outcome.encryptions[i];
+        let kek = tree.key_of(edge.child)?;
+        let plain = tree.key_of(edge.parent)?;
+        sealed.push(wirecrypto::SealedKey::seal(
+            &kek,
+            &plain,
+            seal_context(msg_seq, edge.child),
+        ));
+    }
     Some(UsrPacket {
         msg_id: (msg_seq & 0x3f) as u8,
         new_user_id: uid as u16,

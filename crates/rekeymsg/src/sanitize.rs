@@ -1,0 +1,188 @@
+//! Deep rekey-message checks (tests and the `sanitize` feature).
+//!
+//! [`verify_message`] audits one sealed [`UkaAssignment`] against the tree
+//! and marking outcome it was built from:
+//!
+//! * UKA coverage — every member that needs encryptions is served by
+//!   exactly one packet that carries *all* of them, and the packets' user
+//!   ranges strictly increase (what block-ID estimation relies on);
+//! * cryptographic consistency — every `<ID, sealed key>` entry actually
+//!   unseals, under the child's current key and the message's seal
+//!   context, to the parent's current key;
+//! * wire identity — `emit` followed by `parse` reproduces every packet
+//!   exactly, and the FEC-body path ([`EncPacket::from_fec_body`]) agrees
+//!   with the header path.
+
+use keytree::{KeyTree, MarkOutcome, NodeId};
+
+use crate::assign::UkaAssignment;
+use crate::layout::Layout;
+use crate::seal_context;
+use crate::wire::{EncPacket, Packet};
+
+/// Verifies one assignment end to end. Returns the first violation as
+/// text.
+pub fn verify_message(
+    tree: &KeyTree,
+    outcome: &MarkOutcome,
+    assignment: &UkaAssignment,
+    msg_seq: u64,
+    layout: &Layout,
+) -> Result<(), String> {
+    if assignment.packets.len() != assignment.plans.len() {
+        return Err(format!(
+            "{} packets but {} plans",
+            assignment.packets.len(),
+            assignment.plans.len()
+        ));
+    }
+
+    // ---- UKA ranges strictly increase and never overlap ------------
+    for w in assignment.plans.windows(2) {
+        if w[0].to_id >= w[1].frm_id {
+            return Err(format!(
+                "user ranges overlap or regress: <{}, {}> then <{}, {}>",
+                w[0].frm_id, w[0].to_id, w[1].frm_id, w[1].to_id
+            ));
+        }
+    }
+
+    // ---- coverage: one packet per user, carrying its whole path ----
+    for uid in tree.user_ids() {
+        let needs = outcome.encryptions_for_user(uid, tree.degree());
+        match assignment.packet_of_user.get(&uid) {
+            None => {
+                if !needs.is_empty() {
+                    return Err(format!(
+                        "user {uid} needs {} encryptions but no packet serves it",
+                        needs.len()
+                    ));
+                }
+            }
+            Some(&pi) => {
+                let pkt = assignment
+                    .packets
+                    .get(pi)
+                    .ok_or_else(|| format!("user {uid} mapped to missing packet {pi}"))?;
+                if !pkt.serves(uid as u16) {
+                    return Err(format!(
+                        "packet {pi} <{}, {}> does not serve its user {uid}",
+                        pkt.frm_id, pkt.to_id
+                    ));
+                }
+                for i in needs {
+                    let child = outcome.encryptions[i].child;
+                    if pkt.entry(child as u16).is_none() {
+                        return Err(format!(
+                            "packet {pi} serves user {uid} but lacks encryption {child}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- every entry unseals to the parent's current key -----------
+    for (pi, pkt) in assignment.packets.iter().enumerate() {
+        for &(enc_id, sealed) in &pkt.entries {
+            let child = enc_id as NodeId;
+            let idx = outcome
+                .encryption_by_child(child)
+                .ok_or_else(|| format!("packet {pi} carries unknown encryption {child}"))?;
+            let edge = outcome.encryptions[idx];
+            let kek = tree
+                .key_of(child)
+                .ok_or_else(|| format!("tree lost the key of child {child}"))?;
+            let plain = tree
+                .key_of(edge.parent)
+                .ok_or_else(|| format!("tree lost the key of parent {}", edge.parent))?;
+            match sealed.unseal(&kek, seal_context(msg_seq, child)) {
+                Ok(k) if k == plain => {}
+                Ok(_) => {
+                    return Err(format!(
+                        "entry {child} in packet {pi} unseals to the wrong key"
+                    ));
+                }
+                Err(e) => {
+                    return Err(format!("entry {child} in packet {pi} fails to unseal: {e}"));
+                }
+            }
+        }
+    }
+
+    // ---- wire identity: emit → parse, header and FEC-body paths ----
+    for (pi, pkt) in assignment.packets.iter().enumerate() {
+        let bytes = pkt.emit(layout);
+        match Packet::parse(&bytes, layout) {
+            Ok(Packet::Enc(back)) => {
+                if back != *pkt {
+                    return Err(format!("packet {pi} does not survive emit/parse"));
+                }
+            }
+            Ok(_) => return Err(format!("packet {pi} re-parsed as a non-ENC packet")),
+            Err(e) => return Err(format!("packet {pi} fails to re-parse: {e}")),
+        }
+        let body = pkt.fec_body(layout);
+        let back = EncPacket::from_fec_body(&body, layout, pkt.msg_id, pkt.block_id, pkt.seq)
+            .map_err(|e| format!("packet {pi} body fails to re-parse: {e}"))?;
+        if (back.max_kid, back.frm_id, back.to_id, &back.entries)
+            != (pkt.max_kid, pkt.frm_id, pkt.to_id, &pkt.entries)
+        {
+            return Err(format!("packet {pi} body round-trip altered its fields"));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keytree::Batch;
+    use wirecrypto::KeyGen;
+
+    fn setup() -> (KeyTree, MarkOutcome, UkaAssignment, u64, Layout) {
+        let mut kg = KeyGen::from_seed(11);
+        let mut tree = KeyTree::balanced(64, 4, &mut kg);
+        let leaves: Vec<u32> = vec![1, 9, 17, 33];
+        let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
+        let layout = Layout::DEFAULT;
+        let msg_seq = 7;
+        let assignment = UkaAssignment::build(&tree, &outcome, msg_seq, &layout).unwrap();
+        (tree, outcome, assignment, msg_seq, layout)
+    }
+
+    #[test]
+    fn well_formed_assignment_passes() {
+        let (tree, outcome, assignment, msg_seq, layout) = setup();
+        verify_message(&tree, &outcome, &assignment, msg_seq, &layout).unwrap();
+    }
+
+    #[test]
+    fn corrupted_seal_is_detected() {
+        let (tree, outcome, mut assignment, msg_seq, layout) = setup();
+        // Swap two entries' sealed keys: both still parse, neither unseals
+        // to the right parent under its own context.
+        let pkt = &mut assignment.packets[0];
+        assert!(pkt.entries.len() >= 2, "test needs two entries");
+        let a = pkt.entries[0].1;
+        pkt.entries[0].1 = pkt.entries[1].1;
+        pkt.entries[1].1 = a;
+        let err = verify_message(&tree, &outcome, &assignment, msg_seq, &layout).unwrap_err();
+        assert!(err.contains("unseal"), "{err}");
+    }
+
+    #[test]
+    fn dropped_entry_is_detected() {
+        let (tree, outcome, mut assignment, msg_seq, layout) = setup();
+        assignment.packets[0].entries.pop();
+        assert!(verify_message(&tree, &outcome, &assignment, msg_seq, &layout).is_err());
+    }
+
+    #[test]
+    fn wrong_msg_seq_fails_unsealing() {
+        let (tree, outcome, assignment, msg_seq, layout) = setup();
+        let err = verify_message(&tree, &outcome, &assignment, msg_seq + 1, &layout).unwrap_err();
+        assert!(err.contains("unseal"), "{err}");
+    }
+}

@@ -207,10 +207,7 @@ mod tests {
         let ids: Vec<u16> = view.entry_ids().collect();
         assert_eq!(ids, vec![1400, 350]);
         // Sealed bytes line up with the owned parse.
-        assert_eq!(
-            view.sealed_bytes(350).unwrap(),
-            pkt.entries[1].1.as_bytes()
-        );
+        assert_eq!(view.sealed_bytes(350).unwrap(), pkt.entries[1].1.as_bytes());
         assert!(view.sealed_bytes(9999).is_none());
         // FEC body identical to the Repr path.
         assert_eq!(view.fec_body(), &pkt.fec_body(&layout)[..]);

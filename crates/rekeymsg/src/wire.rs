@@ -136,7 +136,7 @@ impl EncPacket {
                 break; // padding reached
             }
             let sealed = SealedKey::from_slice(&bytes[off + 2..off + PAIR_LEN])
-                .expect("slice is SEALED_KEY_LEN by construction");
+                .ok_or(WireError::Truncated)?;
             entries.push((id, sealed));
             off += PAIR_LEN;
         }
@@ -269,8 +269,8 @@ impl UsrPacket {
         }
         let sealed = bytes[3..]
             .chunks_exact(SEALED_KEY_LEN)
-            .map(|c| SealedKey::from_slice(c).expect("chunk is SEALED_KEY_LEN"))
-            .collect();
+            .map(|c| SealedKey::from_slice(c).ok_or(WireError::Truncated))
+            .collect::<Result<_, _>>()?;
         Ok(UsrPacket {
             msg_id: bytes[0] & 0x3f,
             new_user_id: u16::from_be_bytes([bytes[1], bytes[2]]),
@@ -526,10 +526,7 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!(
-            Packet::parse(&[], &layout()),
-            Err(WireError::Truncated)
-        );
+        assert_eq!(Packet::parse(&[], &layout()), Err(WireError::Truncated));
         // ENC with wrong length.
         let enc = sample_enc().emit(&layout());
         assert!(matches!(

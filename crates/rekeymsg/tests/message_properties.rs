@@ -34,8 +34,7 @@ fn build(
     let mut leavers: Vec<MemberId> = leaver_seeds.iter().map(|s| s % n).collect();
     leavers.sort_unstable();
     leavers.dedup();
-    let join_list: Vec<(MemberId, SymKey)> =
-        (0..joins).map(|i| (n + i, kg.next_key())).collect();
+    let join_list: Vec<(MemberId, SymKey)> = (0..joins).map(|i| (n + i, kg.next_key())).collect();
     let outcome = tree.process_batch(&Batch::new(join_list, leavers), &mut kg);
     (tree, outcome)
 }
@@ -81,7 +80,7 @@ proptest! {
     fn enc_wire_round_trip((n, d, leavers, joins, seed) in workload()) {
         let (tree, outcome) = build(n, d, &leavers, joins, seed);
         let layout = Layout::DEFAULT;
-        let built = UkaAssignment::build(&tree, &outcome, seed % 1000, &layout);
+        let built = UkaAssignment::build(&tree, &outcome, seed % 1000, &layout).unwrap();
         for pkt in &built.packets {
             let bytes = pkt.emit(&layout);
             prop_assert_eq!(bytes.len(), layout.enc_packet_len);
@@ -102,7 +101,7 @@ proptest! {
     ) {
         let (tree, outcome) = build(n, d, &leavers, joins, seed);
         let layout = Layout::DEFAULT;
-        let built = UkaAssignment::build(&tree, &outcome, 5, &layout);
+        let built = UkaAssignment::build(&tree, &outcome, 5, &layout).unwrap();
         let n_real = built.packets.len();
         prop_assume!(n_real > 0 && n_real.div_ceil(k) <= 256);
         let bs = BlockSet::new(built.packets.clone(), k, layout);
@@ -140,7 +139,7 @@ proptest! {
     ) {
         let (tree, outcome) = build(n, d, &leavers, joins, seed);
         let layout = Layout::DEFAULT;
-        let built = UkaAssignment::build(&tree, &outcome, 3, &layout);
+        let built = UkaAssignment::build(&tree, &outcome, 3, &layout).unwrap();
         prop_assume!(built.packets.len() > 1 && built.packets.len().div_ceil(k) <= 256);
         let bs = BlockSet::new(built.packets.clone(), k, layout);
 

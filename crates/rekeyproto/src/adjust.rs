@@ -15,12 +15,7 @@ pub struct AdjustConfig {
 ///
 /// `rand01` supplies the uniform draw for the probabilistic decrease; the
 /// caller owns the RNG so whole simulations stay deterministic.
-pub fn adjust_rho(
-    a: &[usize],
-    rho: f64,
-    cfg: AdjustConfig,
-    rand01: impl FnOnce() -> f64,
-) -> f64 {
+pub fn adjust_rho(a: &[usize], rho: f64, cfg: AdjustConfig, rand01: impl FnOnce() -> f64) -> f64 {
     let k = cfg.k as f64;
     let n = a.len();
     if n > cfg.num_nack {
@@ -57,10 +52,7 @@ pub fn update_num_nack(num_nack: usize, missed: usize, max_nack: usize) -> usize
 mod tests {
     use super::*;
 
-    const CFG: AdjustConfig = AdjustConfig {
-        k: 10,
-        num_nack: 2,
-    };
+    const CFG: AdjustConfig = AdjustConfig { k: 10, num_nack: 2 };
 
     #[test]
     fn too_many_nacks_raises_rho_by_selected_demand() {
@@ -116,10 +108,7 @@ mod tests {
     #[test]
     fn no_decrease_when_half_target_reached() {
         // size(A) * 2 >= numNACK -> probability clamps to 0.
-        let cfg = AdjustConfig {
-            k: 10,
-            num_nack: 4,
-        };
+        let cfg = AdjustConfig { k: 10, num_nack: 4 };
         assert_eq!(adjust_rho(&[1, 1], 1.5, cfg, || 0.0), 1.5);
         assert_eq!(adjust_rho(&[1, 1, 1], 1.5, cfg, || 0.0), 1.5);
     }

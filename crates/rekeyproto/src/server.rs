@@ -355,8 +355,7 @@ impl ServerSession {
         for &u in &self.round_nackers {
             distinct.insert(u, ());
         }
-        let usr_bytes =
-            distinct.len() * (self.usr_len_hint + self.cfg.udp_header_len);
+        let usr_bytes = distinct.len() * (self.usr_len_hint + self.cfg.udp_header_len);
         let parity_packets: usize = self.amax.iter().sum();
         let parity_bytes =
             parity_packets * (self.cfg.layout.enc_packet_len + self.cfg.udp_header_len);
@@ -543,7 +542,7 @@ mod tests {
         assert_eq!(w2.targets, vec![102]);
         // All served.
         assert_eq!(s.end_of_round(), RoundDecision::Done);
-        assert_eq!(s.stats.usr_sent, 2 * 2 + 1 * 3);
+        assert_eq!(s.stats.usr_sent, 2 * 2 + 3);
     }
 
     #[test]

@@ -169,12 +169,15 @@ impl UserSession {
 
     /// Attempts FEC decoding of any candidate block with >= k shares; on
     /// success extracts the specific ENC packet if it is in that block.
+    ///
+    /// Deliberately does not require `current_id` up front: a user whose
+    /// every ENC packet was lost (parity-only reception) first learns
+    /// `maxKID` from a decoded body, so the ID derivation happens against
+    /// the reconstructed packets below.
     fn try_decode(&mut self) {
         if self.is_satisfied() {
             return;
         }
-        let Some(m) = self.current_id else { return };
-        let m16 = m as u16;
         let (low, high) = match self.estimator.as_ref().and_then(|e| e.range()) {
             Some(r) => r,
             None => {
@@ -207,10 +210,17 @@ impl UserSession {
             };
             let msg_id = self.msg_id.unwrap_or(0);
             for (seq, body) in bodies.iter().enumerate() {
-                if let Ok(enc) =
-                    EncPacket::from_fec_body(body, &self.layout, msg_id, b, seq as u8)
+                if let Ok(enc) = EncPacket::from_fec_body(body, &self.layout, msg_id, b, seq as u8)
                 {
-                    if enc.serves(m16) {
+                    if self.current_id.is_none() {
+                        self.current_id =
+                            ident::derive_current_id(self.old_id, enc.max_kid as NodeId, self.d);
+                    }
+                    let Some(m) = self.current_id else {
+                        // Not in the tree any more; no packet can serve us.
+                        return;
+                    };
+                    if enc.serves(m as u16) {
                         self.succeed(UserOutcome::Enc(enc));
                         return;
                     }
@@ -235,22 +245,14 @@ impl UserSession {
         let (low, high) = match (range, self.max_block_seen) {
             (Some((lo, hi)), _) => (lo, hi),
             (None, Some(maxb)) => {
-                let lo = self
-                    .estimator
-                    .as_ref()
-                    .map(|e| e.low())
-                    .unwrap_or(0);
+                let lo = self.estimator.as_ref().map(|e| e.low()).unwrap_or(0);
                 (lo.min(maxb as u32), maxb as u32)
             }
             (None, None) => (0, 0), // total loss: ask for block 0
         };
         let mut requests = Vec::new();
         for b in low..=high.min(255) {
-            let have = self
-                .shares
-                .get(&(b as u8))
-                .map(|s| s.len())
-                .unwrap_or(0);
+            let have = self.shares.get(&(b as u8)).map(|s| s.len()).unwrap_or(0);
             let need = self.k.saturating_sub(have);
             if need > 0 {
                 requests.push(NackRequest {
@@ -335,7 +337,7 @@ mod tests {
         let mut blocks = toy_message();
         let pars = blocks.mint_parities(0, 1).unwrap();
         let mut u = user(102); // specific packet is block 0, seq 1
-        // Lose it; deliver block 0 seq 0 and 2 plus one parity.
+                               // Lose it; deliver block 0 seq 0 and 2 plus one parity.
         let b0 = blocks.block(0).unwrap();
         u.receive(&Packet::Enc(b0.packets[0].clone()));
         u.receive(&Packet::Enc(b0.packets[2].clone()));
@@ -375,8 +377,8 @@ mod tests {
     fn nack_covers_range_when_block_ambiguous() {
         let blocks = toy_message();
         let mut u = user(104); // specific is block 1, seq 0
-        // Only receives block 0 seq 0 (range below it, middle of block):
-        // low stays 0, step-6 bound caps high.
+                               // Only receives block 0 seq 0 (range below it, middle of block):
+                               // low stays 0, step-6 bound caps high.
         u.receive(&Packet::Enc(blocks.block(0).unwrap().packets[0].clone()));
         let nack = u.end_of_round().expect("unsatisfied");
         assert!(!nack.requests.is_empty());

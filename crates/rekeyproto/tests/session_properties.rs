@@ -24,14 +24,13 @@ fn enc(i: u16) -> EncPacket {
     }
 }
 
-/// A round of NACKs: (user node id offset, per-block demand).
-fn nack_rounds() -> impl Strategy<Value = Vec<Vec<(u8, Vec<(u8, u8)>)>>> {
+/// One round of NACKs: (user node id offset, per-block demand) per user.
+type NackRound = Vec<(u8, Vec<(u8, u8)>)>;
+
+fn nack_rounds() -> impl Strategy<Value = Vec<NackRound>> {
     proptest::collection::vec(
         proptest::collection::vec(
-            (
-                0u8..30,
-                proptest::collection::vec((1u8..6, 0u8..4), 1..4),
-            ),
+            (0u8..30, proptest::collection::vec((1u8..6, 0u8..4), 1..4)),
             0..12,
         ),
         1..6,
@@ -70,7 +69,7 @@ proptest! {
 
         // Parity sequence numbers must be globally fresh per block.
         let mut max_parity_seq: Vec<Option<u8>> = vec![None; n_blocks];
-        let mut check_parities = |pkts: &[Packet], seqs: &mut Vec<Option<u8>>| {
+        let check_parities = |pkts: &[Packet], seqs: &mut Vec<Option<u8>>| {
             for p in pkts {
                 if let Packet::Parity(par) = p {
                     let b = par.block_id as usize;

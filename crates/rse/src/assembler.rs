@@ -122,13 +122,29 @@ mod tests {
         let mut asm = Assembler::new(k).unwrap();
         assert_eq!(asm.deficit(), 4);
 
-        asm.offer(Share { index: 1, data: data[1].clone() }).unwrap();
-        asm.offer(Share { index: 3, data: data[3].clone() }).unwrap();
+        asm.offer(Share {
+            index: 1,
+            data: data[1].clone(),
+        })
+        .unwrap();
+        asm.offer(Share {
+            index: 3,
+            data: data[3].clone(),
+        })
+        .unwrap();
         assert_eq!(asm.deficit(), 2);
         assert!(asm.reconstruct().is_err());
 
-        asm.offer(Share { index: 4, data: enc.parity(0, &data).unwrap() }).unwrap();
-        asm.offer(Share { index: 6, data: enc.parity(2, &data).unwrap() }).unwrap();
+        asm.offer(Share {
+            index: 4,
+            data: enc.parity(0, &data).unwrap(),
+        })
+        .unwrap();
+        asm.offer(Share {
+            index: 6,
+            data: enc.parity(2, &data).unwrap(),
+        })
+        .unwrap();
         assert!(asm.ready());
         assert_eq!(asm.reconstruct().unwrap(), data);
     }
@@ -137,7 +153,10 @@ mod tests {
     fn idempotent_duplicates_ignored() {
         let data = block(2, 8);
         let mut asm = Assembler::new(2).unwrap();
-        let s = Share { index: 0, data: data[0].clone() };
+        let s = Share {
+            index: 0,
+            data: data[0].clone(),
+        };
         asm.offer(s.clone()).unwrap();
         asm.offer(s).unwrap();
         assert_eq!(asm.have(), 1);
@@ -147,8 +166,15 @@ mod tests {
     fn conflicting_duplicate_rejected() {
         let data = block(2, 8);
         let mut asm = Assembler::new(2).unwrap();
-        asm.offer(Share { index: 0, data: data[0].clone() }).unwrap();
-        let forged = Share { index: 0, data: vec![0xFF; 8] };
+        asm.offer(Share {
+            index: 0,
+            data: data[0].clone(),
+        })
+        .unwrap();
+        let forged = Share {
+            index: 0,
+            data: vec![0xFF; 8],
+        };
         assert_eq!(asm.offer(forged), Err(RseError::DuplicateShare(0)));
         assert_eq!(asm.have(), 1, "forgery must not displace the original");
     }
@@ -156,10 +182,20 @@ mod tests {
     #[test]
     fn length_mismatch_rejected() {
         let mut asm = Assembler::new(2).unwrap();
-        asm.offer(Share { index: 0, data: vec![1, 2, 3] }).unwrap();
+        asm.offer(Share {
+            index: 0,
+            data: vec![1, 2, 3],
+        })
+        .unwrap();
         assert_eq!(
-            asm.offer(Share { index: 1, data: vec![1] }),
-            Err(RseError::LengthMismatch { expected: 3, got: 1 })
+            asm.offer(Share {
+                index: 1,
+                data: vec![1]
+            }),
+            Err(RseError::LengthMismatch {
+                expected: 3,
+                got: 1
+            })
         );
     }
 
@@ -170,9 +206,17 @@ mod tests {
         let mut enc = BlockEncoder::new(k).unwrap();
         let mut asm = Assembler::new(k).unwrap();
         for (i, d) in data.iter().enumerate() {
-            asm.offer(Share { index: i, data: d.clone() }).unwrap();
+            asm.offer(Share {
+                index: i,
+                data: d.clone(),
+            })
+            .unwrap();
         }
-        asm.offer(Share { index: k, data: enc.parity(0, &data).unwrap() }).unwrap();
+        asm.offer(Share {
+            index: k,
+            data: enc.parity(0, &data).unwrap(),
+        })
+        .unwrap();
         assert_eq!(asm.have(), 4);
         assert_eq!(asm.reconstruct().unwrap(), data);
     }

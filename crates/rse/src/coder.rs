@@ -41,6 +41,10 @@ pub enum RseError {
         /// Packets required (the block size `k`).
         need: usize,
     },
+    /// The decode matrix was singular. Unreachable for distinct evaluation
+    /// points (the MDS property); surfaced as an error rather than a panic
+    /// so the decoder is total.
+    SingularMatrix,
 }
 
 impl core::fmt::Display for RseError {
@@ -62,6 +66,7 @@ impl core::fmt::Display for RseError {
             RseError::WrongDataCount { got, need } => {
                 write!(f, "expected {need} data packets, got {got}")
             }
+            RseError::SingularMatrix => write!(f, "decode matrix is singular"),
         }
     }
 }
@@ -124,7 +129,10 @@ impl BlockEncoder {
         if k == 0 || k >= MAX_SYMBOLS {
             return Err(RseError::InvalidBlockSize(k));
         }
-        Ok(BlockEncoder { k, rows: Vec::new() })
+        Ok(BlockEncoder {
+            k,
+            rows: Vec::new(),
+        })
     }
 
     /// The block size `k`.
@@ -244,7 +252,8 @@ pub fn decode(k: usize, shares: &[Share]) -> Result<Vec<Vec<u8>>, RseError> {
             need: k,
         });
     }
-    let len = len.expect("k >= 1 so at least one share was seen");
+    // k >= 1 was checked above, so at least one share set `len`.
+    let len = len.unwrap_or(0);
 
     // Fast path: all data shares present among the chosen.
     if chosen.iter().all(|s| s.index < k) {
@@ -271,9 +280,7 @@ pub fn decode(k: usize, shares: &[Share]) -> Result<Vec<Vec<u8>>, RseError> {
             lagrange_row(k, point(idx))[c]
         }
     });
-    let inv = gen
-        .inverse()
-        .expect("distinct evaluation points always yield an invertible matrix");
+    let inv = gen.inverse().ok_or(RseError::SingularMatrix)?;
 
     let mut out = vec![vec![0u8; len]; k];
     for (i, out_pkt) in out.iter_mut().enumerate() {

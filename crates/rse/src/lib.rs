@@ -46,7 +46,11 @@
 
 mod assembler;
 mod coder;
+/// Encode/decode operation-count models used by the figure experiments.
 pub mod cost;
+/// Deep encode→erase→decode self-checks (tests / `--features sanitize`).
+#[cfg(any(test, feature = "sanitize"))]
+pub mod sanitize;
 
 pub use assembler::Assembler;
 pub use coder::{decode, BlockEncoder, RseError, Share, MAX_SYMBOLS};

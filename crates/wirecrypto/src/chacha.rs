@@ -99,10 +99,10 @@ impl StreamCipher {
         for byte in data.iter_mut() {
             if self.buffered == BLOCK_LEN {
                 self.buffer = self.block(self.counter);
-                self.counter = self
-                    .counter
-                    .checked_add(1)
-                    .expect("keystream exhausted (2^70 bytes)");
+                // The 64-bit block counter rolls over after 2^70 keystream
+                // bytes — unreachable for 20-byte sealed keys and 8-byte
+                // nonces, so wrapping is the panic-free choice here.
+                self.counter = self.counter.wrapping_add(1);
                 self.buffered = 0;
             }
             *byte ^= self.buffer[self.buffered];

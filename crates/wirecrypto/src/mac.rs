@@ -5,6 +5,17 @@
 
 use crate::SymKey;
 
+/// Little-endian `u64` from the first 8 bytes of `bytes` (zero-padded if
+/// shorter); total, so the hot MAC loop has no panicking conversions.
+#[inline]
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut word = [0u8; 8];
+    for (slot, &b) in word.iter_mut().zip(bytes) {
+        *slot = b;
+    }
+    u64::from_le_bytes(word)
+}
+
 #[inline]
 fn sip_round(v: &mut [u64; 4]) {
     v[0] = v[0].wrapping_add(v[1]);
@@ -26,8 +37,8 @@ fn sip_round(v: &mut [u64; 4]) {
 /// Computes the 64-bit MAC of `data` under `key`.
 pub fn mac64(key: &SymKey, data: &[u8]) -> u64 {
     let kb = key.as_bytes();
-    let k0 = u64::from_le_bytes(kb[0..8].try_into().expect("8 bytes"));
-    let k1 = u64::from_le_bytes(kb[8..16].try_into().expect("8 bytes"));
+    let k0 = le_u64(&kb[0..8]);
+    let k1 = le_u64(&kb[8..16]);
 
     let mut v = [
         k0 ^ 0x736f6d6570736575,
@@ -38,7 +49,7 @@ pub fn mac64(key: &SymKey, data: &[u8]) -> u64 {
 
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
-        let m = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        let m = le_u64(chunk);
         v[3] ^= m;
         sip_round(&mut v);
         sip_round(&mut v);

@@ -66,6 +66,8 @@ pub enum RegistrationError {
     BadRegistrarProof,
     /// The sealed individual key failed to open.
     BadSealedKey(UnsealError),
+    /// `accept` was called before `prove`: no registrar nonce is known yet.
+    OutOfOrder,
 }
 
 impl core::fmt::Display for RegistrationError {
@@ -74,6 +76,9 @@ impl core::fmt::Display for RegistrationError {
             RegistrationError::BadUserProof => write!(f, "user proof rejected"),
             RegistrationError::BadRegistrarProof => write!(f, "registrar proof rejected"),
             RegistrationError::BadSealedKey(e) => write!(f, "individual key unsealing: {e}"),
+            RegistrationError::OutOfOrder => {
+                write!(f, "grant accepted before the challenge was answered")
+            }
         }
     }
 }
@@ -92,8 +97,14 @@ fn proof_input(user_nonce: u64, registrar_nonce: u64, side: &[u8]) -> Vec<u8> {
 /// and both nonces, so it is unique per handshake.
 fn session_key(credential: &SymKey, user_nonce: u64, registrar_nonce: u64) -> SymKey {
     let mut bytes = [0u8; 16];
-    let a = mac::mac64(credential, &proof_input(user_nonce, registrar_nonce, b"sk-lo"));
-    let b = mac::mac64(credential, &proof_input(user_nonce, registrar_nonce, b"sk-hi"));
+    let a = mac::mac64(
+        credential,
+        &proof_input(user_nonce, registrar_nonce, b"sk-lo"),
+    );
+    let b = mac::mac64(
+        credential,
+        &proof_input(user_nonce, registrar_nonce, b"sk-hi"),
+    );
     bytes[..8].copy_from_slice(&a.to_le_bytes());
     bytes[8..].copy_from_slice(&b.to_le_bytes());
     SymKey::from_bytes(bytes)
@@ -113,8 +124,9 @@ impl UserRegistration {
         // Derive the nonce through the cipher so weak seeds don't produce
         // predictable nonces across users.
         let mut stream = StreamCipher::new(&credential, nonce_seed);
-        let bytes = stream.keystream(8);
-        let user_nonce = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+        let mut bytes = [0u8; 8];
+        stream.apply(&mut bytes);
+        let user_nonce = u64::from_le_bytes(bytes);
         (
             UserRegistration {
                 credential,
@@ -138,9 +150,7 @@ impl UserRegistration {
 
     /// Verifies the grant and extracts `(user_id, individual_key)`.
     pub fn accept(&self, grant: Grant) -> Result<(u32, SymKey), RegistrationError> {
-        let registrar_nonce = self
-            .registrar_nonce
-            .expect("accept called before prove");
+        let registrar_nonce = self.registrar_nonce.ok_or(RegistrationError::OutOfOrder)?;
         let mut transcript = proof_input(self.user_nonce, registrar_nonce, b"registrar");
         transcript.extend_from_slice(&grant.user_id.to_le_bytes());
         transcript.extend_from_slice(grant.sealed_key.as_bytes());
@@ -166,10 +176,15 @@ pub struct RegistrarSession {
 
 impl RegistrarSession {
     /// Accepts a join request and issues a challenge.
-    pub fn challenge(credential: SymKey, request: JoinRequest, nonce_seed: u64) -> (Self, Challenge) {
+    pub fn challenge(
+        credential: SymKey,
+        request: JoinRequest,
+        nonce_seed: u64,
+    ) -> (Self, Challenge) {
         let mut stream = StreamCipher::new(&credential, nonce_seed ^ 0xA5A5_5A5A_0F0F_F0F0);
-        let bytes = stream.keystream(8);
-        let registrar_nonce = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+        let mut bytes = [0u8; 8];
+        stream.apply(&mut bytes);
+        let registrar_nonce = u64::from_le_bytes(bytes);
         (
             RegistrarSession {
                 credential,

@@ -59,8 +59,11 @@ impl SealedKey {
 
     /// Attempts to recover the sealed key with `kek` in `context`.
     pub fn unseal(&self, kek: &SymKey, context: u64) -> Result<SymKey, UnsealError> {
-        let ct: [u8; 16] = self.bytes[..16].try_into().expect("16 bytes");
-        let wire_tag = u32::from_le_bytes(self.bytes[16..].try_into().expect("4 bytes"));
+        let mut ct = [0u8; 16];
+        ct.copy_from_slice(&self.bytes[..16]);
+        let mut tag_bytes = [0u8; 4];
+        tag_bytes.copy_from_slice(&self.bytes[16..]);
+        let wire_tag = u32::from_le_bytes(tag_bytes);
 
         let mut mac_input = [0u8; 24];
         mac_input[..16].copy_from_slice(&ct);

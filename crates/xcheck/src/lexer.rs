@@ -1,0 +1,378 @@
+//! A minimal Rust lexer for lint scanning.
+//!
+//! Strips comments, string/char literals and numbers, and yields a flat
+//! stream of identifier and punctuation tokens tagged with line numbers.
+//! From that stream it derives, per line, whether the line sits inside a
+//! `#[cfg(test)]`-gated item — the information every non-test-scoped rule
+//! needs. This is deliberately not a full parser: it only has to be exact
+//! about the token shapes the rules match (`.unwrap(`, `as u32`,
+//! `todo !`, attribute brackets, and brace nesting).
+
+/// One significant token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct SpannedTok {
+    /// 1-based line number.
+    pub line: u32,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+/// Lexes `src` into spanned tokens, discarding comments, literals and
+/// whitespace.
+pub fn lex(src: &str) -> Vec<SpannedTok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+            }
+            '\'' => {
+                i = skip_quote(&chars, i, &mut line);
+            }
+            'r' | 'b' if raw_string_start(&chars, i).is_some() => {
+                let hashes = raw_string_start(&chars, i).unwrap_or(0);
+                i = skip_raw_string(&chars, i, hashes, &mut line);
+            }
+            'b' if chars.get(i + 1) == Some(&'"') => {
+                i = skip_string(&chars, i + 1, &mut line);
+            }
+            'b' if chars.get(i + 1) == Some(&'\'') => {
+                i = skip_quote(&chars, i + 1, &mut line);
+            }
+            c if c.is_ascii_digit() => {
+                i = skip_number(&chars, i);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(SpannedTok {
+                    line,
+                    tok: Tok::Ident(chars[start..i].iter().collect()),
+                });
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            other => {
+                toks.push(SpannedTok {
+                    line,
+                    tok: Tok::Punct(other),
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// If position `i` starts a raw (byte) string (`r"`, `r#"`, `br"`, ...),
+/// returns the number of `#` delimiters; otherwise `None`.
+fn raw_string_start(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+fn skip_raw_string(chars: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    // Consume up to and including the opening quote.
+    while i < chars.len() && chars[i] != '"' {
+        i += 1;
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if chars[i] == '"' && chars[i + 1..].iter().take(hashes).all(|&c| c == '#') {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a `"..."` literal starting at the opening quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips either a lifetime marker or a `'x'` char literal starting at the
+/// quote.
+fn skip_quote(chars: &[char], i: usize, line: &mut u32) -> usize {
+    let is_lifetime = chars
+        .get(i + 1)
+        .is_some_and(|c| c.is_alphabetic() || *c == '_')
+        && chars.get(i + 2) != Some(&'\'');
+    if is_lifetime {
+        // Leave the identifier for the main loop; it is harmless.
+        return i + 1;
+    }
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skips a numeric literal (including suffixes and fractional parts, but
+/// not range dots).
+fn skip_number(chars: &[char], mut i: usize) -> usize {
+    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+        i += 1;
+        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Returns, for each 1-based line of `src`, whether the line is inside a
+/// `#[cfg(test)]`-gated item (the gated item itself included).
+pub fn test_region_lines(src: &str, toks: &[SpannedTok]) -> Vec<bool> {
+    let line_count = src.lines().count() + 1;
+    let mut in_test = vec![false; line_count + 1];
+
+    let mut depth: usize = 0;
+    let mut test_depths: Vec<usize> = Vec::new();
+    let mut pending_test = false;
+    let mut pending_line: u32 = 0;
+
+    let mut i = 0;
+    while i < toks.len() {
+        let line = toks[i].line;
+        if !test_depths.is_empty() || pending_test {
+            mark(&mut in_test, line);
+        }
+        match &toks[i].tok {
+            Tok::Punct('#') if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('['))) => {
+                let (end, is_cfg_test) = scan_attribute(toks, i + 1);
+                if is_cfg_test {
+                    pending_test = true;
+                    pending_line = line;
+                }
+                for covered in &toks[i..end] {
+                    if pending_test || !test_depths.is_empty() {
+                        mark(&mut in_test, covered.line);
+                    }
+                }
+                i = end;
+                continue;
+            }
+            Tok::Punct('{') => {
+                depth += 1;
+                if pending_test {
+                    test_depths.push(depth);
+                    pending_test = false;
+                    for covered in pending_line..=line {
+                        mark(&mut in_test, covered);
+                    }
+                }
+            }
+            Tok::Punct('}') => {
+                if test_depths.last() == Some(&depth) {
+                    test_depths.pop();
+                    mark(&mut in_test, line);
+                }
+                depth = depth.saturating_sub(1);
+            }
+            Tok::Punct(';') if pending_test => {
+                // `#[cfg(test)]` on a braceless item (e.g. `use`).
+                pending_test = false;
+                for covered in pending_line..=line {
+                    mark(&mut in_test, covered);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    in_test
+}
+
+fn mark(in_test: &mut [bool], line: u32) {
+    if let Some(slot) = in_test.get_mut(line as usize) {
+        *slot = true;
+    }
+}
+
+/// Scans an attribute whose `[` is at index `open`. Returns the index one
+/// past the closing `]` and whether the attribute is exactly
+/// `#[cfg(test)]`.
+fn scan_attribute(toks: &[SpannedTok], open: usize) -> (usize, bool) {
+    let mut depth = 0;
+    let mut body: Vec<&Tok> = Vec::new();
+    let mut i = open;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    let is_cfg_test = matches!(
+                        body.as_slice(),
+                        [Tok::Ident(cfg), Tok::Punct('('), Tok::Ident(test), Tok::Punct(')')]
+                            if cfg == "cfg" && test == "test"
+                    );
+                    return (i + 1, is_cfg_test);
+                }
+            }
+            tok => {
+                if depth == 1 {
+                    body.push(tok);
+                }
+            }
+        }
+        i += 1;
+    }
+    (i, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(name) => Some(name),
+                Tok::Punct(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_comments_and_chars_are_stripped() {
+        let src = r##"
+            // a comment with .unwrap()
+            /* block /* nested */ .expect( */
+            let s = "literal .unwrap() inside";
+            let r = r#"raw .expect( inside"#;
+            let c = '\'';
+            let b = b"bytes .unwrap(";
+            real_ident.other()
+        "##;
+        let names = idents(src);
+        assert!(!names.iter().any(|n| n == "unwrap" || n == "expect"));
+        assert!(names.iter().any(|n| n == "real_ident"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let names = idents("fn f<'a>(x: &'a str) { x.unwrap() }");
+        assert!(names.iter().any(|n| n == "unwrap"));
+    }
+
+    #[test]
+    fn numbers_do_not_merge_with_method_calls() {
+        let names = idents("let y = x.0.unwrap(); let z = 0..5; let f = 1.5e3;");
+        assert!(names.iter().any(|n| n == "unwrap"));
+        assert!(!names.iter().any(|n| n == "e3"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_body() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let toks = lex(src);
+        let in_test = test_region_lines(src, &toks);
+        assert!(!in_test[1], "live fn is not test code");
+        assert!(in_test[2], "attribute line");
+        assert!(in_test[3] && in_test[4] && in_test[5], "mod body");
+        assert!(!in_test[6], "code after the test mod");
+    }
+
+    #[test]
+    fn cfg_any_is_not_treated_as_test_only() {
+        let src = "#[cfg(any(test, feature = \"sanitize\"))]\nmod deep {\n    fn f() {}\n}\n";
+        let toks = lex(src);
+        let in_test = test_region_lines(src, &toks);
+        assert!(!in_test[2] && !in_test[3], "sanitize code is live code");
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
+        let toks = lex(src);
+        let in_test = test_region_lines(src, &toks);
+        assert!(in_test[2]);
+        assert!(!in_test[3]);
+    }
+}

@@ -1,0 +1,92 @@
+//! `xcheck` — the workspace's project-rule lint driver.
+//!
+//! Walks `crates/*/src/**/*.rs` (plus the umbrella crate's `src/`) with a
+//! lightweight token scanner and enforces the rules listed in
+//! [`rules::all_rules`]: panic-free hot/wire crates, `forbid(unsafe_code)`
+//! everywhere, no truncating casts in the GF(2^8) core, documented public
+//! API in `keytree`/`rse`, and no `todo!`/`unimplemented!` anywhere.
+//!
+//! Run with `cargo run -p xcheck`. Prints a human report, writes a
+//! machine-readable JSON summary (default `target/xcheck.json`, override
+//! with `--json PATH`), and exits nonzero when any rule is violated so it
+//! can gate CI. `--root PATH` points the scanner at a different workspace
+//! checkout.
+
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod report;
+mod rules;
+mod walk;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = default_root();
+    let mut json_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(value) => root = PathBuf::from(value),
+                None => return usage("--root needs a path"),
+            },
+            "--json" => match args.next() {
+                Some(value) => json_path = Some(PathBuf::from(value)),
+                None => return usage("--json needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: xcheck [--root WORKSPACE_DIR] [--json REPORT_PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let sources = match walk::collect_sources(&root) {
+        Ok(sources) => sources,
+        Err(err) => {
+            eprintln!("xcheck: cannot walk {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if sources.is_empty() {
+        eprintln!("xcheck: no Rust sources found under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let outcome = rules::run_all(&sources);
+    report::print_human(&outcome, sources.len());
+
+    let json_path = json_path.unwrap_or_else(|| root.join("target").join("xcheck.json"));
+    if let Err(err) = report::write_json(&outcome, sources.len(), &json_path) {
+        eprintln!("xcheck: cannot write {}: {err}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("json summary: {}", json_path.display());
+
+    if outcome.total_violations() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("xcheck: {problem}");
+    eprintln!("usage: xcheck [--root WORKSPACE_DIR] [--json REPORT_PATH]");
+    ExitCode::FAILURE
+}
+
+/// The workspace root two levels above this crate's manifest, so
+/// `cargo run -p xcheck` works from any directory.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}

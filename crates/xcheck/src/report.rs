@@ -1,0 +1,154 @@
+//! Human and JSON rendering of a lint run.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::rules::Outcome;
+
+/// Prints the human-readable report to stdout.
+pub fn print_human(outcome: &Outcome, files_scanned: usize) {
+    println!("xcheck: scanned {files_scanned} source files");
+    for rule in &outcome.rules {
+        let status = if rule.violations.is_empty() {
+            "ok"
+        } else {
+            "FAIL"
+        };
+        println!(
+            "[{status:>4}] {} — {} ({} violation{})",
+            rule.id,
+            rule.description,
+            rule.violations.len(),
+            if rule.violations.len() == 1 { "" } else { "s" },
+        );
+        for violation in &rule.violations {
+            println!(
+                "        {}:{}  {}",
+                violation.file, violation.line, violation.message
+            );
+        }
+    }
+    let total = outcome.total_violations();
+    if total == 0 {
+        println!("xcheck: PASS");
+    } else {
+        println!(
+            "xcheck: FAIL — {total} violation{}",
+            if total == 1 { "" } else { "s" }
+        );
+    }
+}
+
+/// Writes the machine-readable JSON summary to `path`, creating parent
+/// directories as needed.
+pub fn write_json(outcome: &Outcome, files_scanned: usize, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, render_json(outcome, files_scanned))
+}
+
+fn render_json(outcome: &Outcome, files_scanned: usize) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    json.push_str(&format!(
+        "  \"violations_total\": {},\n",
+        outcome.total_violations()
+    ));
+    json.push_str(&format!(
+        "  \"pass\": {},\n",
+        outcome.total_violations() == 0
+    ));
+    json.push_str("  \"rules\": [\n");
+    for (rule_idx, rule) in outcome.rules.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"id\": {},\n", quote(rule.id)));
+        json.push_str(&format!(
+            "      \"description\": {},\n",
+            quote(rule.description)
+        ));
+        json.push_str(&format!(
+            "      \"violation_count\": {},\n",
+            rule.violations.len()
+        ));
+        json.push_str("      \"violations\": [\n");
+        for (violation_idx, violation) in rule.violations.iter().enumerate() {
+            json.push_str(&format!(
+                "        {{\"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                quote(&violation.file),
+                violation.line,
+                quote(&violation.message),
+                trailing_comma(violation_idx, rule.violations.len()),
+            ));
+        }
+        json.push_str("      ]\n");
+        json.push_str(&format!(
+            "    }}{}\n",
+            trailing_comma(rule_idx, outcome.rules.len())
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    json
+}
+
+fn trailing_comma(index: usize, len: usize) -> &'static str {
+    if index + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn quote(text: &str) -> String {
+    let mut quoted = String::with_capacity(text.len() + 2);
+    quoted.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => quoted.push_str("\\\""),
+            '\\' => quoted.push_str("\\\\"),
+            '\n' => quoted.push_str("\\n"),
+            '\t' => quoted.push_str("\\t"),
+            '\r' => quoted.push_str("\\r"),
+            c if (c as u32) < 0x20 => quoted.push_str(&format!("\\u{:04x}", c as u32)),
+            c => quoted.push(c),
+        }
+    }
+    quoted.push('"');
+    quoted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{RuleReport, Violation};
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let outcome = Outcome {
+            rules: vec![RuleReport {
+                id: "demo",
+                description: "a \"quoted\" rule",
+                violations: vec![Violation {
+                    file: "crates/x/src/lib.rs".to_string(),
+                    line: 7,
+                    message: "uses `.unwrap()`\nbadly".to_string(),
+                }],
+            }],
+        };
+        let json = render_json(&outcome, 3);
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"violations_total\": 1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\\n"));
+        assert!(
+            !json.contains("`.unwrap()`\nbadly"),
+            "newline must be escaped"
+        );
+        let quotes = json.matches('"').count();
+        assert_eq!(quotes % 2, 0, "balanced quotes");
+    }
+}

@@ -1,0 +1,339 @@
+//! The project rules and the engine that runs them over lexed sources.
+
+use crate::lexer::{self, Tok};
+use crate::walk::SourceFile;
+
+/// Crates whose non-test code must be panic-free (wire/hot paths).
+const PANIC_FREE_CRATES: [&str; 3] = ["wirecrypto", "rekeymsg", "rse"];
+
+/// Files in which `as` casts to narrower integer types are forbidden
+/// (GF(2^8) field and matrix cores, where a silent truncation corrupts
+/// algebra instead of crashing).
+const NO_TRUNCATING_CAST_FILES: [&str; 2] =
+    ["crates/gf256/src/field.rs", "crates/gf256/src/matrix.rs"];
+
+/// Crates whose entire `pub` surface must carry doc comments.
+const DOCUMENTED_CRATES: [&str; 2] = ["keytree", "rse"];
+
+/// Integer types an `as` cast may truncate into.
+const NARROW_INT_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// One rule violation at a source location.
+pub struct Violation {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description of this occurrence.
+    pub message: String,
+}
+
+/// A rule's identity and its collected violations.
+pub struct RuleReport {
+    /// Stable machine-readable rule id.
+    pub id: &'static str,
+    /// One-line description for the human report.
+    pub description: &'static str,
+    /// All violations, in path/line order.
+    pub violations: Vec<Violation>,
+}
+
+/// The outcome of a full lint run.
+pub struct Outcome {
+    /// Per-rule reports, in fixed rule order.
+    pub rules: Vec<RuleReport>,
+}
+
+impl Outcome {
+    /// Total violations across all rules.
+    pub fn total_violations(&self) -> usize {
+        self.rules.iter().map(|r| r.violations.len()).sum()
+    }
+}
+
+/// Runs every rule over the scanned sources.
+pub fn run_all(sources: &[SourceFile]) -> Outcome {
+    let mut no_panic = RuleReport {
+        id: "no-unwrap-in-wire-crates",
+        description: "no `.unwrap()` / `.expect()` in non-test code of wirecrypto, rekeymsg, rse",
+        violations: Vec::new(),
+    };
+    let mut forbid_unsafe = RuleReport {
+        id: "forbid-unsafe-code",
+        description: "`#![forbid(unsafe_code)]` present in every crate root",
+        violations: Vec::new(),
+    };
+    let mut no_truncating_cast = RuleReport {
+        id: "no-truncating-cast-in-gf256",
+        description: "no `as` casts to narrower integer types in gf256 field/matrix code",
+        violations: Vec::new(),
+    };
+    let mut pub_docs = RuleReport {
+        id: "documented-pub-api",
+        description: "every `pub` item in keytree and rse carries a doc comment",
+        violations: Vec::new(),
+    };
+    let mut no_todo = RuleReport {
+        id: "no-todo-or-unimplemented",
+        description: "no `todo!` / `unimplemented!` anywhere in the workspace",
+        violations: Vec::new(),
+    };
+
+    for source in sources {
+        let toks = lexer::lex(&source.text);
+        let in_test = lexer::test_region_lines(&source.text, &toks);
+
+        if PANIC_FREE_CRATES.contains(&source.crate_name.as_str()) {
+            check_no_panic_helpers(source, &toks, &in_test, &mut no_panic.violations);
+        }
+        if source.is_crate_root {
+            check_forbid_unsafe(source, &mut forbid_unsafe.violations);
+        }
+        if NO_TRUNCATING_CAST_FILES.contains(&source.rel_path.as_str()) {
+            check_no_truncating_cast(source, &toks, &in_test, &mut no_truncating_cast.violations);
+        }
+        if DOCUMENTED_CRATES.contains(&source.crate_name.as_str()) {
+            check_pub_docs(source, &in_test, &mut pub_docs.violations);
+        }
+        check_no_todo(source, &toks, &mut no_todo.violations);
+    }
+
+    Outcome {
+        rules: vec![
+            no_panic,
+            forbid_unsafe,
+            no_truncating_cast,
+            pub_docs,
+            no_todo,
+        ],
+    }
+}
+
+/// `.unwrap(` / `.expect(` token triples outside `#[cfg(test)]` regions.
+fn check_no_panic_helpers(
+    source: &SourceFile,
+    toks: &[lexer::SpannedTok],
+    in_test: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    for window in toks.windows(3) {
+        let [dot, name, paren] = window else {
+            continue;
+        };
+        let Tok::Ident(method) = &name.tok else {
+            continue;
+        };
+        if dot.tok == Tok::Punct('.')
+            && paren.tok == Tok::Punct('(')
+            && (method == "unwrap" || method == "expect")
+            && !in_test.get(name.line as usize).copied().unwrap_or(false)
+        {
+            out.push(Violation {
+                file: source.rel_path.clone(),
+                line: name.line,
+                message: format!("`.{method}()` in non-test code; return a typed error instead"),
+            });
+        }
+    }
+}
+
+/// Crate roots must open with `#![forbid(unsafe_code)]`.
+fn check_forbid_unsafe(source: &SourceFile, out: &mut Vec<Violation>) {
+    let has_forbid = source
+        .text
+        .lines()
+        .map(|line| line.split_whitespace().collect::<String>())
+        .any(|compact| compact == "#![forbid(unsafe_code)]");
+    if !has_forbid {
+        out.push(Violation {
+            file: source.rel_path.clone(),
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// `as u8`-style narrowing casts outside test code.
+fn check_no_truncating_cast(
+    source: &SourceFile,
+    toks: &[lexer::SpannedTok],
+    in_test: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    for window in toks.windows(2) {
+        let [kw, target] = window else { continue };
+        let (Tok::Ident(kw_name), Tok::Ident(target_name)) = (&kw.tok, &target.tok) else {
+            continue;
+        };
+        if kw_name == "as"
+            && NARROW_INT_TYPES.contains(&target_name.as_str())
+            && !in_test.get(kw.line as usize).copied().unwrap_or(false)
+        {
+            out.push(Violation {
+                file: source.rel_path.clone(),
+                line: kw.line,
+                message: format!(
+                    "truncating `as {target_name}` cast; use `try_from`/`from` so narrowing is checked"
+                ),
+            });
+        }
+    }
+}
+
+/// `pub` items (outside test code) must be preceded by a `///` doc
+/// comment, possibly with attributes in between.
+fn check_pub_docs(source: &SourceFile, in_test: &[bool], out: &mut Vec<Violation>) {
+    const ITEM_KEYWORDS: [&str; 10] = [
+        "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union", "unsafe",
+    ];
+    let lines: Vec<&str> = source.text.lines().collect();
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx as u32 + 1;
+        if in_test.get(line_no as usize).copied().unwrap_or(false) {
+            continue;
+        }
+        let trimmed = raw.trim_start();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        // `pub(crate)` / `pub(super)` items are not public API; `pub use`
+        // re-exports inherit the target's docs.
+        let mut words = rest.split_whitespace();
+        let Some(first) = words.next() else { continue };
+        let keyword = if first == "const" || first == "async" {
+            words.next().filter(|w| *w == "fn").map_or(first, |_| "fn")
+        } else {
+            first
+        };
+        if !ITEM_KEYWORDS.contains(&keyword) {
+            continue;
+        }
+
+        let mut documented = false;
+        let mut above = idx;
+        while above > 0 {
+            above -= 1;
+            let prev = lines[above].trim_start();
+            if prev.starts_with("#[") || prev.starts_with("#!") {
+                continue;
+            }
+            documented = prev.starts_with("///") || prev.starts_with("#[doc");
+            break;
+        }
+        if !documented {
+            out.push(Violation {
+                file: source.rel_path.clone(),
+                line: line_no,
+                message: format!("undocumented public item: `{}`", trimmed.trim_end()),
+            });
+        }
+    }
+}
+
+/// `todo!` / `unimplemented!` anywhere, test code included.
+fn check_no_todo(source: &SourceFile, toks: &[lexer::SpannedTok], out: &mut Vec<Violation>) {
+    for window in toks.windows(2) {
+        let [name, bang] = window else { continue };
+        let Tok::Ident(macro_name) = &name.tok else {
+            continue;
+        };
+        if bang.tok == Tok::Punct('!') && (macro_name == "todo" || macro_name == "unimplemented") {
+            out.push(Violation {
+                file: source.rel_path.clone(),
+                line: name.line,
+                message: format!("`{macro_name}!` left in the tree"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(crate_name: &str, rel_path: &str, is_crate_root: bool, text: &str) -> SourceFile {
+        SourceFile {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            is_crate_root,
+            text: text.to_string(),
+        }
+    }
+
+    fn rule<'o>(outcome: &'o Outcome, id: &str) -> &'o RuleReport {
+        outcome.rules.iter().find(|r| r.id == id).unwrap()
+    }
+
+    #[test]
+    fn flags_unwrap_only_outside_tests_and_only_in_scoped_crates() {
+        let text = "#![forbid(unsafe_code)]\n\
+                    fn live() { x.unwrap(); y.expect(\"m\"); z.unwrap_or(0); }\n\
+                    #[cfg(test)]\n\
+                    mod tests { fn t() { x.unwrap(); } }\n";
+        let outcome = run_all(&[
+            file("rse", "crates/rse/src/lib.rs", true, text),
+            file("keytree", "crates/keytree/src/lib.rs", true, text),
+        ]);
+        let flagged = &rule(&outcome, "no-unwrap-in-wire-crates").violations;
+        assert_eq!(flagged.len(), 2, "unwrap + expect in rse only");
+        assert!(flagged
+            .iter()
+            .all(|v| v.file.contains("rse") && v.line == 2));
+    }
+
+    #[test]
+    fn flags_missing_forbid_unsafe_in_crate_roots_only() {
+        let outcome = run_all(&[
+            file("keytree", "crates/keytree/src/lib.rs", true, "pub mod x;\n"),
+            file("keytree", "crates/keytree/src/x.rs", false, "fn f() {}\n"),
+        ]);
+        let flagged = &rule(&outcome, "forbid-unsafe-code").violations;
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].file, "crates/keytree/src/lib.rs");
+    }
+
+    #[test]
+    fn flags_narrowing_casts_in_gf256_core_only() {
+        let text = "#![forbid(unsafe_code)]\n\
+                    fn f(c: usize) -> u32 { c as u32 }\n\
+                    fn widen(c: u8) -> u64 { c as u64 }\n\
+                    #[cfg(test)]\n\
+                    mod tests { fn t(c: usize) -> u8 { c as u8 } }\n";
+        let outcome = run_all(&[
+            file("gf256", "crates/gf256/src/matrix.rs", false, text),
+            file("gf256", "crates/gf256/src/tables.rs", false, text),
+        ]);
+        let flagged = &rule(&outcome, "no-truncating-cast-in-gf256").violations;
+        assert_eq!(flagged.len(), 1, "matrix.rs non-test narrowing cast only");
+        assert_eq!(
+            (flagged[0].file.as_str(), flagged[0].line),
+            ("crates/gf256/src/matrix.rs", 2)
+        );
+    }
+
+    #[test]
+    fn flags_undocumented_pub_items() {
+        let text = "/// Documented.\n\
+                    #[derive(Debug)]\n\
+                    pub struct Ok1;\n\
+                    pub struct Bare;\n\
+                    pub(crate) struct Internal;\n\
+                    pub use std::vec::Vec;\n";
+        let outcome = run_all(&[file("rse", "crates/rse/src/lib.rs", false, text)]);
+        let flagged = &rule(&outcome, "documented-pub-api").violations;
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].line, 4);
+    }
+
+    #[test]
+    fn flags_todo_everywhere_including_tests() {
+        let text = "fn f() { todo!() }\n\
+                    #[cfg(test)]\n\
+                    mod tests { fn t() { unimplemented!() } }\n";
+        let outcome = run_all(&[file("netsim", "crates/netsim/src/lib.rs", false, text)]);
+        assert_eq!(
+            rule(&outcome, "no-todo-or-unimplemented").violations.len(),
+            2
+        );
+    }
+}

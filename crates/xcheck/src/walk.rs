@@ -1,0 +1,89 @@
+//! Source discovery: every `.rs` file under `crates/*/src`, plus the
+//! umbrella crate's `src/`, each tagged with its crate name and
+//! workspace-relative path.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One Rust source file staged for scanning.
+pub struct SourceFile {
+    /// Name of the owning crate (directory name under `crates/`, or the
+    /// umbrella package name for the workspace-root `src/`).
+    pub crate_name: String,
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Whether this file is a crate root (`lib.rs` or `main.rs` directly
+    /// under `src/`).
+    pub is_crate_root: bool,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// Collects all lintable sources under `root`, sorted by path.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut sources = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| path.is_dir() && path.join("Cargo.toml").is_file())
+        .collect();
+    crate_dirs.sort();
+
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|name| name.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        collect_tree(root, &crate_name, &crate_dir.join("src"), &mut sources)?;
+    }
+
+    // The umbrella package at the workspace root.
+    if root.join("Cargo.toml").is_file() {
+        collect_tree(root, "rekey-suite", &root.join("src"), &mut sources)?;
+    }
+
+    sources.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(sources)
+}
+
+fn collect_tree(
+    root: &Path,
+    crate_name: &str,
+    src_dir: &Path,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !src_dir.is_dir() {
+        return Ok(());
+    }
+    let mut stack = vec![src_dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|ext| ext == "rs") {
+                let rel_path = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let is_crate_root = path.parent() == Some(src_dir)
+                    && path
+                        .file_name()
+                        .is_some_and(|name| name == "lib.rs" || name == "main.rs");
+                out.push(SourceFile {
+                    crate_name: crate_name.to_string(),
+                    rel_path,
+                    is_crate_root,
+                    text: fs::read_to_string(&path)?,
+                });
+            }
+        }
+    }
+    Ok(())
+}

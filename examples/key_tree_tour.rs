@@ -20,9 +20,15 @@ fn main() {
     println!("-- member 8 (the paper's u9) leaves --");
     let outcome = tree.process_batch(&Batch::new(vec![], vec![8]), &mut kg);
     println!("{}", tree.render_ascii());
-    println!("updated k-nodes (deepest first): {:?}", outcome.updated_knodes);
+    println!(
+        "updated k-nodes (deepest first): {:?}",
+        outcome.updated_knodes
+    );
     for e in &outcome.encryptions {
-        println!("  encryption: {{key of node {}}} sealed under key of node {}", e.parent, e.child);
+        println!(
+            "  encryption: {{key of node {}}} sealed under key of node {}",
+            e.parent, e.child
+        );
     }
     println!(
         "-> the paper's message: ({{k78}}k7, {{k78}}k8, {{k1-8}}k123, {{k1-8}}k456, {{k1-8}}k78)\n"
@@ -52,8 +58,7 @@ fn main() {
     let outcome = tree.process_batch(&Batch::new(joins, vec![]), &mut kg);
     println!("{}", tree.render_ascii());
     for mv in &outcome.moves {
-        let derived =
-            keytree::ident::derive_current_id(mv.old_id, outcome.nk.unwrap(), 4).unwrap();
+        let derived = keytree::ident::derive_current_id(mv.old_id, outcome.nk.unwrap(), 4).unwrap();
         println!(
             "  member {} moved {} -> {} (Theorem 4.2 rederives {} from maxKID={} alone)",
             mv.member,

@@ -48,5 +48,8 @@ fn main() {
     assert_ne!(key0, key1, "group key must change");
     assert!(group.all_agents_synchronized(), "every member has the key");
     assert!(!group.agents.contains_key(&17), "departed member removed");
-    println!("all {} members hold the new group key ✓", group.agents.len());
+    println!(
+        "all {} members hold the new group key ✓",
+        group.agents.len()
+    );
 }

@@ -100,7 +100,9 @@ fn main() {
         // key for the new epoch: every new frame stays stuck in its
         // buffer, undecryptable, forever.
         let locked_out = victim_buffered == in_flight
-            && victim_sink.map(|vs| vs.buffered() == in_flight).unwrap_or(false);
+            && victim_sink
+                .map(|vs| vs.buffered() == in_flight)
+                .unwrap_or(false);
 
         println!(
             "{epoch:5} | {in_flight:30} | {max_buffered:12} | {locked_out} (rekey took {} rounds)",

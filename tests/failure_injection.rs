@@ -37,11 +37,15 @@ fn block_size_one_works_end_to_end() {
         },
         ..ServerOptions::default()
     };
-    let mut group = Group::new(64, options, NetworkConfig {
-        n_users: 64,
-        seed: 5,
-        ..NetworkConfig::default()
-    });
+    let mut group = Group::new(
+        64,
+        options,
+        NetworkConfig {
+            n_users: 64,
+            seed: 5,
+            ..NetworkConfig::default()
+        },
+    );
     let leaves: Vec<u32> = (0..16).map(|i| i * 4).collect();
     group.rekey(Batch::new(vec![], leaves));
     assert!(group.all_agents_synchronized());
@@ -57,13 +61,17 @@ fn large_block_size_with_duplicates_works() {
         },
         ..ServerOptions::default()
     };
-    let mut group = Group::new(64, options, NetworkConfig {
-        n_users: 64,
-        alpha: 1.0,
-        p_high: 0.25,
-        seed: 7,
-        ..NetworkConfig::default()
-    });
+    let mut group = Group::new(
+        64,
+        options,
+        NetworkConfig {
+            n_users: 64,
+            alpha: 1.0,
+            p_high: 0.25,
+            seed: 7,
+            ..NetworkConfig::default()
+        },
+    );
     let leaves: Vec<u32> = (0..16).map(|i| i * 4).collect();
     let report = group.rekey(Batch::new(vec![], leaves));
     assert!(report.blocks >= 1);
@@ -83,11 +91,15 @@ fn tiny_packet_layout() {
         },
         ..ServerOptions::default()
     };
-    let mut group = Group::new(32, options, NetworkConfig {
-        n_users: 32,
-        seed: 9,
-        ..NetworkConfig::default()
-    });
+    let mut group = Group::new(
+        32,
+        options,
+        NetworkConfig {
+            n_users: 32,
+            seed: 9,
+            ..NetworkConfig::default()
+        },
+    );
     let report = group.rekey(Batch::new(vec![], vec![0, 9, 18, 27]));
     // ~20+ encryptions at 6 per packet: several packets instead of the
     // single packet the default 46-slot layout would produce.
@@ -101,11 +113,15 @@ fn tiny_packet_layout() {
 
 #[test]
 fn two_member_group_churn() {
-    let mut group = Group::new(2, ServerOptions::default(), NetworkConfig {
-        n_users: 8,
-        seed: 11,
-        ..NetworkConfig::default()
-    });
+    let mut group = Group::new(
+        2,
+        ServerOptions::default(),
+        NetworkConfig {
+            n_users: 8,
+            seed: 11,
+            ..NetworkConfig::default()
+        },
+    );
     let j = group.mint_join(50);
     group.rekey(Batch::new(vec![j], vec![0]));
     assert_eq!(group.agents.len(), 2);
@@ -122,11 +138,15 @@ fn two_member_group_churn() {
 
 #[test]
 fn join_storm_quadruples_group() {
-    let mut group = Group::new(16, ServerOptions::default(), NetworkConfig {
-        n_users: 128,
-        seed: 13,
-        ..NetworkConfig::default()
-    });
+    let mut group = Group::new(
+        16,
+        ServerOptions::default(),
+        NetworkConfig {
+            n_users: 128,
+            seed: 13,
+            ..NetworkConfig::default()
+        },
+    );
     let joins: Vec<_> = (0..48).map(|i| group.mint_join(100 + i)).collect();
     group.rekey(Batch::new(joins, vec![]));
     assert_eq!(group.agents.len(), 64);
@@ -141,30 +161,26 @@ fn corrupted_wire_bytes_are_rejected_not_misparsed() {
     let mut kg = wirecrypto::KeyGen::from_seed(1);
     let mut tree = keytree::KeyTree::balanced(64, 4, &mut kg);
     let outcome = tree.process_batch(&Batch::new(vec![], vec![1, 2, 3]), &mut kg);
-    let built = rekeymsg::UkaAssignment::build(&tree, &outcome, 1, &layout);
+    let built = rekeymsg::UkaAssignment::build(&tree, &outcome, 1, &layout).unwrap();
     let bytes = built.packets[0].emit(&layout);
 
     for i in 0..bytes.len().min(64) {
         let mut corrupt = bytes.clone();
         corrupt[i] ^= 0x5A;
-        match Packet::parse(&corrupt, &layout) {
-            Ok(Packet::Enc(pkt)) => {
-                // Sealed entries must not silently unseal to wrong keys.
-                for (id, sealed) in &pkt.entries {
-                    let child = *id as u32;
-                    if let Some(kek) = tree.key_of(child) {
-                        // Either it fails, or (for untouched entries) it
-                        // yields exactly the true parent key.
-                        if let Ok(key) =
-                            sealed.unseal(&kek, rekeymsg::seal_context(1, child))
-                        {
-                            let parent = keytree::ident::parent(child, 4).unwrap();
-                            assert_eq!(Some(key), tree.key_of(parent));
-                        }
+        // Anything else is reinterpreted as another type or rejected.
+        if let Ok(Packet::Enc(pkt)) = Packet::parse(&corrupt, &layout) {
+            // Sealed entries must not silently unseal to wrong keys.
+            for (id, sealed) in &pkt.entries {
+                let child = *id as u32;
+                if let Some(kek) = tree.key_of(child) {
+                    // Either it fails, or (for untouched entries) it
+                    // yields exactly the true parent key.
+                    if let Ok(key) = sealed.unseal(&kek, rekeymsg::seal_context(1, child)) {
+                        let parent = keytree::ident::parent(child, 4).unwrap();
+                        assert_eq!(Some(key), tree.key_of(parent));
                     }
                 }
             }
-            Ok(_) | Err(_) => {} // reinterpreted as another type or rejected
         }
     }
 }
@@ -175,7 +191,7 @@ fn truncated_packets_never_panic() {
     let mut kg = wirecrypto::KeyGen::from_seed(2);
     let mut tree = keytree::KeyTree::balanced(16, 4, &mut kg);
     let outcome = tree.process_batch(&Batch::new(vec![], vec![0]), &mut kg);
-    let built = rekeymsg::UkaAssignment::build(&tree, &outcome, 1, &layout);
+    let built = rekeymsg::UkaAssignment::build(&tree, &outcome, 1, &layout).unwrap();
     let bytes = built.packets[0].emit(&layout);
     for len in 0..bytes.len() {
         let _ = Packet::parse(&bytes[..len], &layout); // must not panic
@@ -214,20 +230,26 @@ fn parity_exhaustion_falls_back_to_unicast() {
 
 #[test]
 fn alternating_feast_and_famine_batches() {
-    let mut group = Group::new(32, ServerOptions::default(), NetworkConfig {
-        n_users: 128,
-        seed: 17,
-        ..NetworkConfig::default()
-    });
+    let mut group = Group::new(
+        32,
+        ServerOptions::default(),
+        NetworkConfig {
+            n_users: 128,
+            seed: 17,
+            ..NetworkConfig::default()
+        },
+    );
     let mut next = 32u32;
     for round in 0..6 {
         if round % 2 == 0 {
             // Feast: many joins.
-            let joins: Vec<_> = (0..20).map(|_| {
-                let j = group.mint_join(next);
-                next += 1;
-                j
-            }).collect();
+            let joins: Vec<_> = (0..20)
+                .map(|_| {
+                    let j = group.mint_join(next);
+                    next += 1;
+                    j
+                })
+                .collect();
             group.rekey(Batch::new(joins, vec![]));
         } else {
             // Famine: many leaves.

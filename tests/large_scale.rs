@@ -52,7 +52,7 @@ fn wire_id_range_covers_sixteen_k() {
     let mut tree = keytree::KeyTree::balanced(16384, 4, &mut kg);
     let leaves: Vec<u32> = (0..64u32).map(|i| i * 256).collect();
     let outcome = tree.process_batch(&keytree::Batch::new(vec![], leaves), &mut kg);
-    let built = rekeymsg::UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT);
+    let built = rekeymsg::UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT).unwrap();
     for pkt in &built.packets {
         let bytes = pkt.emit(&Layout::DEFAULT);
         assert_eq!(bytes.len(), 1027);

@@ -29,7 +29,7 @@ fn scenario(seed: u64, alpha: f64, p_high: f64, max_rounds: usize) -> Scenario {
     let mut tree = KeyTree::balanced(n, 4, &mut kg);
     let leaves: Vec<u32> = (0..32u32).map(|i| i * 4).collect();
     let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
-    let assignment = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT);
+    let assignment = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT).unwrap();
     let proto = ServerConfig {
         block_size: 5,
         initial_rho: 1.0,
@@ -75,11 +75,8 @@ fn run_byte_faithful(sc: &Scenario) -> (HashMap<NodeId, usize>, usize, f64) {
         .iter()
         .map(|&node| UserSession::new(node, 4, sc.proto.block_size, layout))
         .collect();
-    let member_by_node: HashMap<NodeId, usize> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (n, i))
-        .collect();
+    let member_by_node: HashMap<NodeId, usize> =
+        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
 
     let mut round = 1usize;
     let mut action = RoundDecision::Multicast(session.start());
@@ -106,8 +103,7 @@ fn run_byte_faithful(sc: &Scenario) -> (HashMap<NodeId, usize>, usize, f64) {
             RoundDecision::Unicast(wave) => {
                 for node in &wave.targets {
                     let slot = member_by_node[node];
-                    let usr =
-                        build_usr_packet(&sc.tree, &sc.outcome, members[slot], 1).unwrap();
+                    let usr = build_usr_packet(&sc.tree, &sc.outcome, members[slot], 1).unwrap();
                     let bytes = Packet::Usr(usr).emit(&layout);
                     for _ in 0..wave.duplicates {
                         clock += send_interval;
@@ -195,7 +191,10 @@ fn assert_agreement(seed: u64, alpha: f64, p_high: f64, max_rounds: usize) {
     let (fast_rounds, fast_nacks, fast_bw) = run_fast_model(&sc);
 
     assert_eq!(bytes_nacks, fast_nacks, "round-1 NACK counts differ");
-    assert!((bytes_bw - fast_bw).abs() < 1e-12, "bandwidth overhead differs");
+    assert!(
+        (bytes_bw - fast_bw).abs() < 1e-12,
+        "bandwidth overhead differs: bytes {bytes_bw} vs fast {fast_bw}"
+    );
     assert_eq!(
         bytes_rounds.len(),
         fast_rounds.len(),

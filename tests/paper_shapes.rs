@@ -62,8 +62,16 @@ fn fig6_join_leave_shape() {
 fn fig7_duplication_bounds() {
     let p256 = workload_stats(256, 4, 0, 64, 4, 4, &Layout::DEFAULT);
     let p4096 = workload_stats(4096, 4, 0, 1024, 2, 4, &Layout::DEFAULT);
-    assert!(p256.duplication < (4.0 - 1.0) / 46.0 + 0.05, "{}", p256.duplication);
-    assert!(p4096.duplication < (6.0 - 1.0) / 46.0 + 0.05, "{}", p4096.duplication);
+    assert!(
+        p256.duplication < (4.0 - 1.0) / 46.0 + 0.05,
+        "{}",
+        p256.duplication
+    );
+    assert!(
+        p4096.duplication < (6.0 - 1.0) / 46.0 + 0.05,
+        "{}",
+        p4096.duplication
+    );
     assert!(
         p4096.duplication > p256.duplication,
         "duplication should grow with log N: {} vs {}",

@@ -46,10 +46,7 @@ fn hundred_intervals_of_churn() {
             let req = LeaveRequest::sign(m, collector.interval(), &key);
             collector
                 .submit_leave(req, |mm| {
-                    group
-                        .agents
-                        .get(&mm)
-                        .and_then(|a| a.key_of(a.node_id()))
+                    group.agents.get(&mm).and_then(|a| a.key_of(a.node_id()))
                 })
                 .unwrap_or_else(|e| panic!("interval {interval}: leave {m}: {e}"));
         }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, the xcheck static-analysis pass,
+# and the test suite with the deep invariant sanitizer live. Everything
+# runs offline against the vendored in-tree dependency shims.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo run -p xcheck"
+cargo run -p xcheck
+
+echo "==> cargo test --workspace --features sanitize"
+cargo test --workspace -q --features sanitize
+
+echo "==> ci.sh: all gates passed"
