@@ -1,0 +1,213 @@
+//! Barycentric Lagrange interpolation rows over GF(2^8).
+//!
+//! The naive Lagrange basis row at a point `x` over `k` nodes costs
+//! O(k²): every coefficient rebuilds its numerator and denominator
+//! products from scratch. The barycentric form splits that work into a
+//! one-time O(k²) weight precomputation per *node set* and an O(k)
+//! evaluation per *row*:
+//!
+//! ```text
+//! w_i    = 1 / prod_{j != i} (x_i - x_j)        (precomputed once)
+//! l(x)   = prod_j (x - x_j)                     (O(k) per row)
+//! row[i] = w_i * l(x) / (x - x_i)               (O(1) per coefficient)
+//! ```
+//!
+//! An erasure coder asks for many rows over the same node set (one per
+//! parity index, and one per surviving parity share during decode), so
+//! [`LagrangeCtx`] amortizes the quadratic part across all of them. In
+//! characteristic 2 every `-` above is `+` (XOR).
+
+use crate::Gf256;
+
+/// Precomputed barycentric weights for a fixed set of interpolation
+/// nodes.
+///
+/// Construction is O(k²); each subsequent [`row`](LagrangeCtx::row) is
+/// O(k). The produced rows are byte-for-byte identical to the textbook
+/// O(k²) construction (property-tested in `tests/bulk_kernels.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LagrangeCtx {
+    nodes: Vec<Gf256>,
+    weights: Vec<Gf256>,
+}
+
+impl LagrangeCtx {
+    /// Builds the context for the given interpolation nodes.
+    ///
+    /// Returns `None` when two nodes coincide (the weights would divide
+    /// by zero).
+    pub fn new(nodes: Vec<Gf256>) -> Option<Self> {
+        let mut weights = Vec::with_capacity(nodes.len());
+        for (i, &xi) in nodes.iter().enumerate() {
+            let mut denom = Gf256::ONE;
+            for (j, &xj) in nodes.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let diff = xi + xj; // xi - xj in characteristic 2
+                if diff.is_zero() {
+                    return None;
+                }
+                denom *= diff;
+            }
+            weights.push(denom.inv()?);
+        }
+        Some(LagrangeCtx { nodes, weights })
+    }
+
+    /// Context over the consecutive generator powers `alpha^0 ..
+    /// alpha^(k-1)` — the node set used by the systematic erasure coder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` exceeds the multiplicative group order (255),
+    /// where the powers start repeating.
+    pub fn alpha_consecutive(k: usize) -> Self {
+        assert!(
+            k <= crate::GROUP_ORDER,
+            "alpha^0..alpha^{k} repeats beyond the group order"
+        );
+        let nodes: Vec<Gf256> = (0..k).map(Gf256::alpha_pow).collect();
+        // Consecutive generator powers below the group order are distinct,
+        // so construction cannot fail; the fallback is unreachable.
+        Self::new(nodes).unwrap_or(LagrangeCtx {
+            nodes: Vec::new(),
+            weights: Vec::new(),
+        })
+    }
+
+    /// Number of interpolation nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the context holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The interpolation nodes.
+    pub fn nodes(&self) -> &[Gf256] {
+        &self.nodes
+    }
+
+    /// Writes the basis row at `x` into `out`: the coefficients `c` with
+    /// `value(x) = sum_i c[i] * d_i` for data `d` at the nodes. O(k).
+    ///
+    /// When `x` equals a node the row is the corresponding unit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len()` differs from [`len`](LagrangeCtx::len).
+    pub fn row_into(&self, x: Gf256, out: &mut [Gf256]) {
+        assert_eq!(
+            out.len(),
+            self.nodes.len(),
+            "row_into requires a k-length output slice"
+        );
+        if let Some(hit) = self.nodes.iter().position(|&n| n == x) {
+            out.fill(Gf256::ZERO);
+            out[hit] = Gf256::ONE;
+            return;
+        }
+        let mut l = Gf256::ONE;
+        for &n in &self.nodes {
+            l *= x + n; // x - n in characteristic 2; nonzero (x is no node)
+        }
+        for ((o, &n), &w) in out.iter_mut().zip(&self.nodes).zip(&self.weights) {
+            // (x + n) is nonzero here, so the inverse always exists.
+            *o = match (x + n).inv() {
+                Some(d) => l * w * d,
+                None => Gf256::ZERO,
+            };
+        }
+    }
+
+    /// The basis row at `x` as a fresh vector. See
+    /// [`row_into`](LagrangeCtx::row_into).
+    pub fn row(&self, x: Gf256) -> Vec<Gf256> {
+        let mut out = vec![Gf256::ZERO; self.nodes.len()];
+        self.row_into(x, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Textbook O(k²) construction, kept as the test oracle.
+    fn naive_row(nodes: &[Gf256], x: Gf256) -> Vec<Gf256> {
+        let k = nodes.len();
+        let mut row = vec![Gf256::ZERO; k];
+        for i in 0..k {
+            let mut num = Gf256::ONE;
+            let mut den = Gf256::ONE;
+            for j in 0..k {
+                if i == j {
+                    continue;
+                }
+                num *= x + nodes[j];
+                den *= nodes[i] + nodes[j];
+            }
+            row[i] = num / den;
+        }
+        row
+    }
+
+    #[test]
+    fn matches_naive_construction_off_nodes() {
+        for k in [1usize, 2, 3, 8, 64] {
+            let ctx = LagrangeCtx::alpha_consecutive(k);
+            for extra in 0..8 {
+                let x = Gf256::alpha_pow(k + extra);
+                assert_eq!(ctx.row(x), naive_row(ctx.nodes(), x), "k={k} +{extra}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_row_at_each_node() {
+        let ctx = LagrangeCtx::alpha_consecutive(5);
+        for (i, &node) in ctx.nodes().iter().enumerate() {
+            let row = ctx.row(node);
+            for (j, &c) in row.iter().enumerate() {
+                let expect = if i == j { Gf256::ONE } else { Gf256::ZERO };
+                assert_eq!(c, expect, "node {i}, coeff {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_sums_to_one() {
+        // The basis rows partition unity: sum_i L_i(x) == 1 for every x.
+        let ctx = LagrangeCtx::alpha_consecutive(7);
+        for p in 0..20 {
+            let x = Gf256::alpha_pow(p);
+            let sum: Gf256 = ctx.row(x).into_iter().sum();
+            assert_eq!(sum, Gf256::ONE, "x = alpha^{p}");
+        }
+    }
+
+    #[test]
+    fn duplicate_nodes_rejected() {
+        let dup = vec![Gf256::new(3), Gf256::new(7), Gf256::new(3)];
+        assert!(LagrangeCtx::new(dup).is_none());
+    }
+
+    #[test]
+    fn arbitrary_node_sets_supported() {
+        let nodes = vec![Gf256::new(9), Gf256::new(200), Gf256::new(0)];
+        let ctx = LagrangeCtx::new(nodes.clone()).unwrap();
+        assert_eq!(ctx.len(), 3);
+        assert!(!ctx.is_empty());
+        let x = Gf256::new(77);
+        assert_eq!(ctx.row(x), naive_row(&nodes, x));
+    }
+
+    #[test]
+    #[should_panic(expected = "group order")]
+    fn oversized_node_count_panics() {
+        let _ = LagrangeCtx::alpha_consecutive(256);
+    }
+}

@@ -8,7 +8,12 @@
 //! * [`poly`] — dense polynomials over the field (evaluation, interpolation),
 //! * [`matrix`] — matrices over the field with Gaussian elimination and
 //!   inversion, plus Vandermonde constructors used to build systematic
-//!   erasure codes.
+//!   erasure codes,
+//! * [`bulk`] — slice-at-a-time multiply-accumulate kernels (per-multiplier
+//!   product tables and an autovectorizable wide kernel) for the encode/decode
+//!   hot paths,
+//! * [`lagrange`] — barycentric Lagrange basis rows: O(k²) weight setup once
+//!   per node set, O(k) per row thereafter.
 //!
 //! The field is realised as GF(2)\[x\] / (x^8 + x^4 + x^3 + x^2 + 1), i.e.
 //! reduction polynomial `0x11d`, with generator `alpha = 0x02`. All
@@ -35,10 +40,14 @@
 mod field;
 mod tables;
 
+pub mod bulk;
+pub mod lagrange;
 pub mod matrix;
 pub mod poly;
 
+pub use bulk::{mul_acc_slice_wide, MulTable};
 pub use field::Gf256;
+pub use lagrange::LagrangeCtx;
 pub use matrix::Matrix;
 pub use poly::Poly;
 

@@ -1,0 +1,140 @@
+//! Property tests pinning the bulk kernels to the scalar reference.
+//!
+//! The bulk kernels (`MulTable::mul_acc`, `mul_acc_slice_wide`) and the
+//! barycentric Lagrange rows are pure performance reformulations: they
+//! must agree byte-for-byte with `Gf256::mul_acc_slice` and the textbook
+//! O(k²) row construction for every coefficient and every length —
+//! including the lengths around the eight-byte unroll boundary.
+
+use gf256::{bulk, Gf256, LagrangeCtx};
+use proptest::prelude::*;
+
+/// Lengths exercising the unroll edges plus a broad random band.
+fn len_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1usize),
+        Just(7usize),
+        Just(8usize),
+        Just(9usize),
+        2usize..2048,
+    ]
+}
+
+/// Textbook O(k²) Lagrange row used as the oracle.
+fn naive_lagrange_row(nodes: &[Gf256], x: Gf256) -> Vec<Gf256> {
+    let k = nodes.len();
+    let mut row = vec![Gf256::ZERO; k];
+    for i in 0..k {
+        let mut num = Gf256::ONE;
+        let mut den = Gf256::ONE;
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            num *= x + nodes[j];
+            den *= nodes[i] + nodes[j];
+        }
+        row[i] = num / den;
+    }
+    row
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `mul_acc_slice_wide` == scalar `mul_acc_slice` for random
+    /// coefficients, random bytes, and every length class.
+    #[test]
+    fn wide_kernel_matches_scalar(
+        coeff in any::<u8>(),
+        len in len_strategy(),
+        fill in proptest::collection::vec(any::<u8>(), 4096),
+        seed in proptest::collection::vec(any::<u8>(), 4096),
+    ) {
+        let coeff = Gf256::new(coeff);
+        let src = &fill[..len];
+        let mut fast = seed[..len].to_vec();
+        let mut slow = fast.clone();
+        bulk::mul_acc_slice_wide(coeff, src, &mut fast);
+        Gf256::mul_acc_slice(coeff, src, &mut slow);
+        prop_assert_eq!(fast, slow, "coeff {} len {}", coeff, len);
+    }
+
+    /// `MulTable::mul_acc` == scalar `mul_acc_slice` under the same
+    /// input space.
+    #[test]
+    fn table_kernel_matches_scalar(
+        coeff in any::<u8>(),
+        len in len_strategy(),
+        fill in proptest::collection::vec(any::<u8>(), 4096),
+        seed in proptest::collection::vec(any::<u8>(), 4096),
+    ) {
+        let coeff = Gf256::new(coeff);
+        let table = bulk::MulTable::new(coeff);
+        let src = &fill[..len];
+        let mut fast = seed[..len].to_vec();
+        let mut slow = fast.clone();
+        table.mul_acc(src, &mut fast);
+        Gf256::mul_acc_slice(coeff, src, &mut slow);
+        prop_assert_eq!(fast, slow, "coeff {} len {}", coeff, len);
+    }
+
+    /// `MulTable::mul_slice` == scalar `Gf256::mul_slice`.
+    #[test]
+    fn table_mul_slice_matches_scalar(
+        coeff in any::<u8>(),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let coeff = Gf256::new(coeff);
+        let mut fast = data.clone();
+        let mut slow = data;
+        bulk::MulTable::new(coeff).mul_slice(&mut fast);
+        Gf256::mul_slice(coeff, &mut slow);
+        prop_assert_eq!(fast, slow, "coeff {}", coeff);
+    }
+
+    /// Barycentric rows == naive O(k²) rows at arbitrary evaluation
+    /// points (on-node points included).
+    #[test]
+    fn barycentric_row_matches_naive(
+        k in 1usize..=64,
+        point in any::<u8>(),
+    ) {
+        let ctx = LagrangeCtx::alpha_consecutive(k);
+        let x = Gf256::new(point);
+        prop_assert_eq!(
+            ctx.row(x),
+            naive_lagrange_row(ctx.nodes(), x),
+            "k {} x {}", k, x
+        );
+    }
+
+    /// A barycentric row really evaluates the interpolating polynomial:
+    /// dotting the row with data values reproduces direct polynomial
+    /// interpolation through the data points.
+    #[test]
+    fn row_reproduces_polynomial_evaluation(
+        k in 1usize..=32,
+        values in proptest::collection::vec(any::<u8>(), 32),
+        point in any::<u8>(),
+    ) {
+        let ctx = LagrangeCtx::alpha_consecutive(k);
+        let data: Vec<Gf256> = values[..k].iter().map(|&v| Gf256::new(v)).collect();
+        let x = Gf256::new(point);
+        let via_row: Gf256 = ctx
+            .row(x)
+            .into_iter()
+            .zip(&data)
+            .map(|(c, &d)| c * d)
+            .sum();
+        let pts: Vec<(Gf256, Gf256)> = ctx
+            .nodes()
+            .iter()
+            .copied()
+            .zip(data.iter().copied())
+            .collect();
+        let poly = gf256::Poly::interpolate(&pts);
+        prop_assert_eq!(via_row, poly.eval(x), "k {} x {}", k, x);
+    }
+}

@@ -271,30 +271,41 @@ impl UkaAssignment {
             return Err(AssignError::IdOutOfRange(max_kid));
         }
 
-        // Seal each distinct encryption once.
-        let mut sealed_cache: HashMap<usize, SealedKey> = HashMap::new();
+        // Seal each distinct encryption once. `MarkOutcome::encryptions`
+        // groups edges contiguously by parent k-node, and the keys were
+        // all minted before this point, so the seal operations are
+        // mutually independent — fan them out across workers. Results
+        // come back in input order, so the first failing edge (in plan
+        // order) wins deterministically, exactly as a sequential loop.
+        let mut distinct: Vec<usize> = Vec::new();
+        let mut distinct_seen: HashSet<usize> = HashSet::new();
         for plan in &plans {
             for &i in &plan.enc_indices {
-                if sealed_cache.contains_key(&i) {
-                    continue;
+                if distinct_seen.insert(i) {
+                    distinct.push(i);
                 }
-                let edge = outcome.encryptions[i];
-                if edge.child > u16::MAX as NodeId {
-                    return Err(AssignError::IdOutOfRange(edge.child));
-                }
-                let (Some(kek), Some(plain)) = (tree.key_of(edge.child), tree.key_of(edge.parent))
-                else {
-                    return Err(AssignError::MissingKey {
-                        child: edge.child,
-                        parent: edge.parent,
-                    });
-                };
-                sealed_cache.insert(
-                    i,
-                    SealedKey::seal(&kek, &plain, seal_context(msg_seq, edge.child)),
-                );
             }
         }
+        let sealed: Vec<(usize, SealedKey)> = taskpool::map(&distinct, |_, &i| {
+            let edge = outcome.encryptions[i];
+            if edge.child > u16::MAX as NodeId {
+                return Err(AssignError::IdOutOfRange(edge.child));
+            }
+            let (Some(kek), Some(plain)) = (tree.key_of(edge.child), tree.key_of(edge.parent))
+            else {
+                return Err(AssignError::MissingKey {
+                    child: edge.child,
+                    parent: edge.parent,
+                });
+            };
+            Ok((
+                i,
+                SealedKey::seal(&kek, &plain, seal_context(msg_seq, edge.child)),
+            ))
+        })
+        .into_iter()
+        .collect::<Result<_, AssignError>>()?;
+        let sealed_cache: HashMap<usize, SealedKey> = sealed.into_iter().collect();
 
         let mut packets = Vec::with_capacity(plans.len());
         let mut packet_of_user = HashMap::new();

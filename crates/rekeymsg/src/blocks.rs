@@ -8,6 +8,10 @@
 //! increasing sequence numbers, so proactive parities (round one) and
 //! reactive parities (later rounds) are always mutually compatible shares
 //! of the same Reed–Solomon block.
+//!
+//! Blocks share no encoder state, so body serialization and parity
+//! minting fan out across a [`taskpool`] scope; results are collected in
+//! block order, keeping every schedule bit-identical to a sequential run.
 
 use rse::{BlockEncoder, RseError};
 
@@ -35,6 +39,25 @@ impl Block {
     /// Total parity packets minted so far.
     pub fn parities_minted(&self) -> usize {
         self.next_parity
+    }
+
+    /// Mints `count` fresh parities for this block, advancing the parity
+    /// sequence. Blocks are independent, so the block set fans this out
+    /// across workers.
+    fn mint(&mut self, msg_id: u8, count: usize) -> Result<Vec<ParityPacket>, RseError> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let j = self.next_parity;
+            let body = self.encoder.parity(j, &self.bodies)?;
+            self.next_parity += 1;
+            out.push(ParityPacket {
+                msg_id,
+                block_id: self.id,
+                seq: j as u8,
+                body,
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -72,10 +95,31 @@ impl BlockSet {
     ///
     /// Panics when `k` is not a valid block size or when the message needs
     /// more than 256 blocks (wire limit of the 8-bit block ID).
-    pub fn new(mut packets: Vec<EncPacket>, k: usize, layout: Layout) -> Self {
+    pub fn new(packets: Vec<EncPacket>, k: usize, layout: Layout) -> Self {
         let Ok(proto_encoder) = BlockEncoder::new(k) else {
             panic!("invalid block size {k}");
         };
+        Self::with_encoder(packets, proto_encoder, layout)
+    }
+
+    /// Like [`BlockSet::new`], but cloning block state from a caller-owned
+    /// prototype encoder.
+    ///
+    /// A long-lived server warms one encoder per block size once (the
+    /// O(k²) Lagrange setup plus the proactive parity rows) and hands
+    /// clones here, so that work is shared across all blocks of every
+    /// rekey message instead of being redone per message.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the message needs more than 256 blocks (wire limit of
+    /// the 8-bit block ID).
+    pub fn with_encoder(
+        mut packets: Vec<EncPacket>,
+        proto_encoder: BlockEncoder,
+        layout: Layout,
+    ) -> Self {
+        let k = proto_encoder.k();
         let real_packets = packets.len();
         let block_count = packets.len().div_ceil(k);
         assert!(
@@ -83,7 +127,9 @@ impl BlockSet {
             "message needs {block_count} blocks, wire limit 256"
         );
 
-        let mut blocks = Vec::with_capacity(block_count);
+        // Stamp block IDs / sequence numbers and pad the last (short)
+        // block with cyclic duplicates.
+        let mut per_block: Vec<Vec<EncPacket>> = Vec::with_capacity(block_count);
         for (b, chunk) in packets.chunks_mut(k).enumerate() {
             let mut block_packets: Vec<EncPacket> = Vec::with_capacity(k);
             for (s, pkt) in chunk.iter_mut().enumerate() {
@@ -92,7 +138,6 @@ impl BlockSet {
                 pkt.duplicate = false;
                 block_packets.push(pkt.clone());
             }
-            // Pad the last (short) block with cyclic duplicates.
             let real = block_packets.len();
             let mut s = real;
             while block_packets.len() < k {
@@ -102,15 +147,26 @@ impl BlockSet {
                 block_packets.push(dup);
                 s += 1;
             }
-            let bodies: Vec<Vec<u8>> = block_packets.iter().map(|p| p.fec_body(&layout)).collect();
-            blocks.push(Block {
+            per_block.push(block_packets);
+        }
+
+        // FEC bodies are independent per block; fan the serialization out.
+        let bodies_per_block: Vec<Vec<Vec<u8>>> = taskpool::map(&per_block, |_, pkts| {
+            pkts.iter().map(|p| p.fec_body(&layout)).collect()
+        });
+
+        let blocks: Vec<Block> = per_block
+            .into_iter()
+            .zip(bodies_per_block)
+            .enumerate()
+            .map(|(b, (block_packets, bodies))| Block {
                 id: b as u8,
                 packets: block_packets,
                 bodies,
                 encoder: proto_encoder.clone(),
                 next_parity: 0,
-            });
-        }
+            })
+            .collect();
         let msg_id = blocks.first().map(|b| b.packets[0].msg_id).unwrap_or(0);
         BlockSet {
             k,
@@ -154,29 +210,37 @@ impl BlockSet {
         count: usize,
     ) -> Result<Vec<ParityPacket>, RseError> {
         let msg_id = self.msg_id;
-        let block = &mut self.blocks[block_id];
-        let mut out = Vec::with_capacity(count);
-        for _ in 0..count {
-            let j = block.next_parity;
-            let body = block.encoder.parity(j, &block.bodies)?;
-            block.next_parity += 1;
-            out.push(ParityPacket {
-                msg_id,
-                block_id: block.id,
-                seq: j as u8,
-                body,
-            });
-        }
-        Ok(out)
+        self.blocks[block_id].mint(msg_id, count)
+    }
+
+    /// Mints `counts[b]` fresh PARITY packets for every block `b`, fanning
+    /// the independent block encodes out across workers.
+    ///
+    /// The result (packet bytes and parity sequence numbers alike) is
+    /// bit-identical to minting block by block: blocks share no encoder
+    /// state and results are collected in block order. The first error in
+    /// block order wins, matching the sequential path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `counts` does not have one entry per block.
+    pub fn mint_parities_many(
+        &mut self,
+        counts: &[usize],
+    ) -> Result<Vec<Vec<ParityPacket>>, RseError> {
+        assert_eq!(counts.len(), self.blocks.len(), "one count entry per block");
+        let msg_id = self.msg_id;
+        taskpool::map_mut(&mut self.blocks, |b, block| block.mint(msg_id, counts[b]))
+            .into_iter()
+            .collect()
     }
 
     /// Mints the proactive parities for every block: `ceil((rho - 1) * k)`
     /// each, rounded as the paper specifies.
     pub fn mint_proactive(&mut self, rho: f64) -> Result<Vec<Vec<ParityPacket>>, RseError> {
         let per_block = proactive_parity_count(rho, self.k);
-        (0..self.blocks.len())
-            .map(|b| self.mint_parities(b, per_block))
-            .collect()
+        let counts = vec![per_block; self.blocks.len()];
+        self.mint_parities_many(&counts)
     }
 
     /// The round-one multicast schedule: ENC and PARITY packets ordered
@@ -216,11 +280,11 @@ impl BlockSet {
         order: SendOrder,
     ) -> Result<Vec<SendItem>, RseError> {
         assert_eq!(amax.len(), self.blocks.len(), "one amax entry per block");
-        let mut lanes = Vec::with_capacity(self.blocks.len());
-        for (b, &count) in amax.iter().enumerate() {
-            let pars = self.mint_parities(b, count)?;
-            lanes.push(pars.into_iter().map(Packet::Parity).collect());
-        }
+        let lanes: Vec<Vec<Packet>> = self
+            .mint_parities_many(amax)?
+            .into_iter()
+            .map(|pars| pars.into_iter().map(Packet::Parity).collect())
+            .collect();
         Ok(apply_order(lanes, order))
     }
 

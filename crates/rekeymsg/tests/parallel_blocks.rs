@@ -1,0 +1,108 @@
+//! Parallel block encoding must be bit-identical to the sequential path:
+//! the same message minted under one worker and under several must yield
+//! byte-for-byte equal schedules, parity bodies, and sequence numbers.
+
+use proptest::prelude::*;
+use rekeymsg::{BlockSet, Layout, Packet, SendOrder};
+use wirecrypto::{SealedKey, SymKey};
+
+fn enc(i: u16) -> rekeymsg::EncPacket {
+    let kek = SymKey::from_bytes([i as u8; 16]);
+    let plain = SymKey::from_bytes([(i ^ 0x5A) as u8; 16]);
+    rekeymsg::EncPacket {
+        msg_id: 7,
+        block_id: 0,
+        seq: 0,
+        duplicate: false,
+        max_kid: 500,
+        frm_id: 101 + i,
+        to_id: 101 + i,
+        entries: vec![(101 + i, SealedKey::seal(&kek, &plain, u64::from(i)))],
+    }
+}
+
+fn packets(n: usize) -> Vec<rekeymsg::EncPacket> {
+    (0..n as u16).map(enc).collect()
+}
+
+#[test]
+fn round_one_schedule_is_worker_count_invariant() {
+    let sequential = taskpool::with_workers(1, || {
+        let mut bs = BlockSet::new(packets(23), 5, Layout::DEFAULT);
+        bs.round_one_schedule(1.8).unwrap()
+    });
+    for workers in [2, 3, 8] {
+        let parallel = taskpool::with_workers(workers, || {
+            let mut bs = BlockSet::new(packets(23), 5, Layout::DEFAULT);
+            bs.round_one_schedule(1.8).unwrap()
+        });
+        assert_eq!(sequential, parallel, "workers={workers}");
+    }
+}
+
+#[test]
+fn reactive_rounds_are_worker_count_invariant() {
+    let amax = [3usize, 0, 1, 2, 0];
+    let run = |workers: usize| {
+        taskpool::with_workers(workers, || {
+            let mut bs = BlockSet::new(packets(25), 5, Layout::DEFAULT);
+            let r1 = bs
+                .round_one_schedule_ordered(1.4, SendOrder::Sequential)
+                .unwrap();
+            let r2 = bs.reactive_schedule(&amax).unwrap();
+            (r1, r2)
+        })
+    };
+    assert_eq!(run(1), run(3));
+}
+
+#[test]
+fn parallel_parity_bodies_match_per_block_minting() {
+    // mint_parities_many under workers vs. mint_parities block by block
+    // under one worker: same bodies, same sequence numbers, same order.
+    let counts = [2usize, 3, 1, 0, 2];
+    let many = taskpool::with_workers(4, || {
+        let mut bs = BlockSet::new(packets(21), 5, Layout::DEFAULT);
+        bs.mint_parities_many(&counts).unwrap()
+    });
+    let one_by_one = taskpool::with_workers(1, || {
+        let mut bs = BlockSet::new(packets(21), 5, Layout::DEFAULT);
+        counts
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| bs.mint_parities(b, c).unwrap())
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(many, one_by_one);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_messages_are_worker_count_invariant(
+        n in 1usize..60,
+        k in 1usize..12,
+        workers in 2usize..6,
+        rho_tenths in 10u32..25,
+    ) {
+        let rho = f64::from(rho_tenths) / 10.0;
+        let run = |w: usize| {
+            taskpool::with_workers(w, || {
+                let mut bs = BlockSet::new(packets(n), k, Layout::DEFAULT);
+                bs.round_one_schedule(rho).unwrap()
+            })
+        };
+        let sequential = run(1);
+        let parallel = run(workers);
+        prop_assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            prop_assert_eq!(s, p);
+        }
+        // Parity bodies specifically (the vectorized encode output).
+        let count_parity = |sched: &[Packet]| {
+            sched.iter().filter(|p| matches!(p, Packet::Parity(_))).count()
+        };
+        prop_assert_eq!(count_parity(&sequential), count_parity(&parallel));
+    }
+}

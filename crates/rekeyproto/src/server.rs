@@ -63,7 +63,8 @@ impl Default for ServerConfig {
     }
 }
 
-/// Cross-message server state: `rho`, `numNACK`, adaptation RNG.
+/// Cross-message server state: `rho`, `numNACK`, adaptation RNG, and the
+/// warmed prototype FEC encoder every message's blocks are cloned from.
 #[derive(Debug)]
 pub struct ServerController {
     cfg: ServerConfig,
@@ -72,16 +73,35 @@ pub struct ServerController {
     /// Current NACK target.
     pub num_nack: usize,
     rng: SmallRng,
+    /// Prototype encoder for `cfg.block_size`, warmed once: the O(k²)
+    /// Lagrange setup and the proactive-round coefficient rows are built
+    /// here and shared (by clone) with every block of every message this
+    /// controller opens.
+    proto_encoder: rse::BlockEncoder,
 }
 
 impl ServerController {
     /// Creates a controller with the configured initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.block_size` is not a valid FEC block size.
     pub fn new(cfg: ServerConfig) -> Self {
+        let Ok(mut proto_encoder) = rse::BlockEncoder::new(cfg.block_size) else {
+            panic!("invalid block size {}", cfg.block_size)
+        };
+        // Pre-build the rows round one will need (plus a couple of
+        // reactive rounds' worth); later rows still build lazily.
+        let warm = (proactive_parity_count(cfg.initial_rho, cfg.block_size) + 2)
+            .min(proto_encoder.max_parities());
+        // Infallible: the count is clamped to the encoder's own limit.
+        let _ = proto_encoder.warm(warm);
         ServerController {
             rho: cfg.initial_rho,
             num_nack: cfg.initial_num_nack,
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0x5E55_1015),
             cfg,
+            proto_encoder,
         }
     }
 
@@ -94,7 +114,13 @@ impl ServerController {
     /// typical USR packet length (3 + 20h) used by the early-unicast byte
     /// rule.
     pub fn begin_message(&self, enc_packets: Vec<EncPacket>, usr_len_hint: usize) -> ServerSession {
-        ServerSession::new(enc_packets, self.rho, self.cfg, usr_len_hint)
+        ServerSession::new(
+            enc_packets,
+            self.proto_encoder.clone(),
+            self.rho,
+            self.cfg,
+            usr_len_hint,
+        )
     }
 
     /// Feeds the finished session's first-round demands into `AdjustRho`
@@ -180,8 +206,14 @@ pub struct ServerSession {
 }
 
 impl ServerSession {
-    fn new(enc_packets: Vec<EncPacket>, rho: f64, cfg: ServerConfig, usr_len_hint: usize) -> Self {
-        let blocks = BlockSet::new(enc_packets, cfg.block_size, cfg.layout);
+    fn new(
+        enc_packets: Vec<EncPacket>,
+        proto_encoder: rse::BlockEncoder,
+        rho: f64,
+        cfg: ServerConfig,
+        usr_len_hint: usize,
+    ) -> Self {
+        let blocks = BlockSet::with_encoder(enc_packets, proto_encoder, cfg.layout);
         let amax = vec![0; blocks.block_count()];
         ServerSession {
             cfg,

@@ -40,6 +40,9 @@ pub struct UserSession {
     msg_id: Option<u8>,
     /// Received share bodies: block -> share index -> FEC body.
     shares: BTreeMap<u8, BTreeMap<usize, Vec<u8>>>,
+    /// Persistent FEC decoder, built on first use: the O(k²) Lagrange
+    /// setup is paid once per session, not per decode attempt.
+    decoder: Option<rse::Decoder>,
     estimator: Option<BlockIdEstimator>,
     max_block_seen: Option<u8>,
     outcome: UserOutcome,
@@ -61,6 +64,7 @@ impl UserSession {
             expected_msg_id: None,
             msg_id: None,
             shares: BTreeMap::new(),
+            decoder: None,
             estimator: None,
             max_block_seen: None,
             outcome: UserOutcome::Pending,
@@ -205,7 +209,7 @@ impl UserSession {
                     data: body.clone(),
                 })
                 .collect();
-            let Ok(bodies) = rse::decode(self.k, &shares) else {
+            let Ok(bodies) = self.decode_block(&shares) else {
                 continue;
             };
             let msg_id = self.msg_id.unwrap_or(0);
@@ -229,6 +233,16 @@ impl UserSession {
             // Decoded a full block that does not contain our packet: the
             // estimator range was loose. Keep looking at other candidates.
         }
+    }
+
+    /// Runs one decode attempt through the session's persistent decoder,
+    /// constructing it on first use.
+    fn decode_block(&mut self, shares: &[rse::Share]) -> Result<Vec<Vec<u8>>, rse::RseError> {
+        let decoder = match self.decoder.as_mut() {
+            Some(d) => d,
+            None => self.decoder.insert(rse::Decoder::new(self.k)?),
+        };
+        decoder.decode(shares)
     }
 
     /// Round boundary: returns the NACK to send, or `None` when satisfied.

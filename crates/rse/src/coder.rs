@@ -1,6 +1,15 @@
 //! The encoder/decoder core.
+//!
+//! Both directions are built on the `gf256` bulk kernels: coefficient
+//! rows come from a per-coder [`LagrangeCtx`] (O(k²) weight setup once,
+//! O(k) per row) and the byte loops go through the autovectorized
+//! `mul_acc_slice_wide` kernel. Rows are cached inside the coder, so the
+//! quadratic setup and the per-row construction are both paid once per
+//! coder lifetime, not per packet — and cloning a warmed [`BlockEncoder`]
+//! clones its caches, which is how a server shares the setup cost across
+//! the blocks of every message it sends.
 
-use gf256::{Gf256, Matrix};
+use gf256::{bulk, Gf256, LagrangeCtx, Matrix};
 
 /// Maximum number of code symbols (data + parity) per block: the number of
 /// distinct evaluation points available in GF(2^8)*.
@@ -92,35 +101,20 @@ fn point(i: usize) -> Gf256 {
     Gf256::alpha_pow(i)
 }
 
-/// The Lagrange basis coefficients `L_i(x)` over nodes `x_0 .. x_{k-1}`
-/// evaluated at `x`: the row vector `c` with `value(x) = sum_i c[i] d_i`.
-fn lagrange_row(k: usize, x: Gf256) -> Vec<Gf256> {
-    let nodes: Vec<Gf256> = (0..k).map(point).collect();
-    let mut row = vec![Gf256::ZERO; k];
-    for i in 0..k {
-        let mut num = Gf256::ONE;
-        let mut den = Gf256::ONE;
-        for j in 0..k {
-            if i == j {
-                continue;
-            }
-            num *= x + nodes[j]; // x - x_j (char 2)
-            den *= nodes[i] + nodes[j];
-        }
-        row[i] = num / den;
-    }
-    row
-}
-
 /// Systematic encoder for one FEC block of size `k`.
 ///
-/// Rows of parity coefficients are computed on first use and cached, so a
-/// long-lived server encoder pays the row-construction cost (O(k^2)) once
-/// per distinct parity index and O(k * len) per encoded packet thereafter.
+/// Construction pays the O(k²) barycentric-weight setup once; each
+/// distinct parity index then costs one O(k) row build on first use, and
+/// every encoded packet after that is pure multiply-accumulate over the
+/// cached row (no per-packet row clone — the cache is borrowed in place).
+/// Cloning the encoder clones its caches, so a warmed prototype encoder
+/// shares all of that work with every block cloned from it.
 #[derive(Debug, Clone)]
 pub struct BlockEncoder {
     k: usize,
+    ctx: LagrangeCtx,
     rows: Vec<Vec<Gf256>>,
+    rows_built: usize,
 }
 
 impl BlockEncoder {
@@ -131,7 +125,9 @@ impl BlockEncoder {
         }
         Ok(BlockEncoder {
             k,
+            ctx: LagrangeCtx::alpha_consecutive(k),
             rows: Vec::new(),
+            rows_built: 0,
         })
     }
 
@@ -145,7 +141,26 @@ impl BlockEncoder {
         MAX_SYMBOLS - self.k
     }
 
-    fn row(&mut self, parity_index: usize) -> Result<&[Gf256], RseError> {
+    /// Number of coefficient rows constructed so far.
+    ///
+    /// Row construction happens at most once per distinct parity index
+    /// for the lifetime of the encoder (clones included); tests use this
+    /// counter to pin the no-recompute guarantee down.
+    pub fn rows_built(&self) -> usize {
+        self.rows_built
+    }
+
+    /// Pre-builds the coefficient rows for parity indices `0 .. count`,
+    /// so clones of this encoder start with a warm cache.
+    pub fn warm(&mut self, count: usize) -> Result<(), RseError> {
+        if count == 0 {
+            return Ok(());
+        }
+        self.ensure_row(count - 1)
+    }
+
+    /// Makes sure `rows[0 ..= parity_index]` exist.
+    fn ensure_row(&mut self, parity_index: usize) -> Result<(), RseError> {
         let max = self.max_parities();
         if parity_index >= max {
             return Err(RseError::IndexOutOfRange {
@@ -155,20 +170,15 @@ impl BlockEncoder {
         }
         while self.rows.len() <= parity_index {
             let j = self.rows.len();
-            self.rows.push(lagrange_row(self.k, point(self.k + j)));
+            self.rows.push(self.ctx.row(point(self.k + j)));
+            self.rows_built += 1;
         }
-        Ok(&self.rows[parity_index])
+        Ok(())
     }
 
-    /// Encodes parity packet `parity_index` over the `k` data packets.
-    ///
-    /// All data packets must share one length (the protocol zero-pads ENC
-    /// packets to a fixed length for exactly this reason).
-    pub fn parity<D: AsRef<[u8]>>(
-        &mut self,
-        parity_index: usize,
-        data: &[D],
-    ) -> Result<Vec<u8>, RseError> {
+    /// Checks that `data` is exactly `k` equal-length packets; returns
+    /// that length.
+    fn check_data<D: AsRef<[u8]>>(&self, data: &[D]) -> Result<usize, RseError> {
         if data.len() != self.k {
             return Err(RseError::WrongDataCount {
                 got: data.len(),
@@ -184,12 +194,65 @@ impl BlockEncoder {
                 });
             }
         }
-        let row = self.row(parity_index)?.to_vec();
+        Ok(len)
+    }
+
+    /// Encodes parity packet `parity_index` over the `k` data packets.
+    ///
+    /// All data packets must share one length (the protocol zero-pads ENC
+    /// packets to a fixed length for exactly this reason).
+    pub fn parity<D: AsRef<[u8]>>(
+        &mut self,
+        parity_index: usize,
+        data: &[D],
+    ) -> Result<Vec<u8>, RseError> {
+        let len = self.check_data(data)?;
         let mut out = vec![0u8; len];
-        for (coeff, d) in row.iter().zip(data) {
-            Gf256::mul_acc_slice(*coeff, d.as_ref(), &mut out);
-        }
+        self.accumulate(parity_index, data, &mut out)?;
         Ok(out)
+    }
+
+    /// Encodes parity packet `parity_index` into a caller-provided
+    /// buffer, avoiding the output allocation of [`parity`].
+    ///
+    /// `out` must match the data packet length; its prior contents are
+    /// overwritten.
+    ///
+    /// [`parity`]: BlockEncoder::parity
+    pub fn parity_into<D: AsRef<[u8]>>(
+        &mut self,
+        parity_index: usize,
+        data: &[D],
+        out: &mut [u8],
+    ) -> Result<(), RseError> {
+        let len = self.check_data(data)?;
+        if out.len() != len {
+            return Err(RseError::LengthMismatch {
+                expected: len,
+                got: out.len(),
+            });
+        }
+        out.fill(0);
+        self.accumulate(parity_index, data, out)
+    }
+
+    /// XORs the parity for `parity_index` into `out` (assumed zeroed),
+    /// borrowing the cached row in place.
+    fn accumulate<D: AsRef<[u8]>>(
+        &mut self,
+        parity_index: usize,
+        data: &[D],
+        out: &mut [u8],
+    ) -> Result<(), RseError> {
+        self.ensure_row(parity_index)?;
+        // `ensure_row` ended the mutable borrow, so the cached row can be
+        // borrowed directly — this is the fix for the old per-packet
+        // `row(..)?.to_vec()` clone on the hottest server path.
+        let row = &self.rows[parity_index];
+        for (coeff, d) in row.iter().zip(data) {
+            bulk::mul_acc_slice_wide(*coeff, d.as_ref(), out);
+        }
+        Ok(())
     }
 
     /// Encodes a consecutive run of parity packets
@@ -206,89 +269,146 @@ impl BlockEncoder {
     }
 }
 
-/// Reconstructs the `k` original data packets from any `k` distinct shares.
+/// Reusable decoder for blocks of size `k`.
 ///
-/// Shares beyond the first `k` distinct ones are ignored. Share `index`
-/// follows the convention of [`Share`]. The decode cost is dominated by a
-/// `k x k` matrix inversion plus `k^2` multiply-accumulate passes; when all
-/// surviving shares are data packets the inversion short-circuits to a copy.
-pub fn decode(k: usize, shares: &[Share]) -> Result<Vec<Vec<u8>>, RseError> {
-    if k == 0 || k >= MAX_SYMBOLS {
-        return Err(RseError::InvalidBlockSize(k));
+/// Holds the barycentric Lagrange context and the duplicate-detection
+/// table across calls, so a receiver decoding a stream of blocks pays the
+/// O(k²) setup and the `MAX_SYMBOLS`-slot allocation once instead of per
+/// packet-loss event. The free function [`decode`] remains as a thin
+/// one-shot wrapper.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    k: usize,
+    ctx: LagrangeCtx,
+    seen: Vec<bool>,
+}
+
+impl Decoder {
+    /// Creates a decoder for blocks of `k` data packets.
+    pub fn new(k: usize) -> Result<Self, RseError> {
+        if k == 0 || k >= MAX_SYMBOLS {
+            return Err(RseError::InvalidBlockSize(k));
+        }
+        Ok(Decoder {
+            k,
+            ctx: LagrangeCtx::alpha_consecutive(k),
+            seen: vec![false; MAX_SYMBOLS],
+        })
     }
-    // Collect up to k distinct shares, validating as we go.
-    let mut chosen: Vec<&Share> = Vec::with_capacity(k);
-    let mut seen = vec![false; MAX_SYMBOLS];
-    let mut len: Option<usize> = None;
-    for share in shares {
-        if share.index >= MAX_SYMBOLS {
-            return Err(RseError::IndexOutOfRange {
-                index: share.index,
-                max: MAX_SYMBOLS - 1,
-            });
-        }
-        if seen[share.index] {
-            return Err(RseError::DuplicateShare(share.index));
-        }
-        seen[share.index] = true;
-        match len {
-            None => len = Some(share.data.len()),
-            Some(expected) => {
-                if share.data.len() != expected {
-                    return Err(RseError::LengthMismatch {
-                        expected,
-                        got: share.data.len(),
-                    });
+
+    /// The block size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Reconstructs the `k` original data packets from any `k` distinct
+    /// shares.
+    ///
+    /// Only the first `k` usable shares are validated and consumed;
+    /// shares beyond them are ignored entirely, so a corrupt trailing
+    /// share that would not participate in reconstruction cannot fail
+    /// the decode. The cost is dominated by a `k x k` matrix inversion
+    /// plus `k²` multiply-accumulate passes; when all surviving shares
+    /// are data packets the inversion short-circuits to a copy.
+    pub fn decode(&mut self, shares: &[Share]) -> Result<Vec<Vec<u8>>, RseError> {
+        // Select the first k shares, validating only what we select. The
+        // `seen` table is persistent: every slot set here is cleared
+        // before returning (on success and error alike).
+        let mut chosen: Vec<&Share> = Vec::with_capacity(self.k);
+        let mut len: Option<usize> = None;
+        let mut failure: Option<RseError> = None;
+        for share in shares {
+            if chosen.len() == self.k {
+                break;
+            }
+            if share.index >= MAX_SYMBOLS {
+                failure = Some(RseError::IndexOutOfRange {
+                    index: share.index,
+                    max: MAX_SYMBOLS - 1,
+                });
+                break;
+            }
+            if self.seen[share.index] {
+                failure = Some(RseError::DuplicateShare(share.index));
+                break;
+            }
+            match len {
+                None => len = Some(share.data.len()),
+                Some(expected) => {
+                    if share.data.len() != expected {
+                        failure = Some(RseError::LengthMismatch {
+                            expected,
+                            got: share.data.len(),
+                        });
+                        break;
+                    }
                 }
             }
-        }
-        if chosen.len() < k {
+            self.seen[share.index] = true;
             chosen.push(share);
         }
-    }
-    if chosen.len() < k {
-        return Err(RseError::NotEnoughShares {
-            got: chosen.len(),
-            need: k,
-        });
-    }
-    // k >= 1 was checked above, so at least one share set `len`.
-    let len = len.unwrap_or(0);
-
-    // Fast path: all data shares present among the chosen.
-    if chosen.iter().all(|s| s.index < k) {
-        let mut out = vec![Vec::new(); k];
-        for s in &chosen {
-            out[s.index] = s.data.clone();
+        for share in &chosen {
+            self.seen[share.index] = false;
         }
-        return Ok(out);
-    }
+        if let Some(err) = failure {
+            return Err(err);
+        }
+        if chosen.len() < self.k {
+            return Err(RseError::NotEnoughShares {
+                got: chosen.len(),
+                need: self.k,
+            });
+        }
+        // k >= 1 was checked at construction, so at least one share set `len`.
+        let len = len.unwrap_or(0);
 
-    // General path: rows of the generator matrix for the received indices.
-    // Row for a data share i < k is the unit vector e_i; row for parity j
-    // is the Lagrange row at x_{k+j} (which equals L evaluated at that
-    // point, by the systematic construction).
-    let gen = Matrix::from_fn(k, k, |r, c| {
-        let idx = chosen[r].index;
-        if idx < k {
-            if c == idx {
-                Gf256::ONE
-            } else {
-                Gf256::ZERO
+        // Fast path: all data shares present among the chosen.
+        if chosen.iter().all(|s| s.index < self.k) {
+            let mut out = vec![Vec::new(); self.k];
+            for s in &chosen {
+                out[s.index] = s.data.clone();
             }
-        } else {
-            lagrange_row(k, point(idx))[c]
+            return Ok(out);
         }
-    });
-    let inv = gen.inverse().ok_or(RseError::SingularMatrix)?;
 
-    let mut out = vec![vec![0u8; len]; k];
-    for (i, out_pkt) in out.iter_mut().enumerate() {
-        for (r, share) in chosen.iter().enumerate() {
-            Gf256::mul_acc_slice(inv[(i, r)], &share.data, out_pkt);
+        // General path: rows of the generator matrix for the received
+        // indices. A data share i < k contributes the unit vector e_i; a
+        // parity at global index j contributes the Lagrange row at x_j.
+        // Each row is built once (O(k) via the barycentric context), not
+        // once per matrix cell.
+        let gen_rows: Vec<Vec<Gf256>> = chosen
+            .iter()
+            .map(|s| {
+                if s.index < self.k {
+                    let mut unit = vec![Gf256::ZERO; self.k];
+                    unit[s.index] = Gf256::ONE;
+                    unit
+                } else {
+                    self.ctx.row(point(s.index))
+                }
+            })
+            .collect();
+        let gen = Matrix::from_fn(self.k, self.k, |r, c| gen_rows[r][c]);
+        let inv = gen.inverse().ok_or(RseError::SingularMatrix)?;
+
+        let mut out = vec![vec![0u8; len]; self.k];
+        for (i, out_pkt) in out.iter_mut().enumerate() {
+            for (r, share) in chosen.iter().enumerate() {
+                bulk::mul_acc_slice_wide(inv[(i, r)], &share.data, out_pkt);
+            }
         }
+        Ok(out)
     }
-    Ok(out)
+}
+
+/// One-shot reconstruction of the `k` original data packets from any `k`
+/// distinct shares.
+///
+/// Thin wrapper constructing a fresh [`Decoder`] per call; loops that
+/// decode repeatedly at the same `k` should hold a [`Decoder`] instead to
+/// amortize its setup.
+pub fn decode(k: usize, shares: &[Share]) -> Result<Vec<Vec<u8>>, RseError> {
+    Decoder::new(k)?.decode(shares)
 }
 
 #[cfg(test)]
@@ -412,6 +532,36 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_trailing_share_is_ignored() {
+        // Regression: shares past the first k used to be validated (and a
+        // bad one failed the whole decode) even though they could never
+        // participate in reconstruction.
+        let k = 3;
+        let data = block(k, 8);
+        let mut shares: Vec<Share> = (0..k)
+            .map(|i| Share {
+                index: i,
+                data: data[i].clone(),
+            })
+            .collect();
+        // Wrong length, duplicate index, and out-of-field index — each
+        // arrives after k usable shares, so none may fail the decode.
+        shares.push(Share {
+            index: k,
+            data: vec![0u8; 3],
+        });
+        shares.push(Share {
+            index: 0,
+            data: data[0].clone(),
+        });
+        shares.push(Share {
+            index: 255,
+            data: data[0].clone(),
+        });
+        assert_eq!(decode(k, &shares).unwrap(), data);
+    }
+
+    #[test]
     fn not_enough_shares() {
         let k = 4;
         let data = block(k, 8);
@@ -513,6 +663,100 @@ mod tests {
                 max: 254
             })
         );
+    }
+
+    #[test]
+    fn rows_are_built_once_across_calls() {
+        let k = 8;
+        let data = block(k, 64);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        assert_eq!(enc.rows_built(), 0);
+        let first = enc.parities(0, 3, &data).unwrap();
+        assert_eq!(enc.rows_built(), 3, "one row per distinct parity index");
+        // Re-encoding the same indices (same or different data) must not
+        // rebuild or clone any row.
+        let again = enc.parities(0, 3, &data).unwrap();
+        assert_eq!(enc.rows_built(), 3, "no recompute across parities() calls");
+        assert_eq!(first, again);
+        let other = block(k, 64)
+            .into_iter()
+            .map(|mut p| {
+                p.iter_mut().for_each(|b| *b = b.wrapping_add(1));
+                p
+            })
+            .collect::<Vec<_>>();
+        enc.parity(1, &other).unwrap();
+        assert_eq!(enc.rows_built(), 3);
+        // A new index builds exactly one more row.
+        enc.parity(3, &data).unwrap();
+        assert_eq!(enc.rows_built(), 4);
+    }
+
+    #[test]
+    fn warm_prebuilds_rows_and_clones_share_them() {
+        let k = 8;
+        let data = block(k, 32);
+        let mut proto = BlockEncoder::new(k).unwrap();
+        proto.warm(5).unwrap();
+        assert_eq!(proto.rows_built(), 5);
+        let mut clone = proto.clone();
+        clone.parities(0, 5, &data).unwrap();
+        assert_eq!(clone.rows_built(), 5, "warm rows reused, none rebuilt");
+        assert!(matches!(
+            BlockEncoder::new(250).unwrap().warm(6),
+            Err(RseError::IndexOutOfRange { index: 5, max: 4 })
+        ));
+    }
+
+    #[test]
+    fn parity_into_matches_parity() {
+        let k = 6;
+        let data = block(k, 48);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        let expect = enc.parity(2, &data).unwrap();
+        let mut out = vec![0xFFu8; 48];
+        enc.parity_into(2, &data, &mut out).unwrap();
+        assert_eq!(out, expect, "prior buffer contents are overwritten");
+        let mut short = vec![0u8; 47];
+        assert_eq!(
+            enc.parity_into(2, &data, &mut short),
+            Err(RseError::LengthMismatch {
+                expected: 48,
+                got: 47
+            })
+        );
+    }
+
+    #[test]
+    fn decoder_is_reusable_across_calls_and_errors() {
+        let k = 4;
+        let data = block(k, 24);
+        let mut enc = BlockEncoder::new(k).unwrap();
+        let mut dec = Decoder::new(k).unwrap();
+        assert_eq!(dec.k(), k);
+
+        let all_data: Vec<Share> = data
+            .iter()
+            .enumerate()
+            .map(|(i, d)| Share {
+                index: i,
+                data: d.clone(),
+            })
+            .collect();
+        assert_eq!(dec.decode(&all_data).unwrap(), data);
+
+        // A failed decode must not poison the persistent seen-table.
+        let dup = vec![all_data[0].clone(), all_data[0].clone()];
+        assert_eq!(dec.decode(&dup), Err(RseError::DuplicateShare(0)));
+
+        let mut with_parity: Vec<Share> = all_data[1..].to_vec();
+        with_parity.push(Share {
+            index: k + 2,
+            data: enc.parity(2, &data).unwrap(),
+        });
+        assert_eq!(dec.decode(&with_parity).unwrap(), data);
+        // And again, to prove slots from the successful run were cleared.
+        assert_eq!(dec.decode(&all_data).unwrap(), data);
     }
 
     #[test]

@@ -53,4 +53,4 @@ pub mod cost;
 pub mod sanitize;
 
 pub use assembler::Assembler;
-pub use coder::{decode, BlockEncoder, RseError, Share, MAX_SYMBOLS};
+pub use coder::{decode, BlockEncoder, Decoder, RseError, Share, MAX_SYMBOLS};

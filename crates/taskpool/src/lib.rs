@@ -1,0 +1,251 @@
+//! A zero-dependency scoped thread pool for deterministic data-parallel
+//! fan-out.
+//!
+//! The rekey datapath has several embarrassingly parallel stages —
+//! encoding independent FEC blocks, sealing independent key-tree subtree
+//! groups, deriving per-member USR packets — and this crate gives them a
+//! single minimal primitive: [`map`] / [`map_mut`] over a slice, with
+//! results returned **in input order** regardless of worker scheduling.
+//! Work distribution is a shared index queue, so an expensive item does
+//! not stall the items behind it on one worker.
+//!
+//! Everything runs on [`std::thread::scope`]: no global pool, no
+//! channels, no `unsafe`, no dependencies. Worker count resolves, in
+//! priority order, from a [`with_workers`] override (thread-local, used
+//! by tests to force a parallel or sequential run deterministically),
+//! the `REKEY_THREADS` environment variable, and the machine's available
+//! parallelism. With one worker (or one item) the map degenerates to a
+//! plain sequential loop on the calling thread — same closure, same
+//! order, no threads spawned.
+//!
+//! # Determinism
+//!
+//! For a pure closure `f`, `map(items, f)` returns exactly
+//! `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` for every
+//! worker count: items never migrate between slots, results are slotted
+//! by index, and each item is processed exactly once. Parallelism changes
+//! wall-clock time only, never output — the property the protocol's
+//! "parallel encode is bit-identical to sequential" tests pin down.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Worker-count override installed by [`with_workers`] on this thread.
+    static WORKER_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `body` with the worker count pinned to `workers` on the current
+/// thread, restoring the previous setting afterwards (also on panic).
+///
+/// `with_workers(1, ..)` forces the sequential path; tests use larger
+/// counts to exercise the parallel path even on single-core machines.
+/// The override is thread-local, so concurrent tests cannot race on it
+/// the way an environment variable would.
+pub fn with_workers<R>(workers: usize, body: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let _restore = Restore(WORKER_OVERRIDE.with(|cell| cell.replace(Some(workers.max(1)))));
+    body()
+}
+
+/// The worker count maps on this thread will use: the [`with_workers`]
+/// override if present, else the `REKEY_THREADS` environment variable,
+/// else [`std::thread::available_parallelism`]. Always at least 1.
+pub fn max_workers() -> usize {
+    if let Some(n) = WORKER_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var("REKEY_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Applies `f` to every element, in parallel, returning results in input
+/// order.
+///
+/// `f` receives the element index and a shared reference. See the crate
+/// docs for the determinism guarantee.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the scope joins its workers.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = max_workers().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(idx) else { break };
+                    local.push((idx, f(idx, item)));
+                }
+                lock_ignoring_poison(&collected).append(&mut local);
+            });
+        }
+    });
+    into_input_order(collected, items.len())
+}
+
+/// Applies `f` to every element through a mutable reference, in parallel,
+/// returning results in input order.
+///
+/// Each element is handed to exactly one worker, so the mutable borrows
+/// never alias. This is the shape block encoding wants: the closure
+/// mutates per-block state (row caches, parity cursors) and returns the
+/// minted packets.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the scope joins its workers.
+pub fn map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let workers = max_workers().min(items.len());
+    if workers <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let total = items.len();
+    let queue: Mutex<std::iter::Enumerate<std::slice::IterMut<'_, T>>> =
+        Mutex::new(items.iter_mut().enumerate());
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(total));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let next = lock_ignoring_poison(&queue).next();
+                    let Some((idx, item)) = next else { break };
+                    local.push((idx, f(idx, item)));
+                }
+                lock_ignoring_poison(&collected).append(&mut local);
+            });
+        }
+    });
+    into_input_order(collected, total)
+}
+
+/// Locks a mutex, proceeding through poisoning: a poisoned lock here only
+/// means another worker panicked, and that panic is already propagating
+/// via the scope join.
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Sorts collected `(index, result)` pairs back into input order.
+fn into_input_order<R>(collected: Mutex<Vec<(usize, R)>>, expected: usize) -> Vec<R> {
+    let mut pairs = collected.into_inner().unwrap_or_else(|p| p.into_inner());
+    debug_assert_eq!(
+        pairs.len(),
+        expected,
+        "every item yields exactly one result"
+    );
+    pairs.sort_unstable_by_key(|(idx, _)| *idx);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        for workers in [1, 2, 3, 8] {
+            let out = with_workers(workers, || map(&items, |i, &v| v * 2 + i as u64));
+            let expect: Vec<u64> = items
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * 2 + i as u64)
+                .collect();
+            assert_eq!(out, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_mut_mutates_each_item_exactly_once() {
+        for workers in [1, 2, 5] {
+            let mut items: Vec<u32> = vec![0; 64];
+            let indices = with_workers(workers, || {
+                map_mut(&mut items, |i, slot| {
+                    *slot += 1;
+                    i
+                })
+            });
+            assert!(items.iter().all(|&v| v == 1), "workers = {workers}");
+            assert_eq!(indices, (0..64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map(&empty, |_, &v| v).is_empty());
+        let mut one = vec![41u8];
+        assert_eq!(
+            with_workers(4, || map_mut(&mut one, |_, v| {
+                *v += 1;
+                *v
+            })),
+            vec![42]
+        );
+    }
+
+    #[test]
+    fn with_workers_restores_previous_setting() {
+        let outer = with_workers(3, || {
+            let inner = with_workers(7, max_workers);
+            assert_eq!(inner, 7);
+            max_workers()
+        });
+        assert_eq!(outer, 3);
+    }
+
+    #[test]
+    fn zero_override_clamps_to_one() {
+        assert_eq!(with_workers(0, max_workers), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_pure_closures() {
+        let items: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i; 100]).collect();
+        let hash = |_, v: &Vec<u8>| -> u64 {
+            v.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+            })
+        };
+        let sequential = with_workers(1, || map(&items, hash));
+        let parallel = with_workers(6, || map(&items, hash));
+        assert_eq!(sequential, parallel);
+    }
+}

@@ -17,4 +17,12 @@ cargo run -p xcheck
 echo "==> cargo test --workspace --features sanitize"
 cargo test --workspace -q --features sanitize
 
+echo "==> bench smoke run (BENCH_rekey.json)"
+cargo run --release -p bench --bin bench_rekey -- --smoke --out BENCH_rekey.json
+if [ ! -s BENCH_rekey.json ]; then
+    echo "ci.sh: BENCH_rekey.json missing or empty" >&2
+    exit 1
+fi
+cargo run --release -p bench --bin bench_rekey -- --check BENCH_rekey.json
+
 echo "==> ci.sh: all gates passed"
