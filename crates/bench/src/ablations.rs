@@ -1,6 +1,12 @@
 //! Ablation studies of the protocol's design choices (DESIGN.md calls
 //! these out): block interleaving vs sequential sending, burst vs
 //! independent loss, and UKA vs naive encryption packing.
+//!
+//! Like `figures`, every ablation writes to a caller-supplied `Write` and
+//! fans its independent cells out with [`crate::par`], keeping the bytes
+//! identical to a serial run at any worker count.
+
+use std::io::{self, Write};
 
 use grouprekey::experiment::{run_experiment, workload_stats, ExperimentParams};
 use keytree::{Batch, KeyTree};
@@ -9,7 +15,7 @@ use rekeymsg::{assign, Layout, SendOrder};
 use rekeyproto::ServerConfig;
 use wirecrypto::KeyGen;
 
-use crate::{header, mean, Mode};
+use crate::{header, mean, par, Mode};
 
 fn base_params(mode: Mode, seed: u64) -> ExperimentParams {
     ExperimentParams {
@@ -27,82 +33,117 @@ fn base_params(mode: Mode, seed: u64) -> ExperimentParams {
 
 /// Interleaved vs sequential send order, under burst and independent
 /// loss. Interleaving should pay only when losses are bursty.
-pub fn ablation_send_order(mode: Mode) {
+pub fn ablation_send_order(mode: Mode, out: &mut dyn Write) -> io::Result<()> {
     header(
+        out,
         "Ablation: send order",
         "interleaved vs sequential, burst vs independent loss (rho = 1, k = 10)",
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "{:<12} {:<12} {:>10} {:>12} {:>12}",
         "loss model", "order", "NACKs r1", "bw overhead", "rounds(all)"
-    );
-    for &independent in &[false, true] {
-        for &(order, name) in &[
-            (SendOrder::Interleaved, "interleaved"),
-            (SendOrder::Sequential, "sequential"),
-        ] {
-            let mut params = base_params(mode, 3100);
-            params.protocol.send_order = order;
-            params.net = NetworkConfig {
-                independent_loss: independent,
-                ..NetworkConfig::default()
-            };
-            let reports = run_experiment(params);
-            println!(
-                "{:<12} {:<12} {:>10.1} {:>12.3} {:>12.2}",
-                if independent { "independent" } else { "burst" },
-                name,
-                mean(reports.iter().map(|r| r.nacks_round1 as f64)),
-                mean(reports.iter().map(|r| r.bandwidth_overhead)),
-                mean(reports.iter().map(|r| r.rounds_all_users() as f64)),
-            );
-        }
+    )?;
+    let cells: Vec<(bool, SendOrder, &str)> = [false, true]
+        .iter()
+        .flat_map(|&independent| {
+            [
+                (independent, SendOrder::Interleaved, "interleaved"),
+                (independent, SendOrder::Sequential, "sequential"),
+            ]
+        })
+        .collect();
+    let grid = par(&cells, |&(independent, order, _)| {
+        let mut params = base_params(mode, 3100);
+        params.protocol.send_order = order;
+        params.net = NetworkConfig {
+            independent_loss: independent,
+            ..NetworkConfig::default()
+        };
+        let reports = run_experiment(params);
+        (
+            mean(reports.iter().map(|r| r.nacks_round1 as f64)),
+            mean(reports.iter().map(|r| r.bandwidth_overhead)),
+            mean(reports.iter().map(|r| r.rounds_all_users() as f64)),
+        )
+    });
+    for (&(independent, _, name), &(nacks, bw, rounds)) in cells.iter().zip(&grid) {
+        writeln!(
+            out,
+            "{:<12} {:<12} {:>10.1} {:>12.3} {:>12.2}",
+            if independent { "independent" } else { "burst" },
+            name,
+            nacks,
+            bw,
+            rounds,
+        )?;
     }
+    Ok(())
 }
 
 /// Burst vs independent loss at identical stationary rates: burstiness is
 /// what makes FEC blocks fail together and NACK counts spike.
-pub fn ablation_loss_model(mode: Mode) {
+pub fn ablation_loss_model(mode: Mode, out: &mut dyn Write) -> io::Result<()> {
     header(
+        out,
         "Ablation: loss model",
         "Markov burst vs independent loss at equal stationary rates",
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "{:<12} {:>8} {:>10} {:>12} {:>12}",
         "model", "rho", "NACKs r1", "bw overhead", "rounds(all)"
-    );
-    for &independent in &[false, true] {
-        for &rho in &[1.0, 1.6] {
-            let mut params = base_params(mode, 3200);
-            params.protocol.initial_rho = rho;
-            params.net = NetworkConfig {
-                independent_loss: independent,
-                ..NetworkConfig::default()
-            };
-            let reports = run_experiment(params);
-            println!(
-                "{:<12} {:>8.1} {:>10.1} {:>12.3} {:>12.2}",
-                if independent { "independent" } else { "burst" },
-                rho,
-                mean(reports.iter().map(|r| r.nacks_round1 as f64)),
-                mean(reports.iter().map(|r| r.bandwidth_overhead)),
-                mean(reports.iter().map(|r| r.rounds_all_users() as f64)),
-            );
-        }
+    )?;
+    let cells: Vec<(bool, f64)> = [false, true]
+        .iter()
+        .flat_map(|&independent| [(independent, 1.0), (independent, 1.6)])
+        .collect();
+    let grid = par(&cells, |&(independent, rho)| {
+        let mut params = base_params(mode, 3200);
+        params.protocol.initial_rho = rho;
+        params.net = NetworkConfig {
+            independent_loss: independent,
+            ..NetworkConfig::default()
+        };
+        let reports = run_experiment(params);
+        (
+            mean(reports.iter().map(|r| r.nacks_round1 as f64)),
+            mean(reports.iter().map(|r| r.bandwidth_overhead)),
+            mean(reports.iter().map(|r| r.rounds_all_users() as f64)),
+        )
+    });
+    for (&(independent, rho), &(nacks, bw, rounds)) in cells.iter().zip(&grid) {
+        writeln!(
+            out,
+            "{:<12} {:>8.1} {:>10.1} {:>12.3} {:>12.2}",
+            if independent { "independent" } else { "burst" },
+            rho,
+            nacks,
+            bw,
+            rounds,
+        )?;
     }
+    Ok(())
 }
 
 /// UKA vs naive subtree-order packing: what per-user alignment buys.
-pub fn ablation_uka(mode: Mode) {
+pub fn ablation_uka(mode: Mode, out: &mut dyn Write) -> io::Result<()> {
     header(
+        out,
         "Ablation: key assignment",
         "UKA (one packet per user) vs naive subtree-order packing",
-    );
-    println!(
+    )?;
+    writeln!(
+        out,
         "{:>6} | {:>8} {:>8} | {:>10} {:>8} | {:>22}",
         "N", "UKA pkts", "naive", "pkts/user", "max", "P[1-round] p=2% / 20%"
-    );
-    for n in [256u32, 1024, 4096] {
+    )?;
+    let ns = [256u32, 1024, 4096];
+    struct UkaCell {
+        uka_packets: f64,
+        naive: assign::NaiveAssignmentStats,
+    }
+    let grid = par(&ns, |&n| {
         let l = (n / 4) as usize;
         let layout = Layout::DEFAULT;
         let uka = workload_stats(n, 4, 0, l, mode.runs, 3300, &layout);
@@ -114,23 +155,30 @@ pub fn ablation_uka(mode: Mode) {
         let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
         let naive = assign::naive_plan_stats(&tree, &outcome, &layout);
         let uka_plans = assign::plan(&tree, &outcome, &layout);
-
-        let p_success = |p: f64, m: f64| (1.0 - p).powf(m);
-        println!(
+        UkaCell {
+            uka_packets: uka.enc_packets.max(uka_plans.len() as f64),
+            naive,
+        }
+    });
+    let p_success = |p: f64, m: f64| (1.0 - p).powf(m);
+    for (&n, cell) in ns.iter().zip(&grid) {
+        writeln!(
+            out,
             "{:>6} | {:>8.1} {:>8} | {:>10.2} {:>8} | UKA {:.3}/{:.3} naive {:.3}/{:.3}",
             n,
-            uka.enc_packets.max(uka_plans.len() as f64),
-            naive.packets,
-            naive.avg_packets_per_user,
-            naive.max_packets_per_user,
+            cell.uka_packets,
+            cell.naive.packets,
+            cell.naive.avg_packets_per_user,
+            cell.naive.max_packets_per_user,
             p_success(0.02, 1.0),
             p_success(0.20, 1.0),
-            p_success(0.02, naive.avg_packets_per_user),
-            p_success(0.20, naive.avg_packets_per_user),
-        );
+            p_success(0.02, cell.naive.avg_packets_per_user),
+            p_success(0.20, cell.naive.avg_packets_per_user),
+        )?;
     }
-    println!(
+    writeln!(
+        out,
         "(UKA pays a small duplication overhead; naive pays multiple-packet\n\
          dependence per user, collapsing one-round success at 20% loss.)"
-    );
+    )
 }

@@ -1,7 +1,8 @@
 //! Runs the design-choice ablations: send order, loss model, UKA.
-fn main() {
+fn main() -> std::io::Result<()> {
     let mode = bench::Mode::from_env();
-    bench::ablations::ablation_send_order(mode);
-    bench::ablations::ablation_loss_model(mode);
-    bench::ablations::ablation_uka(mode);
+    let mut out = std::io::stdout().lock();
+    bench::ablations::ablation_send_order(mode, &mut out)?;
+    bench::ablations::ablation_loss_model(mode, &mut out)?;
+    bench::ablations::ablation_uka(mode, &mut out)
 }

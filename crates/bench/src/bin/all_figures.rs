@@ -1,31 +1,29 @@
 //! Regenerates every figure and table in sequence (EXPERIMENTS.md source).
-use bench::figures;
-use bench::Mode;
+//!
+//! Figure text goes to stdout — byte-identical across runs and worker
+//! counts, so two runs can be diffed directly. Per-figure wall times go
+//! to stderr so CI logs surface regressions without perturbing the
+//! comparable output.
 
-fn main() {
+use std::io::{self, Write};
+use std::time::Instant;
+
+use bench::{Mode, ALL_FIGURES};
+
+fn main() -> io::Result<()> {
     let mode = Mode::from_env();
-    println!(
+    let mut out = io::stdout().lock();
+    writeln!(
+        out,
         "# Figure regeneration run (messages/point = {}, workload runs = {}, trajectory = {})",
         mode.messages, mode.runs, mode.trajectory
-    );
-    figures::fig06(mode);
-    figures::fig07(mode);
-    figures::fig08(mode);
-    figures::fig09(mode);
-    figures::fig10(mode);
-    figures::fig12_13(mode);
-    figures::fig14(mode);
-    figures::fig15(mode);
-    figures::fig16(mode);
-    figures::fig17(mode);
-    figures::fig18(mode);
-    figures::fig19_20(mode);
-    figures::fig21(mode);
-    figures::sigcomm_degree(mode);
-    figures::sigcomm_batch(mode);
-    figures::sigcomm_sparseness(mode);
-    figures::sigcomm_model(mode);
-    bench::ablations::ablation_send_order(mode);
-    bench::ablations::ablation_loss_model(mode);
-    bench::ablations::ablation_uka(mode);
+    )?;
+    let total = Instant::now();
+    for (name, f) in ALL_FIGURES {
+        let t = Instant::now();
+        f(mode, &mut out)?;
+        eprintln!("[time] {name}: {:.2}s", t.elapsed().as_secs_f64());
+    }
+    eprintln!("[time] total: {:.2}s", total.elapsed().as_secs_f64());
+    Ok(())
 }

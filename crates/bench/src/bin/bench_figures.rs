@@ -1,0 +1,323 @@
+//! Tracked simulation-engine benchmark: emits `BENCH_figures.json`.
+//!
+//! Runs every figure of `all_figures` twice at the quick-mode workload
+//! (the `REKEY_QUICK=1` parameters, so the tracked baseline is a fixed
+//! workload): once with the task pool pinned to one worker (the serial
+//! engine) and once at the session's default worker count. Records per
+//! figure the serial and parallel wall time, the speedup, and whether the
+//! two runs produced byte-identical figure text — the engine's core
+//! determinism contract. A final section measures the engine's raw packet
+//! rate on a standard transport experiment.
+//!
+//! Flags: `--smoke` runs a cheap figure subset (same JSON shape);
+//! `--check <path>` validates an existing JSON file and exits non-zero if
+//! it is missing, malformed, or records a serial/parallel divergence;
+//! `--out <path>` overrides the output path.
+
+use std::time::Instant;
+
+use bench::{FigFn, Mode, ALL_FIGURES};
+use grouprekey::experiment::{run_experiment, ExperimentParams};
+
+const SCHEMA: &str = "bench_figures/v1";
+
+/// The quick-mode workload, fixed independent of the environment so the
+/// tracked numbers always describe the same grid.
+const QUICK: Mode = Mode {
+    messages: 3,
+    runs: 2,
+    trajectory: 8,
+};
+
+/// Cheap-but-representative subset for CI smoke runs: one workload grid,
+/// one adaptive trajectory, one table, one ablation.
+const SMOKE_FIGURES: [&str; 4] = [
+    "fig06",
+    "fig14",
+    "sigcomm_sparseness",
+    "ablation_loss_model",
+];
+
+struct FigureReport {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+    byte_identical: bool,
+}
+
+impl FigureReport {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+fn run_figure(name: &'static str, f: FigFn) -> FigureReport {
+    let mut serial_out: Vec<u8> = Vec::new();
+    let start = Instant::now();
+    let serial_res = taskpool::with_workers(1, || f(QUICK, &mut serial_out));
+    let serial_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let mut parallel_out: Vec<u8> = Vec::new();
+    let start = Instant::now();
+    let parallel_res = f(QUICK, &mut parallel_out);
+    let parallel_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    FigureReport {
+        name,
+        serial_ms,
+        parallel_ms,
+        byte_identical: serial_res.is_ok() && parallel_res.is_ok() && serial_out == parallel_out,
+    }
+}
+
+struct EngineReport {
+    users: usize,
+    messages: usize,
+    packets: f64,
+    wall_s: f64,
+}
+
+/// Raw engine packet rate: one standard quick-mode transport experiment,
+/// counting every multicast ENC/parity and unicast USR packet the server
+/// put on the wire.
+fn bench_engine() -> EngineReport {
+    let params = ExperimentParams {
+        messages: QUICK.messages,
+        seed: 42,
+        ..ExperimentParams::default()
+    };
+    let users = params.net.n_users.max(params.n as usize);
+    let start = Instant::now();
+    let reports = run_experiment(params);
+    let wall_s = start.elapsed().as_secs_f64();
+    let packets: f64 = reports
+        .iter()
+        .map(|r| r.bandwidth_overhead * r.enc_packets as f64 + r.usr_packets as f64)
+        .sum();
+    EngineReport {
+        users,
+        messages: reports.len(),
+        packets,
+        wall_s,
+    }
+}
+
+fn fmt_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn render_json(mode: &str, workers: usize, figures: &[FigureReport], eng: &EngineReport) -> String {
+    let serial_total: f64 = figures.iter().map(|f| f.serial_ms).sum();
+    let parallel_total: f64 = figures.iter().map(|f| f.parallel_ms).sum();
+    let all_identical = figures.iter().all(|f| f.byte_identical);
+    let total_speedup = if parallel_total > 0.0 {
+        serial_total / parallel_total
+    } else {
+        0.0
+    };
+    let fig_json: Vec<String> = figures
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"name\": \"{}\", \"serial_ms\": {}, \"parallel_ms\": {}, \
+                 \"speedup\": {}, \"byte_identical\": {}}}",
+                f.name,
+                fmt_f(f.serial_ms),
+                fmt_f(f.parallel_ms),
+                fmt_f(f.speedup()),
+                f.byte_identical
+            )
+        })
+        .collect();
+    let pkt_rate = if eng.wall_s > 0.0 {
+        eng.packets / eng.wall_s
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"mode\": \"{mode}\",\n  \"workers\": {workers},\n  \
+         \"figures\": [\n{}\n  ],\n  \"totals\": {{\n    \"serial_ms\": {},\n    \
+         \"parallel_ms\": {},\n    \"speedup\": {},\n    \"byte_identical\": {}\n  }},\n  \
+         \"engine\": {{\n    \"users\": {},\n    \"messages\": {},\n    \"packets\": {},\n    \
+         \"wall_s\": {},\n    \"packets_per_sec\": {}\n  }}\n}}\n",
+        fig_json.join(",\n"),
+        fmt_f(serial_total),
+        fmt_f(parallel_total),
+        fmt_f(total_speedup),
+        all_identical,
+        eng.users,
+        eng.messages,
+        fmt_f(eng.packets),
+        fmt_f(eng.wall_s),
+        fmt_f(pkt_rate),
+    )
+}
+
+/// Structural well-formedness: balanced braces/brackets outside strings,
+/// non-empty, object at the top level.
+fn json_well_formed(text: &str) -> bool {
+    let trimmed = text.trim();
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return false;
+    }
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in trimmed.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_string
+}
+
+/// Validates a previously emitted `BENCH_figures.json`. Returns a list of
+/// problems (empty = valid).
+fn check_report(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    if !json_well_formed(text) {
+        problems.push("not a well-formed JSON object".to_string());
+        return problems;
+    }
+    for key in [
+        "\"schema\"",
+        SCHEMA,
+        "\"figures\"",
+        "\"serial_ms\"",
+        "\"parallel_ms\"",
+        "\"speedup\"",
+        "\"totals\"",
+        "\"engine\"",
+        "\"packets_per_sec\"",
+    ] {
+        if !text.contains(key) {
+            problems.push(format!("missing {key}"));
+        }
+    }
+    if text.contains("\"byte_identical\": false") {
+        problems.push("parallel figure output diverged from serial".to_string());
+    }
+    problems
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_figures.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                };
+                out_path = path;
+            }
+            "--check" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--check needs a path");
+                    std::process::exit(2);
+                };
+                check_path = Some(path);
+            }
+            other => {
+                eprintln!("unknown flag {other}; use [--smoke] [--out PATH] [--check PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            eprintln!("BENCH check FAILED: cannot read {path}");
+            std::process::exit(1);
+        };
+        let problems = check_report(&text);
+        if problems.is_empty() {
+            println!("BENCH check ok: {path}");
+            return;
+        }
+        for p in &problems {
+            eprintln!("BENCH check FAILED: {p}");
+        }
+        std::process::exit(1);
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let workers = taskpool::max_workers();
+    let selected: Vec<(&'static str, FigFn)> = ALL_FIGURES
+        .iter()
+        .filter(|(name, _)| !smoke || SMOKE_FIGURES.contains(name))
+        .copied()
+        .collect();
+
+    eprintln!(
+        "figures: {} of {} ({mode}), {} worker(s), quick-mode grid",
+        selected.len(),
+        ALL_FIGURES.len(),
+        workers
+    );
+    let mut figures = Vec::with_capacity(selected.len());
+    for (name, f) in selected {
+        let rep = run_figure(name, f);
+        eprintln!(
+            "  {name}: serial {:.0} ms, parallel {:.0} ms, speedup {:.2}x, identical={}",
+            rep.serial_ms,
+            rep.parallel_ms,
+            rep.speedup(),
+            rep.byte_identical
+        );
+        figures.push(rep);
+    }
+    eprintln!("engine: packet rate on the standard quick experiment");
+    let eng = bench_engine();
+    eprintln!(
+        "  {} users, {} messages, {:.0} packets in {:.2} s ({:.0} pkt/s)",
+        eng.users,
+        eng.messages,
+        eng.packets,
+        eng.wall_s,
+        eng.packets / eng.wall_s.max(1e-9)
+    );
+
+    let diverged = figures.iter().any(|f| !f.byte_identical);
+    let json = render_json(mode, workers, &figures, &eng);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("FAILED: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if diverged {
+        eprintln!("FAILED: parallel figure output diverged from serial");
+        std::process::exit(1);
+    }
+}

@@ -502,7 +502,9 @@ fn check_report(text: &str) -> Vec<String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut smoke = false;
+    // REKEY_QUICK shrinks the workload exactly like the figure binaries;
+    // `--smoke` remains the explicit override for CI.
+    let mut smoke = std::env::var("REKEY_QUICK").is_ok_and(|v| v != "0");
     let mut out_path = "BENCH_rekey.json".to_string();
     let mut check_path: Option<String> = None;
     let mut it = args.into_iter();

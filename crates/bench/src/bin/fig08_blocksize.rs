@@ -1,4 +1,4 @@
 //! Regenerates the corresponding evaluation output; see bench::figures.
-fn main() {
-    bench::figures::fig08(bench::Mode::from_env());
+fn main() -> std::io::Result<()> {
+    bench::figures::fig08(bench::Mode::from_env(), &mut std::io::stdout().lock())
 }

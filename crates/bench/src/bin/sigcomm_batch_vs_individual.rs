@@ -1,4 +1,4 @@
 //! Regenerates the corresponding evaluation output; see bench::figures.
-fn main() {
-    bench::figures::sigcomm_batch(bench::Mode::from_env());
+fn main() -> std::io::Result<()> {
+    bench::figures::sigcomm_batch(bench::Mode::from_env(), &mut std::io::stdout().lock())
 }

@@ -1,4 +1,4 @@
 //! Closed-form expected-message-size model vs the marking algorithm.
-fn main() {
-    bench::figures::sigcomm_model(bench::Mode::from_env());
+fn main() -> std::io::Result<()> {
+    bench::figures::sigcomm_model(bench::Mode::from_env(), &mut std::io::stdout().lock())
 }

@@ -57,8 +57,49 @@ pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     }
 }
 
-/// Prints a figure header.
-pub fn header(id: &str, caption: &str) {
-    println!();
-    println!("### {id} — {caption}");
+/// Writes a figure header.
+pub fn header(out: &mut dyn std::io::Write, id: &str, caption: &str) -> std::io::Result<()> {
+    writeln!(out)?;
+    writeln!(out, "### {id} — {caption}")
 }
+
+/// Fans independent figure grid cells out across the task pool, returning
+/// results in input order (so the printed tables are byte-identical to a
+/// serial run at any `REKEY_THREADS`; `taskpool::map` guarantees the
+/// ordering).
+///
+/// Each cell runs with nested task-pool stages pinned to one worker: the
+/// grid is the outermost (and widest) level of parallelism, so letting the
+/// per-message datapath fan out again from inside a grid worker would
+/// oversubscribe the cores without adding coverage.
+pub fn par<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    taskpool::map(items, |_, item| taskpool::with_workers(1, || f(item)))
+}
+
+/// A figure-regeneration entry point: writes one figure's text to `out`.
+pub type FigFn = fn(Mode, &mut dyn std::io::Write) -> std::io::Result<()>;
+
+/// Every figure and ablation in canonical `all_figures` run order,
+/// labelled for timing lines and `BENCH_figures.json`.
+pub const ALL_FIGURES: &[(&str, FigFn)] = &[
+    ("fig06", figures::fig06),
+    ("fig07", figures::fig07),
+    ("fig08", figures::fig08),
+    ("fig09", figures::fig09),
+    ("fig10", figures::fig10),
+    ("fig12_13", figures::fig12_13),
+    ("fig14", figures::fig14),
+    ("fig15", figures::fig15),
+    ("fig16", figures::fig16),
+    ("fig17", figures::fig17),
+    ("fig18", figures::fig18),
+    ("fig19_20", figures::fig19_20),
+    ("fig21", figures::fig21),
+    ("sigcomm_degree", figures::sigcomm_degree),
+    ("sigcomm_batch", figures::sigcomm_batch),
+    ("sigcomm_sparseness", figures::sigcomm_sparseness),
+    ("sigcomm_model", figures::sigcomm_model),
+    ("ablation_send_order", ablations::ablation_send_order),
+    ("ablation_loss_model", ablations::ablation_loss_model),
+    ("ablation_uka", ablations::ablation_uka),
+];

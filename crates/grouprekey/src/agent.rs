@@ -126,7 +126,11 @@ impl UserAgent {
                 .get(&c)
                 .copied()
                 .ok_or(ApplyError::MissingKey { node: c })?;
-            let parent = ident::parent(c, self.degree).expect("entries never encrypt above root");
+            let Some(parent) = ident::parent(c, self.degree) else {
+                // Entries never encrypt above the root; tolerate a
+                // malformed packet rather than panic on hostile input.
+                continue;
+            };
             let key = sealed
                 .unseal(&kek, seal_context(msg_seq, c))
                 .map_err(|_| ApplyError::BadSeal { node: c })?;
@@ -159,7 +163,11 @@ impl UserAgent {
                 .get(c)
                 .copied()
                 .ok_or(ApplyError::MissingKey { node: *c })?;
-            let parent = ident::parent(*c, self.degree).expect("non-root");
+            let Some(parent) = ident::parent(*c, self.degree) else {
+                // `children` excludes the root, so every entry has a
+                // parent; skip rather than panic if that ever breaks.
+                continue;
+            };
             let key = sealed
                 .unseal(&kek, seal_context(msg_seq, *c))
                 .map_err(|_| ApplyError::BadSeal { node: *c })?;

@@ -19,6 +19,15 @@ use crate::agent::UserAgent;
 use crate::metrics::MessageReport;
 use crate::server::{KeyServer, ServerOptions};
 
+/// Unwraps a driver invariant, panicking with context on violation.
+/// Centralises the "driver misuse" panics documented on [`Group::rekey`].
+fn require<T>(value: Option<T>, what: &str) -> T {
+    match value {
+        Some(v) => v,
+        None => panic!("driver invariant violated: {what}"),
+    }
+}
+
 /// A complete secure group: server, members, network.
 pub struct Group {
     /// The key server.
@@ -46,8 +55,8 @@ impl Group {
         let mut net_index = HashMap::new();
         for m in 0..n {
             let tree = server.tree();
-            let node = tree.node_of_member(m).expect("bootstrap member");
-            let path = tree.keys_for_member(m).expect("full path");
+            let node = require(tree.node_of_member(m), "bootstrap member has a node");
+            let path = require(tree.keys_for_member(m), "bootstrap member has a path");
             let individual = path[0].1;
             agents.insert(
                 m,
@@ -139,17 +148,16 @@ impl Group {
             }
         }
         for (m, key) in &joins {
-            let node = self
-                .server
-                .tree()
-                .node_of_member(*m)
-                .expect("joined member placed by the batch");
+            let node = require(
+                self.server.tree().node_of_member(*m),
+                "joined member placed by the batch",
+            );
             self.agents
                 .insert(*m, UserAgent::new(*m, node, *key, self.degree));
-            let idx = self
-                .free_indices
-                .pop()
-                .expect("network has a free receiver link");
+            let idx = require(
+                self.free_indices.pop(),
+                "network has a free receiver link for the joiner",
+            );
             self.net_index.insert(*m, idx);
         }
 
@@ -160,10 +168,7 @@ impl Group {
             .keys()
             .map(|&m| {
                 let old = old_ids.get(&m).copied().unwrap_or_else(|| {
-                    self.server
-                        .tree()
-                        .node_of_member(m)
-                        .expect("joiner has a node")
+                    require(self.server.tree().node_of_member(m), "joiner has a node")
                 });
                 let session = UserSession::new(old, self.degree, k, layout)
                     .expect_msg_id((msg_seq & 0x3f) as u8);
@@ -175,7 +180,10 @@ impl Group {
             .keys()
             .map(|&m| {
                 (
-                    self.server.tree().node_of_member(m).expect("live member"),
+                    require(
+                        self.server.tree().node_of_member(m),
+                        "live member has a node",
+                    ),
                     m,
                 )
             })
@@ -185,6 +193,10 @@ impl Group {
         let rtt = 2.0 * self.net.config().one_way_delay_ms;
         let mut round = 1usize;
         let mut action = RoundDecision::Multicast(artifacts.session.start());
+        // Per-packet scratch, reused across the whole message.
+        let mut members: Vec<MemberId> = Vec::new();
+        let mut listeners: Vec<usize> = Vec::new();
+        let mut delivered: Vec<bool> = Vec::new();
 
         loop {
             match &action {
@@ -192,24 +204,25 @@ impl Group {
                     for pkt in schedule {
                         self.clock += send_interval;
                         let bytes = pkt.emit(&layout);
-                        let members: Vec<MemberId> = sessions
-                            .iter()
-                            .filter(|(_, s)| !s.is_satisfied())
-                            .map(|(&m, _)| m)
-                            .collect();
-                        let listeners: Vec<usize> =
-                            members.iter().map(|m| self.net_index[m]).collect();
+                        members.clear();
+                        members.extend(
+                            sessions
+                                .iter()
+                                .filter(|(_, s)| !s.is_satisfied())
+                                .map(|(&m, _)| m),
+                        );
+                        listeners.clear();
+                        listeners.extend(members.iter().map(|m| self.net_index[m]));
                         if listeners.is_empty() {
                             break;
                         }
-                        let delivered = self.net.multicast_to(self.clock, &listeners);
-                        for (pos, (_, ok)) in delivered.iter().enumerate() {
-                            if *ok {
-                                let parsed =
-                                    Packet::parse(&bytes, &layout).expect("wire round-trip");
-                                sessions
-                                    .get_mut(&members[pos])
-                                    .expect("member session")
+                        self.net
+                            .multicast_to_into(self.clock, &listeners, &mut delivered);
+                        for (pos, &ok) in delivered.iter().enumerate() {
+                            if ok {
+                                let parsed = Packet::parse(&bytes, &layout)
+                                    .unwrap_or_else(|e| panic!("wire round-trip: {e:?}"));
+                                require(sessions.get_mut(&members[pos]), "member session")
                                     .receive(&parsed);
                             }
                         }
@@ -220,17 +233,14 @@ impl Group {
                         let Some(&m) = member_of_node.get(node) else {
                             continue;
                         };
-                        let usr = self
-                            .server
-                            .usr_packet(m)
-                            .expect("usr packet for live member");
+                        let usr = require(self.server.usr_packet(m), "usr packet for live member");
                         let bytes = Packet::Usr(usr).emit(&layout);
                         for _ in 0..wave.duplicates {
                             self.clock += send_interval;
                             if self.net.unicast(self.clock, self.net_index[&m]) {
-                                let parsed =
-                                    Packet::parse(&bytes, &layout).expect("wire round-trip");
-                                sessions.get_mut(&m).expect("session").receive(&parsed);
+                                let parsed = Packet::parse(&bytes, &layout)
+                                    .unwrap_or_else(|e| panic!("wire round-trip: {e:?}"));
+                                require(sessions.get_mut(&m), "member session").receive(&parsed);
                             }
                         }
                     }
@@ -243,13 +253,16 @@ impl Group {
             let mut boundary: Vec<MemberId> = sessions.keys().copied().collect();
             boundary.sort_unstable();
             for m in boundary {
-                let s = sessions.get_mut(&m).expect("session");
+                let s = require(sessions.get_mut(&m), "member session");
                 if let Some(nack) = s.end_of_round() {
                     let bytes = Packet::Nack(nack).emit(&layout);
-                    let Packet::Nack(parsed) = Packet::parse(&bytes, &layout).unwrap() else {
-                        unreachable!()
+                    let Ok(Packet::Nack(parsed)) = Packet::parse(&bytes, &layout) else {
+                        unreachable!("a NACK emits and parses back as a NACK")
                     };
-                    let node = self.server.tree().node_of_member(m).expect("live member");
+                    let node = require(
+                        self.server.tree().node_of_member(m),
+                        "NACKing member has a node",
+                    );
                     artifacts.session.accept_nack(node, &parsed);
                 }
             }
@@ -269,7 +282,7 @@ impl Group {
         // Apply outcomes cryptographically.
         let mut hist: Vec<usize> = Vec::new();
         for (m, s) in &sessions {
-            let agent = self.agents.get_mut(m).expect("agent");
+            let agent = require(self.agents.get_mut(m), "live member has an agent");
             match s.outcome() {
                 UserOutcome::Enc(pkt) => agent
                     .apply_enc(pkt, msg_seq)

@@ -22,7 +22,7 @@ use rekeyproto::{ServerConfig, ServerController};
 use wirecrypto::{KeyGen, SymKey};
 
 use crate::metrics::MessageReport;
-use crate::sim::{run_message_transport, SimConfig, SimUser};
+use crate::sim::{run_message_transport_with, SimConfig, SimUser, TransportScratch};
 
 /// Averaged key-management workload statistics for one `(N, d, J, L)`
 /// point.
@@ -231,6 +231,8 @@ pub struct ExperimentRun {
     rng: SmallRng,
     clock: f64,
     msg_seq: u64,
+    users: Vec<SimUser>,
+    scratch: TransportScratch,
 }
 
 impl ExperimentRun {
@@ -247,6 +249,8 @@ impl ExperimentRun {
             rng: SmallRng::seed_from_u64(params.seed ^ 0x00C0_FFEE),
             clock: 0.0,
             msg_seq: 0,
+            users: Vec::new(),
+            scratch: TransportScratch::new(),
             params,
         }
     }
@@ -264,7 +268,9 @@ impl ExperimentRun {
 
         let (tree, outcome) = one_batch(p.n, p.degree, p.joins, p.leaves, &mut kg, &mut self.rng);
         let assignment = UkaAssignment::build(&tree, &outcome, self.msg_seq, &p.protocol.layout)
-            .expect("marking outcome always seals against its own tree");
+            .unwrap_or_else(|e| {
+                unreachable!("marking outcome always seals against its own tree: {e}")
+            });
         let usr_hint = p.protocol.layout.usr_packet_len(tree.height() as usize + 1);
 
         let num_nack_used = self.controller.num_nack;
@@ -286,25 +292,26 @@ impl ExperimentRun {
         let k = p.protocol.block_size;
         let mut members = tree.member_ids();
         members.sort_unstable();
-        let mut users: Vec<SimUser> = members
-            .iter()
-            .enumerate()
-            .map(|(idx, &m)| {
-                let uid = tree.node_of_member(m).expect("member exists");
+        self.users.clear();
+        self.users
+            .extend(members.iter().enumerate().map(|(idx, &m)| {
+                let Some(uid) = tree.node_of_member(m) else {
+                    unreachable!("member {m} listed by its own tree");
+                };
                 let true_block = assignment
                     .packet_of_user
                     .get(&uid)
                     .map(|&pi| (pi / k) as u8);
                 SimUser::new(idx, uid, k, p.degree, true_block)
-            })
-            .collect();
+            }));
 
-        let stats = run_message_transport(
+        let stats = run_message_transport_with(
             &mut self.net,
             &mut self.clock,
             &mut session,
-            &mut users,
+            &mut self.users,
             &p.sim,
+            &mut self.scratch,
         );
 
         self.controller

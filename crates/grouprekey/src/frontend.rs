@@ -201,7 +201,11 @@ impl IntervalCollector {
         self.interval += 1;
         let joins = std::mem::take(&mut self.join_order)
             .into_iter()
-            .map(|m| (m, self.joins.remove(&m).expect("queued join has a key")))
+            .filter_map(|m| {
+                // `join_order` and `joins` are kept in lockstep by
+                // `submit_join`, so the key is always present.
+                self.joins.remove(&m).map(|key| (m, key))
+            })
             .collect();
         Batch::new(joins, std::mem::take(&mut self.leaves))
     }

@@ -1,7 +1,7 @@
 //! Per-message reporting used by experiments and examples.
 
 /// Measurements of one rekey message's delivery.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MessageReport {
     /// Message sequence number.
     pub msg_seq: u64,

@@ -49,7 +49,9 @@ pub fn check_message(
         panic!("sanitize: message audit failed: {e}");
     }
     for b in 0..blocks.block_count() {
-        let block = blocks.block(b).expect("block index in range");
+        let Some(block) = blocks.block(b) else {
+            panic!("sanitize: block {b} out of range despite block_count");
+        };
         let bodies: Vec<Vec<u8>> = block.packets.iter().map(|p| p.fec_body(layout)).collect();
         if let Err(e) =
             rse::sanitize::verify_block_roundtrip(blocks.k(), &bodies, ROUNDTRIP_PARITIES)

@@ -114,7 +114,9 @@ impl KeyServer {
         let tree_before = self.tree.clone();
         let outcome = self.tree.process_batch(&batch, &mut self.keygen);
         let assignment = UkaAssignment::build(&self.tree, &outcome, msg_seq, &self.layout)
-            .expect("marking outcome always seals against its own tree");
+            .unwrap_or_else(|e| {
+                unreachable!("marking outcome always seals against its own tree: {e}")
+            });
         let session = self
             .controller
             .begin_message(assignment.packets.clone(), self.usr_len_hint());
@@ -183,10 +185,10 @@ impl KeyServer {
         options: ServerOptions,
         fresh_keygen_seed: u64,
     ) -> Result<Self, keytree::SnapshotError> {
-        if bytes.len() < 8 {
+        let Some(head) = bytes.first_chunk::<8>() else {
             return Err(keytree::SnapshotError::Truncated);
-        }
-        let msg_seq = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        };
+        let msg_seq = u64::from_le_bytes(*head);
         let tree = KeyTree::restore(&bytes[8..])?;
         Ok(KeyServer {
             tree,

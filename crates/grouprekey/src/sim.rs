@@ -11,13 +11,63 @@
 //! parse, decode, unseal — is exercised end-to-end by [`crate::driver`]
 //! and the integration tests.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use keytree::NodeId;
 use netsim::Network;
 use rekeymsg::estimate::BlockIdEstimator;
 use rekeymsg::{NackPacket, NackRequest, Packet};
 use rekeyproto::{RoundDecision, ServerSession};
+
+/// Distinct FEC share indices received, per block, as fixed-width
+/// bitsets.
+///
+/// Block IDs are `u8` and share indices stay below [`rse::MAX_SYMBOLS`]
+/// (= 256), so four `u64` words cover a block exactly. The flat layout —
+/// one `[u64; 4]` slot per block ID in a `Vec` that grows to the highest
+/// block seen — replaces the seed's `BTreeMap<u8, BTreeSet<usize>>`,
+/// turning the per-packet bookkeeping from two tree lookups plus a node
+/// allocation into one indexed OR. A parallel `counts` vector caches the
+/// population count so the round-boundary decode check stays O(1).
+#[derive(Debug, Clone, Default)]
+struct ShareTracker {
+    words: Vec<[u64; 4]>,
+    counts: Vec<u16>,
+}
+
+impl ShareTracker {
+    /// Records share `index` of `block`; duplicates are ignored.
+    fn insert(&mut self, block: u8, index: usize) {
+        if index >= 256 {
+            // Unreachable for shares minted by the real encoder
+            // (MAX_SYMBOLS caps data + parity indices); ignore rather
+            // than corrupt a neighbouring block's words.
+            return;
+        }
+        let b = usize::from(block);
+        if self.words.len() <= b {
+            self.words.resize(b + 1, [0u64; 4]);
+            self.counts.resize(b + 1, 0);
+        }
+        let word = &mut self.words[b][index / 64];
+        let bit = 1u64 << (index % 64);
+        if *word & bit == 0 {
+            *word |= bit;
+            self.counts[b] += 1;
+        }
+    }
+
+    /// Number of distinct shares held for `block`.
+    fn count(&self, block: u8) -> usize {
+        self.counts.get(usize::from(block)).map_or(0, |&c| c.into())
+    }
+
+    /// Drops all recorded shares, keeping the allocation.
+    fn clear(&mut self) {
+        self.words.clear();
+        self.counts.clear();
+    }
+}
 
 /// One simulated user of the transport.
 #[derive(Debug)]
@@ -30,7 +80,7 @@ pub struct SimUser {
     d: u32,
     estimator: Option<BlockIdEstimator>,
     /// Distinct share indices received, per block.
-    shares: BTreeMap<u8, BTreeSet<usize>>,
+    shares: ShareTracker,
     max_block_seen: Option<u8>,
     /// True block of the user's specific ENC packet (driver knowledge used
     /// only to shortcut the FEC decode, which is deterministic in the
@@ -55,7 +105,7 @@ impl SimUser {
             k,
             d,
             estimator: None,
-            shares: BTreeMap::new(),
+            shares: ShareTracker::default(),
             max_block_seen: None,
             true_block,
             satisfied_round: None,
@@ -89,17 +139,11 @@ impl SimUser {
                         BlockIdEstimator::new(self.node_id as u16, self.k, self.d)
                     })
                     .observe(enc);
-                self.shares
-                    .entry(enc.block_id)
-                    .or_default()
-                    .insert(enc.seq as usize);
+                self.shares.insert(enc.block_id, enc.seq as usize);
             }
             Packet::Parity(par) => {
                 self.max_block_seen = Some(self.max_block_seen.unwrap_or(0).max(par.block_id));
-                self.shares
-                    .entry(par.block_id)
-                    .or_default()
-                    .insert(self.k + par.seq as usize);
+                self.shares.insert(par.block_id, self.k + par.seq as usize);
             }
             Packet::Usr(_) => {
                 self.satisfied_round = Some(round);
@@ -111,18 +155,35 @@ impl SimUser {
 
     /// Round boundary: attempts FEC recovery, then returns a NACK when
     /// still unsatisfied. Mirrors `rekeyproto::UserSession::end_of_round`.
+    /// Allocating convenience over [`Self::end_of_round_into`], kept for
+    /// the unit tests; the transport loop uses the scratch form.
+    #[cfg(test)]
     fn end_of_round(&mut self, round: usize) -> Option<NackPacket> {
+        let mut nack = NackPacket {
+            msg_id: 0,
+            requests: Vec::new(),
+        };
+        self.end_of_round_into(round, &mut nack).then_some(nack)
+    }
+
+    /// Allocation-free round boundary: fills the caller's reusable
+    /// `nack` (clearing any previous requests) and returns whether the
+    /// user NACKs this round. Same decision logic as [`Self::end_of_round`];
+    /// the transport loop threads one scratch packet through every user.
+    fn end_of_round_into(&mut self, round: usize, nack: &mut NackPacket) -> bool {
+        nack.msg_id = 0;
+        nack.requests.clear();
         if self.is_satisfied() {
-            return None;
+            return false;
         }
         // Decode: the true block reconstructs iff k distinct shares
         // arrived (MDS); the estimator range always contains the true
         // block, so the real user would attempt exactly this decode.
         if let Some(tb) = self.true_block {
-            if self.shares.get(&tb).map(|s| s.len()).unwrap_or(0) >= self.k {
+            if self.shares.count(tb) >= self.k {
                 self.satisfied_round = Some(round);
                 self.shares.clear();
-                return None;
+                return false;
             }
         }
         let (low, high) = match (
@@ -140,27 +201,23 @@ impl SimUser {
             ),
             (None, None) => (0, 0),
         };
-        let mut requests = Vec::new();
         for b in low..=high.min(255) {
-            let have = self.shares.get(&(b as u8)).map(|s| s.len()).unwrap_or(0);
+            let have = self.shares.count(b as u8);
             let need = self.k.saturating_sub(have);
             if need > 0 {
-                requests.push(NackRequest {
+                nack.requests.push(NackRequest {
                     count: need.min(255) as u8,
                     block_id: b as u8,
                 });
             }
         }
-        if requests.is_empty() {
-            requests.push(NackRequest {
+        if nack.requests.is_empty() {
+            nack.requests.push(NackRequest {
                 count: self.k.min(255) as u8,
                 block_id: low as u8,
             });
         }
-        Some(NackPacket {
-            msg_id: 0,
-            requests,
-        })
+        true
     }
 }
 
@@ -195,11 +252,51 @@ pub struct TransportStats {
     pub unserved: usize,
 }
 
+/// Reusable scratch buffers for [`run_message_transport_with`].
+///
+/// One instance per experiment (or per thread) makes the per-packet and
+/// per-round paths of the transport loop allocation-free: the listener
+/// list, delivery flags, net-index-to-slot table, unicast target map, and
+/// the NACK packet threaded through every user at a round boundary all
+/// reuse their capacity across packets, rounds, and messages.
+#[derive(Debug)]
+pub struct TransportScratch {
+    delivered: Vec<bool>,
+    listeners: Vec<usize>,
+    listener_slots: Vec<usize>,
+    by_node: HashMap<NodeId, usize>,
+    nack: NackPacket,
+}
+
+impl TransportScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        TransportScratch {
+            delivered: Vec::new(),
+            listeners: Vec::new(),
+            listener_slots: Vec::new(),
+            by_node: HashMap::new(),
+            nack: NackPacket {
+                msg_id: 0,
+                requests: Vec::new(),
+            },
+        }
+    }
+}
+
+impl Default for TransportScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Runs one rekey message's delivery over the network.
 ///
 /// `session` must be freshly created (not yet started). The clock advances
 /// by one send interval per packet; round boundaries add one round-trip
-/// time.
+/// time. Allocates its scratch internally; callers simulating message
+/// sequences should hold a [`TransportScratch`] and use
+/// [`run_message_transport_with`].
 pub fn run_message_transport(
     net: &mut Network,
     clock: &mut f64,
@@ -207,18 +304,26 @@ pub fn run_message_transport(
     users: &mut [SimUser],
     cfg: &SimConfig,
 ) -> TransportStats {
+    let mut scratch = TransportScratch::new();
+    run_message_transport_with(net, clock, session, users, cfg, &mut scratch)
+}
+
+/// [`run_message_transport`] with caller-owned scratch buffers, the
+/// allocation-free form used by [`crate::experiment::ExperimentRun`].
+pub fn run_message_transport_with(
+    net: &mut Network,
+    clock: &mut f64,
+    session: &mut ServerSession,
+    users: &mut [SimUser],
+    cfg: &SimConfig,
+    scratch: &mut TransportScratch,
+) -> TransportStats {
     let send_interval = net.config().send_interval_ms;
     let rtt = 2.0 * net.config().one_way_delay_ms;
-    let by_node: HashMap<NodeId, usize> = users
-        .iter()
-        .enumerate()
-        .map(|(i, u)| (u.node_id, i))
-        .collect();
-    let slot_of_net: HashMap<usize, usize> = users
-        .iter()
-        .enumerate()
-        .map(|(i, u)| (u.net_index, i))
-        .collect();
+    scratch.by_node.clear();
+    scratch
+        .by_node
+        .extend(users.iter().enumerate().map(|(i, u)| (u.node_id, i)));
 
     enum Action {
         Multicast(Vec<Packet>),
@@ -233,19 +338,21 @@ pub fn run_message_transport(
             Action::Multicast(schedule) => {
                 for pkt in schedule {
                     *clock += send_interval;
-                    let listeners: Vec<usize> = users
-                        .iter()
-                        .filter(|u| !u.is_satisfied())
-                        .map(|u| u.net_index)
-                        .collect();
-                    if listeners.is_empty() {
+                    scratch.listeners.clear();
+                    scratch.listener_slots.clear();
+                    for (slot, u) in users.iter().enumerate() {
+                        if !u.is_satisfied() {
+                            scratch.listeners.push(u.net_index);
+                            scratch.listener_slots.push(slot);
+                        }
+                    }
+                    if scratch.listeners.is_empty() {
                         break;
                     }
-                    let delivered = net.multicast_to(*clock, &listeners);
-                    for (net_idx, ok) in delivered {
+                    net.multicast_to_into(*clock, &scratch.listeners, &mut scratch.delivered);
+                    for (pos, &ok) in scratch.delivered.iter().enumerate() {
                         if ok {
-                            let slot = slot_of_net[&net_idx];
-                            users[slot].receive(pkt, round);
+                            users[scratch.listener_slots[pos]].receive(pkt, round);
                         }
                     }
                 }
@@ -253,7 +360,7 @@ pub fn run_message_transport(
             Action::Unicast(wave) => {
                 // `duplicates` copies per target; any one suffices.
                 for node in &wave.targets {
-                    let Some(&slot) = by_node.get(node) else {
+                    let Some(&slot) = scratch.by_node.get(node) else {
                         continue;
                     };
                     let mut got = false;
@@ -279,8 +386,8 @@ pub fn run_message_transport(
         // Round boundary: every unsatisfied user NACKs (reverse path is
         // modelled lossless; see DESIGN.md).
         for u in users.iter_mut() {
-            if let Some(nack) = u.end_of_round(round) {
-                session.accept_nack(u.node_id, &nack);
+            if u.end_of_round_into(round, &mut scratch.nack) {
+                session.accept_nack(u.node_id, &scratch.nack);
             }
         }
 

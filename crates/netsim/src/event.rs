@@ -25,11 +25,12 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first, breaking
-        // ties by insertion order (FIFO) for determinism.
+        // ties by insertion order (FIFO) for determinism. `total_cmp`
+        // gives NaN a fixed order instead of panicking (scheduling a NaN
+        // time is already rejected by `schedule`'s monotonicity assert).
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times must not be NaN")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

@@ -132,27 +132,49 @@ impl Network {
     /// source link (loss there hits everyone), then each receiver link.
     /// Returns per-user delivery flags.
     pub fn multicast(&mut self, now: SimTime) -> Vec<bool> {
+        let mut delivered = Vec::new();
+        self.multicast_into(now, &mut delivered);
+        delivered
+    }
+
+    /// Allocation-free [`Network::multicast`]: clears `delivered` and
+    /// fills it with one flag per user, reusing the buffer's capacity.
+    /// The per-packet hot path of the transport simulation calls this
+    /// thousands of times per rekey message with the same scratch buffer.
+    pub fn multicast_into(&mut self, now: SimTime, delivered: &mut Vec<bool>) {
+        delivered.clear();
         if !self.source.transmit(now) {
-            return vec![false; self.receivers.len()];
+            delivered.resize(self.receivers.len(), false);
+            return;
         }
-        self.receivers
-            .iter_mut()
-            .map(|link| link.transmit(now))
-            .collect()
+        delivered.extend(self.receivers.iter_mut().map(|link| link.transmit(now)));
     }
 
     /// Multicast where only a subset of users still listens (the common
     /// case in later rounds); non-listening links still advance their loss
     /// process implicitly through future queries.
     pub fn multicast_to(&mut self, now: SimTime, listeners: &[usize]) -> Vec<(usize, bool)> {
+        let mut delivered = Vec::new();
+        self.multicast_to_into(now, listeners, &mut delivered);
+        listeners.iter().copied().zip(delivered).collect()
+    }
+
+    /// Allocation-free [`Network::multicast_to`]: clears `delivered` and
+    /// fills it with one flag per entry of `listeners`, in order, reusing
+    /// the buffer's capacity across packets.
+    pub fn multicast_to_into(
+        &mut self,
+        now: SimTime,
+        listeners: &[usize],
+        delivered: &mut Vec<bool>,
+    ) {
+        delivered.clear();
         let source_ok = self.source.transmit(now);
-        listeners
-            .iter()
-            .map(|&u| {
-                let ok = source_ok && self.receivers[u].transmit(now);
-                (u, ok)
-            })
-            .collect()
+        delivered.extend(
+            listeners
+                .iter()
+                .map(|&u| source_ok && self.receivers[u].transmit(now)),
+        );
     }
 
     /// Unicasts one packet to `user` at time `now` (source + receiver

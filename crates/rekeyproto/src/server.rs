@@ -195,6 +195,10 @@ pub struct ServerSession {
     round: usize,
     /// `amax[i]` for the current round.
     amax: Vec<usize>,
+    /// Spare `amax`-sized buffer swapped in at each round boundary so the
+    /// per-round reset reuses one allocation instead of minting a fresh
+    /// vector per round.
+    amax_scratch: Vec<usize>,
     /// Users that NACKed since the last round boundary.
     round_nackers: Vec<NodeId>,
     /// Per-user maximum parity demand from the FIRST round (list `A`).
@@ -222,6 +226,7 @@ impl ServerSession {
             phase: Phase::Multicast,
             round: 0,
             amax,
+            amax_scratch: Vec::new(),
             round_nackers: Vec::new(),
             first_round_demands: Vec::new(),
             usr_len_hint,
@@ -336,12 +341,16 @@ impl ServerSession {
                     return RoundDecision::Unicast(self.unicast_wave());
                 }
                 // Reactive multicast: amax[i] fresh parities per block.
-                let amax = std::mem::replace(&mut self.amax, vec![0; self.blocks.block_count()]);
+                // Swap the demands out against the zeroed spare buffer so
+                // the reset reuses its allocation round after round.
+                self.amax_scratch.clear();
+                self.amax_scratch.resize(self.blocks.block_count(), 0);
+                std::mem::swap(&mut self.amax, &mut self.amax_scratch);
                 self.round_nackers.clear();
                 self.round += 1;
                 match self
                     .blocks
-                    .reactive_schedule_ordered(&amax, self.cfg.send_order)
+                    .reactive_schedule_ordered(&self.amax_scratch, self.cfg.send_order)
                 {
                     Ok(sched) => {
                         self.count_multicast(&sched);

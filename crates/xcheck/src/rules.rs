@@ -3,8 +3,9 @@
 use crate::lexer::{self, Tok};
 use crate::walk::SourceFile;
 
-/// Crates whose non-test code must be panic-free (wire/hot paths).
-const PANIC_FREE_CRATES: [&str; 3] = ["wirecrypto", "rekeymsg", "rse"];
+/// Crates whose non-test code must be panic-free (wire/hot paths and the
+/// simulation engine the figures depend on).
+const PANIC_FREE_CRATES: [&str; 5] = ["wirecrypto", "rekeymsg", "rse", "netsim", "grouprekey"];
 
 /// Files in which `as` casts to narrower integer types are forbidden
 /// (GF(2^8) field and matrix cores, where a silent truncation corrupts
@@ -13,7 +14,7 @@ const NO_TRUNCATING_CAST_FILES: [&str; 2] =
     ["crates/gf256/src/field.rs", "crates/gf256/src/matrix.rs"];
 
 /// Crates whose entire `pub` surface must carry doc comments.
-const DOCUMENTED_CRATES: [&str; 2] = ["keytree", "rse"];
+const DOCUMENTED_CRATES: [&str; 3] = ["keytree", "rse", "netsim"];
 
 /// Integer types an `as` cast may truncate into.
 const NARROW_INT_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
@@ -55,7 +56,8 @@ impl Outcome {
 pub fn run_all(sources: &[SourceFile]) -> Outcome {
     let mut no_panic = RuleReport {
         id: "no-unwrap-in-wire-crates",
-        description: "no `.unwrap()` / `.expect()` in non-test code of wirecrypto, rekeymsg, rse",
+        description: "no `.unwrap()` / `.expect()` in non-test code of wirecrypto, rekeymsg, rse, \
+                      netsim, grouprekey",
         violations: Vec::new(),
     };
     let mut forbid_unsafe = RuleReport {
@@ -70,7 +72,7 @@ pub fn run_all(sources: &[SourceFile]) -> Outcome {
     };
     let mut pub_docs = RuleReport {
         id: "documented-pub-api",
-        description: "every `pub` item in keytree and rse carries a doc comment",
+        description: "every `pub` item in keytree, rse, and netsim carries a doc comment",
         violations: Vec::new(),
     };
     let mut no_todo = RuleReport {
@@ -279,6 +281,25 @@ mod tests {
         assert!(flagged
             .iter()
             .all(|v| v.file.contains("rse") && v.line == 2));
+    }
+
+    #[test]
+    fn simulation_crates_are_panic_free_and_netsim_is_documented() {
+        let text = "#![forbid(unsafe_code)]\n\
+                    pub fn live() { x.unwrap(); }\n";
+        let outcome = run_all(&[
+            file("netsim", "crates/netsim/src/lib.rs", true, text),
+            file("grouprekey", "crates/grouprekey/src/lib.rs", true, text),
+        ]);
+        let panics = &rule(&outcome, "no-unwrap-in-wire-crates").violations;
+        assert_eq!(panics.len(), 2, "both simulation crates are in scope");
+        let docs = &rule(&outcome, "documented-pub-api").violations;
+        assert_eq!(
+            docs.len(),
+            1,
+            "netsim pub surface needs docs, grouprekey's does not"
+        );
+        assert!(docs[0].file.contains("netsim"));
     }
 
     #[test]

@@ -25,4 +25,12 @@ if [ ! -s BENCH_rekey.json ]; then
 fi
 cargo run --release -p bench --bin bench_rekey -- --check BENCH_rekey.json
 
+echo "==> figure engine smoke run (BENCH_figures.json)"
+cargo run --release -p bench --bin bench_figures -- --smoke --out BENCH_figures.json
+if [ ! -s BENCH_figures.json ]; then
+    echo "ci.sh: BENCH_figures.json missing or empty" >&2
+    exit 1
+fi
+cargo run --release -p bench --bin bench_figures -- --check BENCH_figures.json
+
 echo "==> ci.sh: all gates passed"
