@@ -1,0 +1,408 @@
+//! Scale benchmark of the rekey pipeline: emits `BENCH_scale.json`.
+//!
+//! Sweeps the server-cost axes of the paper one decade past its largest
+//! group — N ∈ {2^14, 2^17, 2^20} × d ∈ {4, 8, 16} × (J, L) ∈
+//! {(64, 64), (512, 512)} — and records per cell:
+//!
+//! * `marking_ms` — wall time of one `process_batch_in` call (tree
+//!   update, relabelling, fresh-key minting) on a pre-built tree;
+//! * `seal_enc_per_sec` — raw sealing throughput over the batch's
+//!   encryption edges (`SealedKey::seal` under the child key with the
+//!   message-bound context), the cryptographic core of message build;
+//! * `message_build_ms` — full `UkaAssignment::build` wall time where the
+//!   16-bit wire IDs permit a real message (N = 2^14), `null` beyond;
+//! * `resident_bytes_per_node` — SoA heap bytes over storage slots, next
+//!   to the AoS-equivalent bytes the pre-rewrite `Vec<Node>` + member
+//!   `HashMap` layout would hold.
+//!
+//! The `identity` section replays the N = 2^20, d = 8, J = L = 64 cell
+//! under 1 and 4 workers and requires bit-identical marking outcomes and
+//! sealed bytes — the gate is identity, not speedup, so it holds on a
+//! single-core container.
+//!
+//! Flags: `--smoke` shrinks the grid (same JSON shape); `--check <path>`
+//! validates an existing report; `--out <path>` overrides the output path.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use keytree::{Batch, KeyTree, MarkOutcome, MarkScratch, MemberId};
+use rekeymsg::{seal_context, Layout, UkaAssignment};
+use wirecrypto::{KeyGen, SealedKey, SymKey};
+
+const SCHEMA: &str = "bench_scale/v1";
+const IDENTITY_WORKERS: [usize; 2] = [1, 4];
+
+#[derive(Clone, Copy)]
+struct Cell {
+    n: u32,
+    d: u32,
+    joins: usize,
+    leaves: usize,
+}
+
+fn grid(smoke: bool) -> Vec<Cell> {
+    let (sizes, churn): (&[u32], &[(usize, usize)]) = if smoke {
+        (&[1 << 10, 1 << 12], &[(64, 64)])
+    } else {
+        (&[1 << 14, 1 << 17, 1 << 20], &[(64, 64), (512, 512)])
+    };
+    let mut cells = Vec::new();
+    for &n in sizes {
+        for d in [4u32, 8, 16] {
+            for &(joins, leaves) in churn {
+                cells.push(Cell {
+                    n,
+                    d,
+                    joins,
+                    leaves,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The identity-gate cell: the acceptance row (N = 2^20, d = 8, 64/64) in
+/// full mode, the largest smoke cell otherwise.
+fn identity_cell(smoke: bool) -> Cell {
+    if smoke {
+        Cell {
+            n: 1 << 12,
+            d: 8,
+            joins: 64,
+            leaves: 64,
+        }
+    } else {
+        Cell {
+            n: 1 << 20,
+            d: 8,
+            joins: 64,
+            leaves: 64,
+        }
+    }
+}
+
+fn make_batch(cell: Cell, keygen: &mut KeyGen) -> Batch {
+    let n = cell.n;
+    let stride = (n / (2 * cell.leaves.max(1)) as u32).max(1);
+    let leaves: Vec<MemberId> = (0..cell.leaves as u32).map(|i| (i * stride) % n).collect();
+    let joins: Vec<(MemberId, SymKey)> = (0..cell.joins as u32)
+        .map(|i| (n + i, keygen.next_key()))
+        .collect();
+    Batch::new(joins, leaves)
+}
+
+/// Seals every encryption edge of the outcome under its child key. Raw
+/// (packet-free) sealing works at any N: `seal_context` takes the full
+/// 32-bit node ID, only the packet wire format caps IDs at 16 bits.
+fn seal_all(tree: &KeyTree, outcome: &MarkOutcome, msg_seq: u64) -> Vec<SealedKey> {
+    outcome
+        .encryptions
+        .iter()
+        .map(|edge| {
+            let (Some(kek), Some(plain)) = (tree.key_of(edge.child), tree.key_of(edge.parent))
+            else {
+                unreachable!("marking emits edges only over live keys")
+            };
+            SealedKey::seal(&kek, &plain, seal_context(msg_seq, edge.child))
+        })
+        .collect()
+}
+
+struct CellReport {
+    cell: Cell,
+    marking_ms: f64,
+    encryptions: usize,
+    seal_enc_per_sec: f64,
+    /// `None` where 16-bit wire IDs rule out a real message.
+    message_build_ms: Option<f64>,
+    resident_bytes_per_node: f64,
+    aos_bytes_per_node: f64,
+}
+
+/// Whether a full UKA message build is possible: every node ID that can
+/// appear in a packet must fit `u16`.
+fn wire_permits_full_message(tree: &KeyTree) -> bool {
+    tree.storage_len() <= u16::MAX as usize + 1
+}
+
+fn bench_cell(cell: Cell, reps: usize) -> CellReport {
+    let mut keygen = KeyGen::from_seed(0x0005_CA1E_u64 + cell.d as u64);
+    let base = KeyTree::balanced(cell.n, cell.d, &mut keygen);
+    let mut scratch = MarkScratch::new();
+
+    let mut marking_ms = f64::INFINITY;
+    let mut seal_rate = 0.0f64;
+    let mut message_build_ms: Option<f64> = None;
+    let mut encryptions = 0usize;
+    let mut tree = base.clone();
+    for _ in 0..reps {
+        tree.clone_from(&base);
+        let mut kg = keygen.clone();
+        let batch = make_batch(cell, &mut kg);
+
+        let start = Instant::now();
+        let outcome = tree.process_batch_in(batch, &mut kg, &mut scratch);
+        marking_ms = marking_ms.min(start.elapsed().as_secs_f64() * 1000.0);
+        encryptions = outcome.encryptions.len();
+
+        let start = Instant::now();
+        let sealed = seal_all(&tree, &outcome, 1);
+        let seal_secs = start.elapsed().as_secs_f64();
+        black_box(&sealed);
+        if seal_secs > 0.0 {
+            seal_rate = seal_rate.max(encryptions as f64 / seal_secs);
+        }
+
+        if wire_permits_full_message(&tree) {
+            let start = Instant::now();
+            let assignment = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT)
+                .unwrap_or_else(|e| unreachable!("wire-size precheck passed: {e}"));
+            let wall = start.elapsed().as_secs_f64() * 1000.0;
+            black_box(&assignment);
+            message_build_ms = Some(message_build_ms.map_or(wall, |b: f64| b.min(wall)));
+        }
+    }
+
+    let nodes = tree.storage_len().max(1) as f64;
+    CellReport {
+        cell,
+        marking_ms,
+        encryptions,
+        seal_enc_per_sec: seal_rate,
+        message_build_ms,
+        resident_bytes_per_node: tree.resident_bytes() as f64 / nodes,
+        aos_bytes_per_node: tree.aos_equivalent_bytes() as f64 / nodes,
+    }
+}
+
+struct IdentityReport {
+    cell: Cell,
+    matches_sequential: bool,
+}
+
+/// Replays one cell at each worker count and demands bit-identical marking
+/// outcomes (keys included, via the sealed bytes) across all of them.
+fn bench_identity(cell: Cell) -> IdentityReport {
+    let run = |workers: usize| -> (MarkOutcome, Vec<SealedKey>) {
+        taskpool::with_workers(workers, || {
+            let mut keygen = KeyGen::from_seed(0x0001_DE47_u64);
+            let mut tree = KeyTree::balanced(cell.n, cell.d, &mut keygen);
+            let batch = make_batch(cell, &mut keygen);
+            let mut scratch = MarkScratch::new();
+            let outcome = tree.process_batch_in(batch, &mut keygen, &mut scratch);
+            let sealed = seal_all(&tree, &outcome, 1);
+            (outcome, sealed)
+        })
+    };
+    let baseline = run(IDENTITY_WORKERS[0]);
+    let matches = IDENTITY_WORKERS[1..].iter().all(|&w| run(w) == baseline);
+    IdentityReport {
+        cell,
+        matches_sequential: matches,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON emit + check
+// ---------------------------------------------------------------------------
+
+fn fmt_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn render_json(mode: &str, cells: &[CellReport], identity: &IdentityReport) -> String {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|r| {
+            let msg = r.message_build_ms.map_or("null".to_string(), fmt_f);
+            let reduction = if r.aos_bytes_per_node > 0.0 {
+                100.0 * (1.0 - r.resident_bytes_per_node / r.aos_bytes_per_node)
+            } else {
+                0.0
+            };
+            format!(
+                "    {{\"n\": {}, \"d\": {}, \"joins\": {}, \"leaves\": {}, \
+                 \"marking_ms\": {}, \"encryptions\": {}, \"seal_enc_per_sec\": {}, \
+                 \"message_build_ms\": {}, \"resident_bytes_per_node\": {}, \
+                 \"aos_bytes_per_node\": {}, \"bytes_reduction_pct\": {}}}",
+                r.cell.n,
+                r.cell.d,
+                r.cell.joins,
+                r.cell.leaves,
+                fmt_f(r.marking_ms),
+                r.encryptions,
+                fmt_f(r.seal_enc_per_sec),
+                msg,
+                fmt_f(r.resident_bytes_per_node),
+                fmt_f(r.aos_bytes_per_node),
+                fmt_f(reduction),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"mode\": \"{mode}\",\n  \"identity\": {{\n    \
+         \"n\": {}, \"d\": {}, \"joins\": {}, \"leaves\": {},\n    \"workers\": [{}, {}],\n    \
+         \"matches_sequential\": {}\n  }},\n  \"scale\": [\n{}\n  ]\n}}\n",
+        identity.cell.n,
+        identity.cell.d,
+        identity.cell.joins,
+        identity.cell.leaves,
+        IDENTITY_WORKERS[0],
+        IDENTITY_WORKERS[1],
+        identity.matches_sequential,
+        rows.join(",\n")
+    )
+}
+
+/// Structural well-formedness: balanced braces/brackets outside strings,
+/// non-empty, object at the top level.
+fn json_well_formed(text: &str) -> bool {
+    let trimmed = text.trim();
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return false;
+    }
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in trimmed.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_string
+}
+
+/// Validates a previously emitted `BENCH_scale.json`. Returns a list of
+/// problems (empty = valid).
+fn check_report(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    if !json_well_formed(text) {
+        problems.push("not a well-formed JSON object".to_string());
+        return problems;
+    }
+    for key in [
+        "\"schema\"",
+        SCHEMA,
+        "\"identity\"",
+        "\"scale\"",
+        "\"marking_ms\"",
+        "\"seal_enc_per_sec\"",
+        "\"resident_bytes_per_node\"",
+    ] {
+        if !text.contains(key) {
+            problems.push(format!("missing {key}"));
+        }
+    }
+    if !text.contains("\"matches_sequential\": true") {
+        problems.push("parallel marking did not match sequential".to_string());
+    }
+    // The acceptance row must be present in a full-mode report.
+    if text.contains("\"mode\": \"full\"") {
+        let row = format!("\"n\": {}, \"d\": 8, \"joins\": 64", 1u32 << 20);
+        if !text.contains(&row) {
+            problems.push("full-mode report is missing the N=2^20, d=8, J=L=64 row".to_string());
+        }
+    }
+    problems
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = std::env::var("REKEY_QUICK").is_ok_and(|v| v != "0");
+    let mut out_path = "BENCH_scale.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = it.next().expect("--out needs a path"),
+            "--check" => check_path = Some(it.next().expect("--check needs a path")),
+            other => {
+                eprintln!("unknown flag {other}; use [--smoke] [--out PATH] [--check PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            eprintln!("BENCH check FAILED: cannot read {path}");
+            std::process::exit(1);
+        };
+        let problems = check_report(&text);
+        if problems.is_empty() {
+            println!("BENCH check ok: {path}");
+            return;
+        }
+        for p in &problems {
+            eprintln!("BENCH check FAILED: {p}");
+        }
+        std::process::exit(1);
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let reps = if smoke { 1 } else { 3 };
+
+    let cells = grid(smoke);
+    eprintln!("scale: {} cells ({mode})", cells.len());
+    let mut reports = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let r = bench_cell(cell, reps);
+        eprintln!(
+            "  N=2^{:<2} d={:<2} J={:<3} L={:<3} marking {:>8.3} ms, {:>6} enc, \
+             seal {:>9.0}/s, {:>5.1} B/node (AoS {:>5.1})",
+            cell.n.trailing_zeros(),
+            cell.d,
+            cell.joins,
+            cell.leaves,
+            r.marking_ms,
+            r.encryptions,
+            r.seal_enc_per_sec,
+            r.resident_bytes_per_node,
+            r.aos_bytes_per_node,
+        );
+        reports.push(r);
+    }
+
+    let id_cell = identity_cell(smoke);
+    eprintln!(
+        "identity: N=2^{} d={} workers {:?}",
+        id_cell.n.trailing_zeros(),
+        id_cell.d,
+        IDENTITY_WORKERS
+    );
+    let identity = bench_identity(id_cell);
+    eprintln!("  matches_sequential={}", identity.matches_sequential);
+
+    let json = render_json(mode, &reports, &identity);
+    std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
+    println!("wrote {out_path}");
+    if !identity.matches_sequential {
+        eprintln!("FAILED: parallel marking differs from sequential");
+        std::process::exit(1);
+    }
+}

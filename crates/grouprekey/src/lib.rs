@@ -55,15 +55,20 @@
 #![warn(missing_docs)]
 
 mod agent;
+/// The application data path: group-key encryption of app traffic.
 pub mod datapath;
+/// Byte-faithful end-to-end driver: server, network, and user agents.
 pub mod driver;
+/// Parameterised experiment runners that regenerate the paper's figures.
 pub mod experiment;
+/// The key-management front end: authenticated join/leave requests.
 pub mod frontend;
 mod metrics;
 /// Deep invariant pass run after every batch (`--features sanitize`).
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
 mod server;
+/// High-throughput transport simulation.
 pub mod sim;
 
 pub use agent::{ApplyError, UserAgent};

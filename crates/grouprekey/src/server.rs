@@ -1,6 +1,8 @@
 //! The key server: tree ownership, batch processing, message production.
 
-use keytree::{Batch, KeyTree, MarkOutcome, MemberId};
+use std::sync::Arc;
+
+use keytree::{Batch, KeyTree, MarkOutcome, MarkScratch, MemberId};
 use rekeymsg::{build_usr_packet, Layout, UkaAssignment, UsrPacket};
 use rekeyproto::{ServerConfig, ServerController, ServerSession};
 use wirecrypto::{KeyGen, SymKey};
@@ -31,8 +33,9 @@ impl Default for ServerOptions {
 pub struct RekeyArtifacts {
     /// Full message sequence number (wire ID is the low 6 bits).
     pub msg_seq: u64,
-    /// The marking-algorithm output.
-    pub outcome: MarkOutcome,
+    /// The marking-algorithm output, shared with the server's own record
+    /// (for USR-packet derivation) instead of cloned per message.
+    pub outcome: Arc<MarkOutcome>,
     /// The UKA assignment (sealed ENC packets + bookkeeping).
     pub assignment: UkaAssignment,
     /// The transport session, ready to [`ServerSession::start`].
@@ -48,7 +51,8 @@ pub struct KeyServer {
     controller: ServerController,
     layout: Layout,
     msg_seq: u64,
-    last_outcome: Option<MarkOutcome>,
+    last_outcome: Option<Arc<MarkOutcome>>,
+    scratch: MarkScratch,
 }
 
 impl KeyServer {
@@ -61,6 +65,7 @@ impl KeyServer {
             controller: ServerController::new(options.protocol),
             msg_seq: 0,
             last_outcome: None,
+            scratch: MarkScratch::new(),
         }
     }
 
@@ -112,7 +117,11 @@ impl KeyServer {
         let msg_seq = self.msg_seq;
         #[cfg(feature = "sanitize")]
         let tree_before = self.tree.clone();
-        let outcome = self.tree.process_batch(&batch, &mut self.keygen);
+        #[cfg(feature = "sanitize")]
+        let batch_copy = batch.clone();
+        let outcome = self
+            .tree
+            .process_batch_in(batch, &mut self.keygen, &mut self.scratch);
         let assignment = UkaAssignment::build(&self.tree, &outcome, msg_seq, &self.layout)
             .unwrap_or_else(|e| {
                 unreachable!("marking outcome always seals against its own tree: {e}")
@@ -122,7 +131,7 @@ impl KeyServer {
             .begin_message(assignment.packets.clone(), self.usr_len_hint());
         #[cfg(feature = "sanitize")]
         {
-            crate::sanitize::check_batch(&tree_before, &self.tree, &batch, &outcome);
+            crate::sanitize::check_batch(&tree_before, &self.tree, &batch_copy, &outcome);
             crate::sanitize::check_message(
                 &self.tree,
                 &outcome,
@@ -132,7 +141,8 @@ impl KeyServer {
                 &self.layout,
             );
         }
-        self.last_outcome = Some(outcome.clone());
+        let outcome = Arc::new(outcome);
+        self.last_outcome = Some(Arc::clone(&outcome));
         RekeyArtifacts {
             msg_seq,
             outcome,
@@ -197,6 +207,7 @@ impl KeyServer {
             controller: ServerController::new(options.protocol),
             msg_seq,
             last_outcome: None,
+            scratch: MarkScratch::new(),
         })
     }
 }

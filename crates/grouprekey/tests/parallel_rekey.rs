@@ -1,0 +1,59 @@
+//! The parallelized rekey pipeline must be invisible in its artifacts:
+//! fresh-key minting, ENC sealing, and USR derivation fan out across
+//! `taskpool` workers, and every byte they produce must be identical to
+//! the sequential path at any `REKEY_THREADS`.
+
+use grouprekey::{KeyServer, ServerOptions};
+use keytree::{Batch, MemberId};
+use rekeymsg::UsrPacket;
+use wirecrypto::SymKey;
+
+/// One churned message stream: bootstrap N users, run a leave-heavy batch,
+/// then a join-heavy batch (forcing splits), collecting everything
+/// observable about each rekey.
+#[allow(clippy::type_complexity)]
+fn run_stream(
+    workers: usize,
+    n: u32,
+) -> Vec<(
+    keytree::MarkOutcome,
+    Vec<rekeymsg::EncPacket>,
+    Vec<Option<UsrPacket>>,
+    Option<SymKey>,
+)> {
+    taskpool::with_workers(workers, || {
+        let mut server = KeyServer::bootstrap(n, ServerOptions::default());
+        let batches = vec![
+            Batch::new(vec![], (0..n / 4).map(|i| i * 3 % n).collect()),
+            Batch::new(
+                (0..n / 2)
+                    .map(|i| (n + i, server.mint_individual_key()))
+                    .collect(),
+                vec![1, 2],
+            ),
+        ];
+        batches
+            .into_iter()
+            .map(|batch| {
+                let artifacts = server.rekey(batch);
+                let members: Vec<MemberId> = server.tree().member_ids();
+                let usr = server.usr_packets_bulk(&members);
+                (
+                    (*artifacts.outcome).clone(),
+                    artifacts.assignment.packets.clone(),
+                    usr,
+                    server.tree().group_key(),
+                )
+            })
+            .collect()
+    })
+}
+
+#[test]
+fn rekey_artifacts_are_worker_count_invariant() {
+    let sequential = run_stream(1, 256);
+    for workers in [2, 4] {
+        let parallel = run_stream(workers, 256);
+        assert_eq!(sequential, parallel, "workers={workers}");
+    }
+}

@@ -43,13 +43,36 @@ pub fn level(m: NodeId, d: u32) -> u32 {
 
 /// The path from `m` to the root, inclusive of both ends, leaf first.
 pub fn path_to_root(m: NodeId, d: u32) -> Vec<NodeId> {
-    let mut path = vec![m];
-    let mut cur = m;
-    while let Some(p) = parent(cur, d) {
-        path.push(p);
-        cur = p;
+    path_iter(m, d).collect()
+}
+
+/// Non-allocating iterator over the path from `m` to the root, inclusive
+/// of both ends, leaf first. Prefer this over [`path_to_root`] on hot
+/// paths: walking a path is pure ID arithmetic and needs no buffer.
+#[inline]
+pub fn path_iter(m: NodeId, d: u32) -> PathToRoot {
+    PathToRoot {
+        cur: Some(m),
+        degree: d,
     }
-    path
+}
+
+/// Iterator state of [`path_iter`].
+#[derive(Debug, Clone, Copy)]
+pub struct PathToRoot {
+    cur: Option<NodeId>,
+    degree: u32,
+}
+
+impl Iterator for PathToRoot {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.cur?;
+        self.cur = parent(cur, self.degree);
+        Some(cur)
+    }
 }
 
 /// True iff `anc` is an ancestor of `m` (or equal to it).

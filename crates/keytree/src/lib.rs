@@ -55,13 +55,15 @@ pub mod analysis;
 pub mod ident;
 mod marking;
 mod node;
+#[cfg(test)]
+mod proptests;
 /// Brute-force marking cross-checks (tests / `--features sanitize`).
 #[cfg(any(test, feature = "sanitize"))]
 pub mod sanitize;
 mod snapshot;
 mod tree;
 
-pub use marking::{Batch, EncEdge, Label, MarkOutcome, UserMove};
+pub use marking::{Batch, EncEdge, Label, MarkOutcome, MarkScratch, UserMove};
 pub use node::{MemberId, Node, NodeId};
 pub use snapshot::SnapshotError;
 pub use tree::KeyTree;

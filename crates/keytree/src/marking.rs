@@ -10,10 +10,23 @@
 //! slots vacated *this* batch (departed u-nodes and the k-nodes pruned
 //! above them); other n-nodes are transparent to labelling. DESIGN.md
 //! records this substitution.
+//!
+//! # Cost model
+//!
+//! [`KeyTree::process_batch_in`] touches only the rekey subtree, never the
+//! whole tree: labelling grows bottom-up from the slots this batch placed
+//! or vacated, walking each ancestor path once with an early exit at the
+//! first already-visited node, so a (J, L) batch costs
+//! `O((J + L) · log_d N)` regardless of `N`. All per-batch working state
+//! lives in a caller-owned [`MarkScratch`] whose buffers are reused across
+//! batches (epoch-stamped node maps avoid `O(N)` clears), and fresh keys
+//! for the updated k-nodes are derived from a single per-batch seed so
+//! they can be minted in parallel with bit-identical results at any
+//! worker count.
 
 use std::collections::HashMap;
 
-use wirecrypto::KeyGen;
+use wirecrypto::{KeyGen, StreamCipher};
 
 use crate::ident;
 use crate::node::{MemberId, Node, NodeId};
@@ -65,6 +78,28 @@ pub enum Label {
     Replace,
 }
 
+/// Compact label encoding for the scratch map: 0 = unlabelled.
+const LABEL_NONE: u8 = 0;
+
+fn label_code(label: Label) -> u8 {
+    match label {
+        Label::Unchanged => 1,
+        Label::Join => 2,
+        Label::Leave => 3,
+        Label::Replace => 4,
+    }
+}
+
+fn label_decode(code: u8) -> Option<Label> {
+    match code {
+        1 => Some(Label::Unchanged),
+        2 => Some(Label::Join),
+        3 => Some(Label::Leave),
+        4 => Some(Label::Replace),
+        _ => None,
+    }
+}
+
 /// One edge of the rekey subtree: the encryption `{key(parent)}_{key(child)}`.
 ///
 /// The encryption's wire ID is `child` (each key encrypts at most one other
@@ -88,8 +123,103 @@ pub struct UserMove {
     pub new_id: NodeId,
 }
 
+/// Reusable per-batch working state of the marking algorithm.
+///
+/// All node-indexed maps are epoch-stamped: bumping the epoch in
+/// [`MarkScratch::begin`] invalidates every entry in O(1), so consecutive
+/// batches share the buffers without clearing them. A long-lived server
+/// holds one scratch next to its tree and never allocates for marking
+/// again (buffers grow to the tree's storage size and stay).
+#[derive(Debug, Default)]
+pub struct MarkScratch {
+    /// Current batch epoch; entries with a different stamp are invalid.
+    epoch: u32,
+    /// Per-node epoch stamp for `label_val`.
+    label_epoch: Vec<u32>,
+    /// Per-node label (`LABEL_NONE` = explicitly cleared this epoch).
+    label_val: Vec<u8>,
+    /// Per-node epoch stamp for the ancestor-collection visited set.
+    anc_epoch: Vec<u32>,
+    /// Sorted u-node IDs of this batch's departures.
+    departed_ids: Vec<NodeId>,
+    /// Slots vacated this batch (departed u-nodes and pruned k-nodes).
+    became_n: Vec<NodeId>,
+    /// U-node slots filled this batch (joins, replacements, moved users).
+    placed: Vec<NodeId>,
+    /// K-nodes of the rekey subtree, collected bottom-up from the seeds.
+    touched: Vec<NodeId>,
+}
+
+impl MarkScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        MarkScratch::default()
+    }
+
+    /// Starts a new batch epoch and sizes the node maps for a tree with
+    /// `storage` slots.
+    fn begin(&mut self, storage: usize) {
+        if self.epoch == u32::MAX {
+            // Epoch wrapped: every stale stamp would look current again,
+            // so do the one O(N) reset per 2^32 batches.
+            self.label_epoch.iter_mut().for_each(|e| *e = 0);
+            self.anc_epoch.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.grow(storage);
+        self.departed_ids.clear();
+        self.became_n.clear();
+        self.placed.clear();
+        self.touched.clear();
+    }
+
+    fn grow(&mut self, storage: usize) {
+        if self.label_epoch.len() < storage {
+            self.label_epoch.resize(storage, 0);
+            self.label_val.resize(storage, LABEL_NONE);
+            self.anc_epoch.resize(storage, 0);
+        }
+    }
+
+    fn stamp(&mut self, id: NodeId, label: Label) {
+        self.grow(id as usize + 1);
+        self.label_epoch[id as usize] = self.epoch;
+        self.label_val[id as usize] = label_code(label);
+    }
+
+    /// Clears a node's label for this epoch (distinct from "never
+    /// labelled": the slot will not fall back to its tag default).
+    fn unstamp(&mut self, id: NodeId) {
+        self.grow(id as usize + 1);
+        self.label_epoch[id as usize] = self.epoch;
+        self.label_val[id as usize] = LABEL_NONE;
+    }
+
+    fn label_of(&self, id: NodeId) -> Option<Label> {
+        let i = id as usize;
+        if self.label_epoch.get(i) == Some(&self.epoch) {
+            label_decode(self.label_val[i])
+        } else {
+            None
+        }
+    }
+
+    /// Marks `id` as visited by the ancestor collection; returns `false`
+    /// if it was already visited this epoch.
+    fn visit_anc(&mut self, id: NodeId) -> bool {
+        self.grow(id as usize + 1);
+        let i = id as usize;
+        if self.anc_epoch[i] == self.epoch {
+            return false;
+        }
+        self.anc_epoch[i] = self.epoch;
+        true
+    }
+}
+
 /// Everything the rekey-transport layer needs about one processed batch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MarkOutcome {
     /// k-nodes that received fresh keys, deepest (largest ID) first — the
     /// paper's bottom-up traversal order.
@@ -108,24 +238,35 @@ pub struct MarkOutcome {
     /// Labels of all nodes that participated in the rekey subtree
     /// (diagnostics and tests).
     pub labels: HashMap<NodeId, Label>,
-    index_by_child: HashMap<NodeId, usize>,
+    /// `(child, index into encryptions)`, sorted by child for binary
+    /// search.
+    index_by_child: Vec<(NodeId, usize)>,
 }
 
 impl MarkOutcome {
     /// The index (into [`Self::encryptions`]) of the encryption whose
     /// encrypting key is node `child`, if one exists.
     pub fn encryption_by_child(&self, child: NodeId) -> Option<usize> {
-        self.index_by_child.get(&child).copied()
+        self.index_by_child
+            .binary_search_by_key(&child, |&(c, _)| c)
+            .ok()
+            .map(|pos| self.index_by_child[pos].1)
     }
 
     /// Indices of the encryptions a user at u-node `user_id` needs: those
     /// whose encrypting key lies on the path from the u-node to the root.
     /// Returned leaf-side first, which is also decryption order.
     pub fn encryptions_for_user(&self, user_id: NodeId, degree: u32) -> Vec<usize> {
-        ident::path_to_root(user_id, degree)
-            .into_iter()
-            .filter_map(|n| self.encryption_by_child(n))
-            .collect()
+        let mut out = Vec::new();
+        self.encryptions_for_user_into(user_id, degree, &mut out);
+        out
+    }
+
+    /// Non-allocating variant of [`Self::encryptions_for_user`]: clears
+    /// `out` and fills it with the needed indices, leaf-side first.
+    pub fn encryptions_for_user_into(&self, user_id: NodeId, degree: u32, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(ident::path_iter(user_id, degree).filter_map(|n| self.encryption_by_child(n)));
     }
 
     /// True when the batch changed the group key.
@@ -134,10 +275,29 @@ impl MarkOutcome {
     }
 }
 
+/// Derives the fresh key of an updated k-node from the batch seed. Keyed
+/// on the node ID, so the derivation order is irrelevant — workers mint
+/// keys for disjoint ID chunks and the result is identical to a
+/// sequential pass.
+fn derive_node_key(seed: &SymKey, id: NodeId) -> SymKey {
+    let mut buf = [0u8; 16];
+    StreamCipher::new(seed, id as u64).apply(&mut buf);
+    SymKey::from_bytes(buf)
+}
+
+/// Updated k-nodes per parallel key-derivation chunk. Constant (not
+/// worker-count derived) so chunk boundaries — and thus the work units —
+/// are identical at any `REKEY_THREADS`.
+const DERIVE_CHUNK: usize = 128;
+
 impl KeyTree {
     /// Runs the marking algorithm over one batch: updates the tree
     /// (replacements, pruning, splitting), relabels, mints fresh keys for
     /// every updated k-node, and returns the rekey-subtree edges.
+    ///
+    /// Convenience wrapper over [`KeyTree::process_batch_in`] that clones
+    /// the batch and allocates a throwaway [`MarkScratch`]; long-lived
+    /// servers should hold a scratch and call `process_batch_in` directly.
     ///
     /// # Panics
     ///
@@ -146,18 +306,34 @@ impl KeyTree {
     /// front end validates requests against individual keys before they
     /// reach the tree).
     pub fn process_batch(&mut self, batch: &Batch, keygen: &mut KeyGen) -> MarkOutcome {
+        let mut scratch = MarkScratch::new();
+        self.process_batch_in(batch.clone(), keygen, &mut scratch)
+    }
+
+    /// [`KeyTree::process_batch`] without the per-call allocations: takes
+    /// the batch by value (its join/leave vectors move into the outcome)
+    /// and reuses the caller's [`MarkScratch`] across batches.
+    ///
+    /// # Panics
+    ///
+    /// As [`KeyTree::process_batch`].
+    pub fn process_batch_in(
+        &mut self,
+        batch: Batch,
+        keygen: &mut KeyGen,
+        scratch: &mut MarkScratch,
+    ) -> MarkOutcome {
         let d = self.degree();
+        scratch.begin(self.storage_len());
 
         // ---- Phase 1: update the key tree -------------------------------
-        let mut departed_ids: Vec<NodeId> = batch
-            .leaves
-            .iter()
-            .map(|m| {
-                self.node_of_member(*m)
-                    .unwrap_or_else(|| panic!("leave request for unknown member {m}"))
-            })
-            .collect();
-        departed_ids.sort_unstable();
+        for m in &batch.leaves {
+            let Some(id) = self.node_of_member(*m) else {
+                panic!("leave request for unknown member {m}");
+            };
+            scratch.departed_ids.push(id);
+        }
+        scratch.departed_ids.sort_unstable();
         for (m, _) in &batch.joins {
             assert!(
                 self.node_of_member(*m).is_none(),
@@ -165,35 +341,35 @@ impl KeyTree {
             );
         }
 
-        let mut user_labels: HashMap<NodeId, Label> = HashMap::new();
-        let mut became_n: Vec<NodeId> = Vec::new();
         let mut moves: Vec<UserMove> = Vec::new();
-        let mut joins = batch.joins.iter();
-
         let j = batch.j();
         let l = batch.l();
 
         if j <= l {
             // Replace the J smallest-ID departures with joins; the rest
             // become n-nodes and may prune upward.
-            for (i, &slot) in departed_ids.iter().enumerate() {
+            for i in 0..l {
+                let slot = scratch.departed_ids[i];
                 if i < j {
-                    let (member, key) = *joins.next().expect("i < j");
+                    let (member, key) = batch.joins[i];
                     self.set_node(slot, Node::U { member, key });
-                    user_labels.insert(slot, Label::Replace);
+                    scratch.stamp(slot, Label::Replace);
+                    scratch.placed.push(slot);
                 } else {
                     self.set_node(slot, Node::N);
-                    became_n.push(slot);
+                    scratch.became_n.push(slot);
+                    scratch.stamp(slot, Label::Leave);
                 }
             }
             // Prune: a k-node whose children are all n-nodes becomes one.
-            for &slot in &departed_ids[j.min(departed_ids.len())..] {
-                let mut cur = slot;
+            for i in j..l {
+                let mut cur = scratch.departed_ids[i];
                 while let Some(p) = ident::parent(cur, d) {
-                    let all_n = ident::children(p, d).all(|c| self.node(c).is_n());
-                    if all_n && self.node(p).is_k() {
+                    let all_n = ident::children(p, d).all(|c| self.is_n(c));
+                    if all_n && self.is_k(p) {
                         self.set_node(p, Node::N);
-                        became_n.push(p);
+                        scratch.became_n.push(p);
+                        scratch.stamp(p, Label::Leave);
                         cur = p;
                     } else {
                         break;
@@ -202,17 +378,18 @@ impl KeyTree {
             }
         } else {
             // J > L: fill departures first...
-            for &slot in &departed_ids {
-                let (member, key) = *joins.next().expect("j > l");
+            for i in 0..l {
+                let slot = scratch.departed_ids[i];
+                let (member, key) = batch.joins[i];
                 self.set_node(slot, Node::U { member, key });
-                user_labels.insert(slot, Label::Replace);
+                scratch.stamp(slot, Label::Replace);
+                scratch.placed.push(slot);
             }
             // ...then n-node slots in (nk, d*nk + d], low to high, splitting
             // node nk+1 whenever the range is exhausted.
-            let mut pending = joins.clone().count();
-            let mut joins = joins;
+            let mut next_join = l;
             // Bootstrap an empty tree: a root k-node with d empty slots.
-            if self.max_knode_id().is_none() && pending > 0 {
+            if self.max_knode_id().is_none() && next_join < j {
                 self.set_node(
                     0,
                     Node::K {
@@ -220,34 +397,39 @@ impl KeyTree {
                     },
                 );
             }
-            while pending > 0 {
-                let nk = self
-                    .max_knode_id()
-                    .expect("bootstrap guarantees a k-node exists");
-                let low = nk + 1;
+            // The fill cursor never moves backwards: within one batch this
+            // phase only fills slots, so everything below the cursor stays
+            // non-empty, and each split opens fresh slots past the old
+            // range end. One monotone scan covers every split round.
+            let mut cursor: NodeId = 0;
+            while next_join < j {
+                let Some(nk) = self.max_knode_id() else {
+                    unreachable!("bootstrap guarantees a k-node exists")
+                };
                 let high = d as u64 * nk as u64 + d as u64;
-                let high = NodeId::try_from(high).expect("tree exceeds NodeId range");
-                let mut placed = false;
-                for slot in low..=high {
-                    if pending == 0 {
-                        break;
+                let Ok(high) = NodeId::try_from(high) else {
+                    panic!("tree exceeds NodeId range")
+                };
+                cursor = cursor.max(nk + 1);
+                while cursor <= high && next_join < j {
+                    if self.is_n(cursor) {
+                        let (member, key) = batch.joins[next_join];
+                        next_join += 1;
+                        self.set_node(cursor, Node::U { member, key });
+                        scratch.stamp(cursor, Label::Join);
+                        scratch.placed.push(cursor);
                     }
-                    if self.node(slot).is_n() {
-                        let (member, key) = *joins.next().expect("pending > 0");
-                        self.set_node(slot, Node::U { member, key });
-                        user_labels.insert(slot, Label::Join);
-                        pending -= 1;
-                        placed = true;
-                    }
+                    cursor += 1;
                 }
-                if pending == 0 {
+                if next_join == j {
                     break;
                 }
                 // Split node nk+1: it becomes a k-node and its occupant
                 // moves to its leftmost child.
                 let split = nk + 1;
                 let child = ident::first_child(split, d);
-                let occupant = self.node(split).clone();
+                let occupant = self.member_at(split);
+                let occupant_key = self.key_of(split);
                 // Convert the slot to a k-node first so the member index
                 // entry for its occupant is released before re-insertion.
                 self.set_node(
@@ -256,148 +438,200 @@ impl KeyTree {
                         key: keygen.next_key(),
                     },
                 );
-                match occupant {
-                    Node::U { member, key } => {
-                        self.set_node(child, Node::U { member, key });
+                if let Some(member) = occupant {
+                    let Some(key) = occupant_key else {
+                        unreachable!("occupied slot {split} holds a key")
+                    };
+                    self.set_node(child, Node::U { member, key });
+                    // A slot can split repeatedly in one batch (its child
+                    // range fills up and splits again). Theorem 4.2
+                    // rederives pre-batch ID -> final ID, so chained hops
+                    // coalesce into one move per member.
+                    if let Some(mv) = moves.iter_mut().find(|mv| mv.member == member) {
+                        mv.new_id = child;
+                    } else {
                         moves.push(UserMove {
                             member,
                             old_id: split,
                             new_id: child,
                         });
-                        // The moved user is "new" at its slot: its parent
-                        // must deliver keys encrypted under its individual
-                        // key, exactly as for a join.
-                        user_labels.insert(child, Label::Join);
-                        user_labels.remove(&split);
                     }
-                    Node::N => {
-                        // Splitting an empty slot just deepens the tree.
-                    }
-                    Node::K { .. } => unreachable!("nk+1 cannot be a k-node"),
+                    // The moved user is "new" at its slot: its parent
+                    // must deliver keys encrypted under its individual
+                    // key, exactly as for a join.
+                    scratch.stamp(child, Label::Join);
+                    scratch.placed.push(child);
+                    scratch.unstamp(split);
                 }
-                let _ = placed;
+                // Splitting an empty slot just deepens the tree.
             }
         }
 
         // Update rule 4: any n-node with a u-node descendant becomes a
         // k-node (fresh key; it will be labelled from its children).
-        for uid in self.user_ids() {
-            let mut cur = uid;
+        // Only slots placed *this* batch can have n-node ancestors —
+        // invariant 1 guarantees every pre-existing user's ancestors are
+        // all k-nodes, and pruning never reaches above a live user — so
+        // the walk is O(placed · height), not O(N · height).
+        for i in 0..scratch.placed.len() {
+            let mut cur = scratch.placed[i];
             while let Some(p) = ident::parent(cur, d) {
-                if self.node(p).is_n() {
-                    self.set_node(
-                        p,
-                        Node::K {
-                            key: keygen.next_key(),
-                        },
-                    );
+                if self.is_k(p) {
+                    // A k-node's ancestors are already k-nodes (either
+                    // pre-existing or revived moments ago).
+                    break;
                 }
+                debug_assert!(self.is_n(p), "u-node above a placed slot");
+                self.set_node(
+                    p,
+                    Node::K {
+                        key: keygen.next_key(),
+                    },
+                );
                 cur = p;
             }
         }
 
         // ---- Phase 2: label the rekey subtree ---------------------------
-        let mut labels: HashMap<NodeId, Label> = HashMap::new();
-        let became_n_set: std::collections::HashSet<NodeId> = became_n.iter().copied().collect();
-        if self.node(0).is_k() {
-            self.label_rec(0, &user_labels, &became_n_set, &mut labels);
+        // Collect the k-nodes of the rekey subtree bottom-up: every
+        // ancestor of a slot placed or vacated this batch, deduplicated
+        // with an epoch-stamped visited set. An n-node ancestor is always
+        // a slot pruned this batch (stamped Leave above), whose own walk
+        // covers the rest of the chain.
+        for seed in 0..scratch.placed.len() + scratch.became_n.len() {
+            let slot = if seed < scratch.placed.len() {
+                scratch.placed[seed]
+            } else {
+                scratch.became_n[seed - scratch.placed.len()]
+            };
+            let mut cur = slot;
+            while let Some(p) = ident::parent(cur, d) {
+                if !self.is_k(p) || !scratch.visit_anc(p) {
+                    break;
+                }
+                scratch.touched.push(p);
+                cur = p;
+            }
+        }
+        // Descending ID order means every child's label lands before its
+        // parent combines it (parents always have smaller BFS IDs).
+        scratch.touched.sort_unstable_by(|a, b| b.cmp(a));
+        for i in 0..scratch.touched.len() {
+            let id = scratch.touched[i];
+            let mut any = false;
+            let mut all_leave = true;
+            let mut all_unchanged = true;
+            let mut join_only = true;
+            for c in ident::children(id, d) {
+                let cl = match scratch.label_of(c) {
+                    Some(cl) => cl,
+                    // Untouched children label from their tag: live nodes
+                    // are Unchanged, empty slots are transparent.
+                    None if self.is_n(c) => continue,
+                    None => Label::Unchanged,
+                };
+                any = true;
+                all_leave &= cl == Label::Leave;
+                all_unchanged &= cl == Label::Unchanged;
+                join_only &= matches!(cl, Label::Unchanged | Label::Join);
+            }
+            let label = if !any {
+                // A live k-node with no labelled children: nothing below
+                // changed and nothing vacated — unchanged.
+                Label::Unchanged
+            } else if all_leave {
+                Label::Leave
+            } else if all_unchanged {
+                Label::Unchanged
+            } else if join_only {
+                Label::Join
+            } else {
+                Label::Replace
+            };
+            scratch.stamp(id, label);
         }
 
         // ---- Phase 3: fresh keys and encryption edges --------------------
-        let mut updated: Vec<NodeId> = labels
+        // `touched` is already descending (deepest first), so the filter
+        // preserves the paper's bottom-up traversal order.
+        let updated: Vec<NodeId> = scratch
+            .touched
             .iter()
-            .filter(|(id, l)| self.node(**id).is_k() && matches!(l, Label::Join | Label::Replace))
-            .map(|(id, _)| *id)
+            .copied()
+            .filter(|&id| {
+                matches!(
+                    scratch.label_of(id),
+                    Some(Label::Join) | Some(Label::Replace)
+                )
+            })
             .collect();
-        // Bottom-up: deepest (largest BFS id) first.
-        updated.sort_unstable_by(|a, b| b.cmp(a));
 
-        for &id in &updated {
-            self.set_key(id, keygen.next_key());
+        // Mint the fresh keys in parallel from one batch seed: each key is
+        // a PRF of (seed, node id), so chunked workers produce exactly the
+        // keys a sequential pass would.
+        if !updated.is_empty() {
+            let batch_seed = keygen.next_key();
+            let chunks: Vec<&[NodeId]> = updated.chunks(DERIVE_CHUNK).collect();
+            let derived: Vec<Vec<SymKey>> = taskpool::map(&chunks, |_, ids| {
+                ids.iter()
+                    .map(|&id| derive_node_key(&batch_seed, id))
+                    .collect()
+            });
+            for (ids, keys) in chunks.iter().zip(&derived) {
+                for (&id, &key) in ids.iter().zip(keys) {
+                    self.set_key(id, key);
+                }
+            }
         }
 
         let mut encryptions = Vec::new();
-        let mut index_by_child = HashMap::new();
         for &p in &updated {
             for c in ident::children(p, d) {
-                if self.node(c).is_n() {
+                if self.is_n(c) {
                     continue;
                 }
-                if labels.get(&c) == Some(&Label::Leave) {
+                if scratch.label_of(c) == Some(Label::Leave) {
                     continue;
                 }
-                index_by_child.insert(c, encryptions.len());
                 encryptions.push(EncEdge {
                     child: c,
                     parent: p,
                 });
             }
         }
+        let mut index_by_child: Vec<(NodeId, usize)> = encryptions
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.child, i))
+            .collect();
+        index_by_child.sort_unstable_by_key(|&(c, _)| c);
+
+        // The outward labels map holds the rekey subtree only: the nodes
+        // this batch placed, vacated, or relabelled.
+        let mut labels: HashMap<NodeId, Label> = HashMap::with_capacity(
+            scratch.touched.len() + scratch.placed.len() + scratch.became_n.len(),
+        );
+        for list in [&scratch.touched, &scratch.placed, &scratch.became_n] {
+            for &id in list {
+                if let Some(label) = scratch.label_of(id) {
+                    labels.insert(id, label);
+                }
+            }
+        }
 
         debug_assert_eq!(self.check_invariants(), Ok(()));
 
+        let Batch { joins, leaves } = batch;
         MarkOutcome {
             updated_knodes: updated,
             encryptions,
             moves,
-            departed: batch.leaves.clone(),
-            joined: batch.joins.iter().map(|(m, _)| *m).collect(),
+            departed: leaves,
+            joined: joins.into_iter().map(|(m, _)| m).collect(),
             nk: self.max_knode_id(),
             labels,
             index_by_child,
         }
-    }
-
-    /// Recursive labelling; returns `None` for nodes transparent to the
-    /// rekey subtree (empty slots that did not change this interval).
-    fn label_rec(
-        &self,
-        id: NodeId,
-        user_labels: &HashMap<NodeId, Label>,
-        became_n: &std::collections::HashSet<NodeId>,
-        labels: &mut HashMap<NodeId, Label>,
-    ) -> Option<Label> {
-        let d = self.degree();
-        let label = match self.node(id) {
-            Node::U { .. } => *user_labels.get(&id).unwrap_or(&Label::Unchanged),
-            Node::N => {
-                if became_n.contains(&id) {
-                    Label::Leave
-                } else {
-                    return None;
-                }
-            }
-            Node::K { .. } => {
-                let mut any = false;
-                let mut all_leave = true;
-                let mut all_unchanged = true;
-                let mut join_only = true;
-                for c in ident::children(id, d) {
-                    let Some(cl) = self.label_rec(c, user_labels, became_n, labels) else {
-                        continue;
-                    };
-                    any = true;
-                    all_leave &= cl == Label::Leave;
-                    all_unchanged &= cl == Label::Unchanged;
-                    join_only &= matches!(cl, Label::Unchanged | Label::Join);
-                }
-                if !any {
-                    // A live k-node with no labelled children: nothing
-                    // below changed and nothing vacated — unchanged.
-                    Label::Unchanged
-                } else if all_leave {
-                    Label::Leave
-                } else if all_unchanged {
-                    Label::Unchanged
-                } else if join_only {
-                    Label::Join
-                } else {
-                    Label::Replace
-                }
-            }
-        };
-        labels.insert(id, label);
-        Some(label)
     }
 }
 
@@ -715,7 +949,8 @@ mod tests {
         let mut kg = keygen();
         let mut tree = KeyTree::balanced(32, 4, &mut kg);
         let mut next_member = 32u32;
-        // Drifting churn across 20 intervals.
+        let mut scratch = MarkScratch::new();
+        // Drifting churn across 20 intervals, one shared scratch.
         for round in 0..20 {
             let members = tree.member_ids();
             let leaves: Vec<MemberId> = members
@@ -732,11 +967,62 @@ mod tests {
                 })
                 .collect();
             let before = tree.clone();
-            let outcome = tree.process_batch(&Batch::new(joins, leaves), &mut kg);
+            let outcome = tree.process_batch_in(Batch::new(joins, leaves), &mut kg, &mut scratch);
             assert_delivery(&before, &tree, &outcome);
             tree.check_invariants()
                 .unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // The same batch sequence through one long-lived scratch and
+        // through per-batch fresh scratches must be indistinguishable.
+        let run = |reuse: bool| -> Vec<MarkOutcome> {
+            let mut kg = keygen();
+            let mut tree = KeyTree::balanced(27, 3, &mut kg);
+            let mut shared = MarkScratch::new();
+            let mut outcomes = Vec::new();
+            let mut next = 27u32;
+            for round in 0u32..10 {
+                let leaves: Vec<MemberId> = tree
+                    .member_ids()
+                    .into_iter()
+                    .filter(|m| (m + round) % 4 == 0)
+                    .take(4)
+                    .collect();
+                let joins: Vec<_> = (0..(round % 5))
+                    .map(|_| {
+                        next += 1;
+                        join(&mut kg, next)
+                    })
+                    .collect();
+                let batch = Batch::new(joins, leaves);
+                let outcome = if reuse {
+                    tree.process_batch_in(batch, &mut kg, &mut shared)
+                } else {
+                    tree.process_batch_in(batch, &mut kg, &mut MarkScratch::new())
+                };
+                outcomes.push(outcome);
+            }
+            outcomes
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_outcome() {
+        let run = |workers: usize| -> (MarkOutcome, Option<SymKey>) {
+            taskpool::with_workers(workers, || {
+                let mut kg = keygen();
+                let mut tree = KeyTree::balanced(1024, 4, &mut kg);
+                let leaves: Vec<MemberId> = (0..96).map(|i| i * 8).collect();
+                let joins: Vec<_> = (0..32).map(|i| join(&mut kg, 2000 + i)).collect();
+                let outcome = tree.process_batch(&Batch::new(joins, leaves), &mut kg);
+                (outcome, tree.group_key())
+            })
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

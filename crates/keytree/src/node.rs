@@ -16,7 +16,7 @@ pub type NodeId = u32;
 pub type MemberId = u32;
 
 /// One slot in the key tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Node {
     /// A key node: the group key (at the root) or an auxiliary key.
     K {

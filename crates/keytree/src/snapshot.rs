@@ -76,22 +76,39 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let Some(bytes) = self.take(4)?.first_chunk::<4>() else {
+            unreachable!("take(4) returns 4 bytes")
+        };
+        Ok(u32::from_le_bytes(*bytes))
     }
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let Some(bytes) = self.take(8)?.first_chunk::<8>() else {
+            unreachable!("take(8) returns 8 bytes")
+        };
+        Ok(u64::from_le_bytes(*bytes))
     }
 
     fn key(&mut self) -> Result<SymKey, SnapshotError> {
-        Ok(SymKey::from_bytes(self.take(16)?.try_into().unwrap()))
+        let Some(bytes) = self.take(16)?.first_chunk::<16>() else {
+            unreachable!("take(16) returns 16 bytes")
+        };
+        Ok(SymKey::from_bytes(*bytes))
     }
 }
 
 impl KeyTree {
     /// Serialises the whole tree (structure and key material).
+    ///
+    /// The encoding is canonical: trailing n-node slots are trimmed, so
+    /// two trees with the same live nodes — regardless of how much slack
+    /// their storage accumulated — serialise to identical bytes, and
+    /// `restore(snapshot(t)).snapshot() == snapshot(t)`.
     pub fn snapshot(&self) -> Vec<u8> {
-        let node_count = self.storage_len();
+        let node_count = (0..self.storage_len() as NodeId)
+            .rev()
+            .find(|&id| !self.is_n(id))
+            .map_or(0, |id| id as usize + 1);
         let mut out = Vec::with_capacity(12 + node_count * 21);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&self.degree().to_le_bytes());

@@ -1,17 +1,33 @@
 //! The [`KeyTree`] container: storage, construction, lookup, invariants.
 
-use std::collections::HashMap;
-
 use wirecrypto::{KeyGen, SymKey};
 
 use crate::ident;
 use crate::node::{MemberId, Node, NodeId};
 
+/// Node tag: empty slot.
+const TAG_N: u8 = 0;
+/// Node tag: key node.
+const TAG_K: u8 = 1;
+/// Node tag: user node.
+const TAG_U: u8 = 2;
+
+/// Sentinel in the member index for "member not in the group".
+const NO_NODE: NodeId = NodeId::MAX;
+/// Sentinel in the occupant array for "slot holds no member".
+const NO_MEMBER: MemberId = MemberId::MAX;
+
 /// A logical key hierarchy for one secure group.
 ///
-/// Storage is a dense array indexed by node ID; slots that fall outside the
-/// live tree are [`Node::N`]. The tree maintains the index `member -> u-node
-/// id` and the paper's structural invariants (checked by
+/// Storage is structure-of-arrays indexed by node ID: a packed `u8` tag
+/// array (`N`/`K`/`U`), a parallel key array, and a parallel occupant
+/// array (the member at a u-node). Slots that fall outside the live tree
+/// read as [`Node::N`]. The member index `member -> u-node id` is a
+/// direct-indexed vector (member IDs are assigned densely by
+/// registration), so both directions of the user/slot mapping are O(1)
+/// array reads with no hashing.
+///
+/// The tree maintains the paper's structural invariants (checked by
 /// [`KeyTree::check_invariants`] in tests):
 ///
 /// 1. every u-node's ancestors are all k-nodes;
@@ -21,8 +37,18 @@ use crate::node::{MemberId, Node, NodeId};
 #[derive(Debug, Clone)]
 pub struct KeyTree {
     degree: u32,
-    nodes: Vec<Node>,
-    members: HashMap<MemberId, NodeId>,
+    /// Per-slot tag (`TAG_N`/`TAG_K`/`TAG_U`).
+    tags: Vec<u8>,
+    /// Per-slot key material; meaningless where the tag is `TAG_N`.
+    keys: Vec<SymKey>,
+    /// Per-slot occupant; `NO_MEMBER` where the tag is not `TAG_U`.
+    occupants: Vec<MemberId>,
+    /// Member ID -> u-node ID; `NO_NODE` for members not in the group.
+    member_slot: Vec<NodeId>,
+    /// Number of u-nodes (cached count of the member index).
+    user_count: usize,
+    /// Cached maximum k-node ID (`nk`); kept current by `set_node`.
+    max_k: Option<NodeId>,
 }
 
 impl KeyTree {
@@ -31,8 +57,12 @@ impl KeyTree {
         assert!(degree >= 2, "key tree degree must be at least 2");
         KeyTree {
             degree,
-            nodes: vec![Node::N],
-            members: HashMap::new(),
+            tags: vec![TAG_N],
+            keys: vec![SymKey::from_bytes([0; 16])],
+            occupants: vec![NO_MEMBER],
+            member_slot: Vec::new(),
+            user_count: 0,
+            max_k: None,
         }
     }
 
@@ -64,19 +94,23 @@ impl KeyTree {
         for i in 0..n_users {
             let id = (first_leaf + i as u64) as NodeId;
             let key = keygen.next_key();
-            tree.nodes[id as usize] = Node::U { member: i, key };
-            tree.members.insert(i, id);
+            tree.set_node(id, Node::U { member: i, key });
         }
-        // Make every ancestor of a u-node a k-node.
+        // Make every ancestor of a u-node a k-node, walking up until an
+        // already-created k-node is met (ancestors of a k-node are done).
         for i in 0..n_users {
             let id = (first_leaf + i as u64) as NodeId;
             let mut cur = id;
             while let Some(p) = ident::parent(cur, degree) {
-                if !tree.nodes[p as usize].is_k() {
-                    tree.nodes[p as usize] = Node::K {
-                        key: keygen.next_key(),
-                    };
+                if tree.tags[p as usize] == TAG_K {
+                    break;
                 }
+                tree.set_node(
+                    p,
+                    Node::K {
+                        key: keygen.next_key(),
+                    },
+                );
                 cur = p;
             }
         }
@@ -90,61 +124,128 @@ impl KeyTree {
 
     /// Number of users currently in the group.
     pub fn user_count(&self) -> usize {
-        self.members.len()
+        self.user_count
     }
 
     /// The group key (the key at the root), if the group is non-empty.
     pub fn group_key(&self) -> Option<SymKey> {
-        match self.nodes.first() {
-            Some(Node::K { key }) => Some(*key),
-            _ => None,
+        if self.tags.first() == Some(&TAG_K) {
+            Some(self.keys[0])
+        } else {
+            None
         }
     }
 
-    /// The node at `id` ([`Node::N`] for IDs beyond storage).
-    pub fn node(&self, id: NodeId) -> &Node {
-        self.nodes.get(id as usize).unwrap_or(&Node::N)
+    /// The node at `id` ([`Node::N`] for IDs beyond storage), materialised
+    /// by value from the column arrays.
+    pub fn node(&self, id: NodeId) -> Node {
+        let i = id as usize;
+        match self.tags.get(i) {
+            Some(&TAG_K) => Node::K { key: self.keys[i] },
+            Some(&TAG_U) => Node::U {
+                member: self.occupants[i],
+                key: self.keys[i],
+            },
+            _ => Node::N,
+        }
+    }
+
+    /// True when slot `id` is an empty (or out-of-storage) slot.
+    #[inline]
+    pub fn is_n(&self, id: NodeId) -> bool {
+        self.tags.get(id as usize).is_none_or(|&t| t == TAG_N)
+    }
+
+    /// True when slot `id` holds a k-node.
+    #[inline]
+    pub fn is_k(&self, id: NodeId) -> bool {
+        self.tags.get(id as usize) == Some(&TAG_K)
+    }
+
+    /// True when slot `id` holds a u-node.
+    #[inline]
+    pub fn is_u(&self, id: NodeId) -> bool {
+        self.tags.get(id as usize) == Some(&TAG_U)
     }
 
     /// The key held at `id`, if the node has one.
     pub fn key_of(&self, id: NodeId) -> Option<SymKey> {
-        self.node(id).key()
-    }
-
-    /// The u-node ID of a member, if present.
-    pub fn node_of_member(&self, member: MemberId) -> Option<NodeId> {
-        self.members.get(&member).copied()
-    }
-
-    /// The member occupying u-node `id`, if any.
-    pub fn member_at(&self, id: NodeId) -> Option<MemberId> {
-        match self.node(id) {
-            Node::U { member, .. } => Some(*member),
+        match self.tags.get(id as usize) {
+            Some(&TAG_K) | Some(&TAG_U) => Some(self.keys[id as usize]),
             _ => None,
         }
     }
 
+    /// The u-node ID of a member, if present.
+    pub fn node_of_member(&self, member: MemberId) -> Option<NodeId> {
+        match self.member_slot.get(member as usize) {
+            Some(&id) if id != NO_NODE => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The member occupying u-node `id`, if any.
+    pub fn member_at(&self, id: NodeId) -> Option<MemberId> {
+        if self.is_u(id) {
+            Some(self.occupants[id as usize])
+        } else {
+            None
+        }
+    }
+
     /// Maximum current k-node ID (`nk`, the wire field `maxKID`).
-    /// `None` when the tree has no k-node.
+    /// `None` when the tree has no k-node. O(1): maintained incrementally
+    /// by the mutation API.
     pub fn max_knode_id(&self) -> Option<NodeId> {
-        self.nodes
+        self.max_k
+    }
+
+    /// Iterator over the IDs of all current u-nodes, ascending. A tag-array
+    /// scan: no allocation, no sort (BFS numbering is already the order).
+    pub fn user_ids_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.tags
             .iter()
             .enumerate()
-            .rev()
-            .find(|(_, n)| n.is_k())
+            .filter(|(_, &t)| t == TAG_U)
             .map(|(i, _)| i as NodeId)
     }
 
-    /// Sorted IDs of all current u-nodes.
+    /// Sorted IDs of all current u-nodes (allocating convenience wrapper
+    /// around [`KeyTree::user_ids_iter`]).
     pub fn user_ids(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = self.members.values().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.user_ids_iter().collect()
     }
 
-    /// All members currently in the group (unsorted).
+    /// Iterator over all members currently in the group, ascending by
+    /// member ID. No allocation.
+    pub fn member_ids_iter(&self) -> impl Iterator<Item = MemberId> + '_ {
+        self.member_slot
+            .iter()
+            .enumerate()
+            .filter(|(_, &id)| id != NO_NODE)
+            .map(|(m, _)| m as MemberId)
+    }
+
+    /// All members currently in the group, ascending by member ID
+    /// (allocating convenience wrapper around
+    /// [`KeyTree::member_ids_iter`]).
     pub fn member_ids(&self) -> Vec<MemberId> {
-        self.members.keys().copied().collect()
+        self.member_ids_iter().collect()
+    }
+
+    /// Non-allocating iterator over the keys a given member must hold: its
+    /// individual key plus every k-node key on the path from its u-node to
+    /// the root, as `(node id, key)` pairs leaf-first.
+    ///
+    /// Yields `(id, None)` if a path node unexpectedly has no key (an
+    /// invariant violation); [`KeyTree::keys_for_member`] turns that into
+    /// an overall `None`.
+    pub fn keys_for_member_iter(
+        &self,
+        member: MemberId,
+    ) -> Option<impl Iterator<Item = (NodeId, Option<SymKey>)> + '_> {
+        let id = self.node_of_member(member)?;
+        Some(ident::path_iter(id, self.degree).map(|node_id| (node_id, self.key_of(node_id))))
     }
 
     /// The keys a given member must hold: its individual key plus every
@@ -152,55 +253,115 @@ impl KeyTree {
     /// `(node id, key)` pairs leaf-first. This is what the user-side agent
     /// keeps in its key store.
     pub fn keys_for_member(&self, member: MemberId) -> Option<Vec<(NodeId, SymKey)>> {
-        let id = self.node_of_member(member)?;
+        let iter = self.keys_for_member_iter(member)?;
         let mut out = Vec::new();
-        for node_id in ident::path_to_root(id, self.degree) {
-            let key = self.key_of(node_id)?;
-            out.push((node_id, key));
+        for (node_id, key) in iter {
+            out.push((node_id, key?));
         }
         Some(out)
     }
 
     /// Height of the tree: the level of the deepest u-node (0 for a group
-    /// whose only node is the root).
+    /// whose only node is the root). BFS numbering makes level monotone in
+    /// ID, so the deepest u-node is the last `U` tag in storage.
     pub fn height(&self) -> u32 {
-        self.members
-            .values()
-            .map(|&id| ident::level(id, self.degree))
-            .max()
+        self.tags
+            .iter()
+            .rposition(|&t| t == TAG_U)
+            .map(|i| ident::level(i as NodeId, self.degree))
             .unwrap_or(0)
     }
 
     /// Length of the underlying node storage (the last allocated ID + 1).
-    pub(crate) fn storage_len(&self) -> usize {
-        self.nodes.len()
+    /// The denominator for the bench's bytes-per-node metric.
+    pub fn storage_len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Bytes of heap resident in the tree's column arrays and member
+    /// index. The denominator for the bytes-per-node bench metric.
+    pub fn resident_bytes(&self) -> usize {
+        self.tags.capacity() * std::mem::size_of::<u8>()
+            + self.keys.capacity() * std::mem::size_of::<SymKey>()
+            + self.occupants.capacity() * std::mem::size_of::<MemberId>()
+            + self.member_slot.capacity() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Bytes the pre-SoA layout (`Vec<Node>` + `HashMap<MemberId,
+    /// NodeId>`) would hold resident for this tree: one tagged-enum slot
+    /// per storage entry plus the hash-map member index, whose table
+    /// (std's hashbrown) allocates `(key, value)` plus one control byte
+    /// per bucket, with buckets the next power of two holding
+    /// `len / 0.875`.
+    pub fn aos_equivalent_bytes(&self) -> usize {
+        let node_bytes = self.storage_len() * std::mem::size_of::<Node>();
+        let map_entry = std::mem::size_of::<(MemberId, NodeId)>() + 1;
+        let buckets = if self.user_count == 0 {
+            0
+        } else {
+            (self.user_count * 8 / 7 + 1).next_power_of_two()
+        };
+        node_bytes + buckets * map_entry
     }
 
     // ----- crate-internal mutation API used by the marking algorithm -----
 
     pub(crate) fn ensure_capacity(&mut self, id: NodeId) {
-        if self.nodes.len() <= id as usize {
-            self.nodes.resize(id as usize + 1, Node::N);
+        if self.tags.len() <= id as usize {
+            let len = id as usize + 1;
+            self.tags.resize(len, TAG_N);
+            self.keys.resize(len, SymKey::from_bytes([0; 16]));
+            self.occupants.resize(len, NO_MEMBER);
         }
     }
 
     pub(crate) fn set_node(&mut self, id: NodeId, node: Node) {
         self.ensure_capacity(id);
+        let i = id as usize;
         // Keep the member index coherent on every write.
-        if let Node::U { member, .. } = &self.nodes[id as usize] {
-            self.members.remove(member);
+        if self.tags[i] == TAG_U {
+            self.member_slot[self.occupants[i] as usize] = NO_NODE;
+            self.occupants[i] = NO_MEMBER;
+            self.user_count -= 1;
         }
-        if let Node::U { member, .. } = &node {
-            self.members.insert(*member, id);
+        let was_k = self.tags[i] == TAG_K;
+        match node {
+            Node::N => {
+                self.tags[i] = TAG_N;
+            }
+            Node::K { key } => {
+                self.tags[i] = TAG_K;
+                self.keys[i] = key;
+                if self.max_k.is_none_or(|mk| mk < id) {
+                    self.max_k = Some(id);
+                }
+            }
+            Node::U { member, key } => {
+                let m = member as usize;
+                if self.member_slot.len() <= m {
+                    self.member_slot.resize(m + 1, NO_NODE);
+                }
+                self.member_slot[m] = id;
+                self.occupants[i] = member;
+                self.tags[i] = TAG_U;
+                self.keys[i] = key;
+                self.user_count += 1;
+            }
         }
-        self.nodes[id as usize] = node;
+        // If the maximum k-node was overwritten, rescan downward for the
+        // new maximum (amortised cheap: ids only shrink past pruned tails).
+        if was_k && self.tags[i] != TAG_K && self.max_k == Some(id) {
+            self.max_k = self.tags[..i]
+                .iter()
+                .rposition(|&t| t == TAG_K)
+                .map(|p| p as NodeId);
+        }
     }
 
     pub(crate) fn set_key(&mut self, id: NodeId, key: SymKey) {
-        match &mut self.nodes[id as usize] {
-            Node::K { key: k } => *k = key,
-            Node::U { key: k, .. } => *k = key,
-            Node::N => panic!("cannot set key on an n-node (id {id})"),
+        match self.tags.get(id as usize) {
+            Some(&TAG_K) | Some(&TAG_U) => self.keys[id as usize] = key,
+            _ => panic!("cannot set key on an n-node (id {id})"),
         }
     }
 
@@ -228,7 +389,7 @@ impl KeyTree {
             let mut cells: Vec<String> = Vec::new();
             let mut any_live = false;
             for id in first..first + width {
-                if id >= self.nodes.len() as u64 {
+                if id >= self.tags.len() as u64 {
                     break;
                 }
                 let cell = match self.node(id as NodeId) {
@@ -254,7 +415,7 @@ impl KeyTree {
             first = first * d + 1;
             width *= d;
             level += 1;
-            if first >= self.nodes.len() as u64 {
+            if first >= self.tags.len() as u64 {
                 break;
             }
         }
@@ -266,21 +427,26 @@ impl KeyTree {
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut max_k: Option<NodeId> = None;
         let mut min_u: Option<NodeId> = None;
-        for (i, n) in self.nodes.iter().enumerate() {
+        let mut max_u: Option<NodeId> = None;
+        let mut u_count = 0usize;
+        for (i, &tag) in self.tags.iter().enumerate() {
             let id = i as NodeId;
-            match n {
-                Node::K { .. } => max_k = Some(id),
-                Node::U { member, .. } => {
+            match tag {
+                TAG_K => max_k = Some(id),
+                TAG_U => {
                     if min_u.is_none() {
                         min_u = Some(id);
                     }
-                    if self.members.get(member) != Some(&id) {
+                    max_u = Some(id);
+                    u_count += 1;
+                    let member = self.occupants[i];
+                    if self.node_of_member(member) != Some(id) {
                         return Err(format!("member index out of sync at u-node {id}"));
                     }
                     // Ancestors must all be k-nodes.
                     let mut cur = id;
                     while let Some(p) = ident::parent(cur, self.degree) {
-                        if !self.node(p).is_k() {
+                        if !self.is_k(p) {
                             return Err(format!(
                                 "u-node {id} has non-k ancestor {p} ({:?})",
                                 self.node(p)
@@ -289,11 +455,17 @@ impl KeyTree {
                         cur = p;
                     }
                 }
-                Node::N => {}
+                _ => {}
             }
         }
-        if self.members.len() != self.nodes.iter().filter(|n| n.is_u()).count() {
+        if self.user_count != u_count {
             return Err("member index size mismatch".into());
+        }
+        if self.max_k != max_k {
+            return Err(format!(
+                "cached max k-node id {:?} but storage says {:?}",
+                self.max_k, max_k
+            ));
         }
         if let (Some(k), Some(u)) = (max_k, min_u) {
             if k >= u {
@@ -301,7 +473,7 @@ impl KeyTree {
             }
             let d = self.degree as u64;
             let bound = d * k as u64 + d;
-            if let Some(&max_u) = self.user_ids().last() {
+            if let Some(max_u) = max_u {
                 if max_u as u64 > bound {
                     return Err(format!("u-node {max_u} beyond d*nk+d = {bound}"));
                 }
@@ -310,14 +482,17 @@ impl KeyTree {
         // No orphan keys: every k-node must lie on some member's path to
         // the root (marking prunes emptied subtrees, so a k-node with no
         // u-node descendant is dead weight and a leak of key material).
-        let mut on_path = vec![false; self.nodes.len()];
-        for &uid in self.members.values() {
-            for id in ident::path_to_root(uid, self.degree) {
+        let mut on_path = vec![false; self.tags.len()];
+        for uid in self.user_ids_iter() {
+            for id in ident::path_iter(uid, self.degree) {
+                if on_path[id as usize] {
+                    break;
+                }
                 on_path[id as usize] = true;
             }
         }
-        for (i, n) in self.nodes.iter().enumerate() {
-            if n.is_k() && !on_path[i] {
+        for (i, &tag) in self.tags.iter().enumerate() {
+            if tag == TAG_K && !on_path[i] {
                 return Err(format!("k-node {i} has no u-node descendant"));
             }
         }
@@ -407,6 +582,22 @@ mod tests {
     }
 
     #[test]
+    fn keys_for_member_iter_agrees_with_vec() {
+        let mut kg = keygen();
+        let t = KeyTree::balanced(40, 4, &mut kg);
+        for m in 0..40u32 {
+            let vec = t.keys_for_member(m).unwrap();
+            let via_iter: Vec<(NodeId, SymKey)> = t
+                .keys_for_member_iter(m)
+                .unwrap()
+                .map(|(id, k)| (id, k.unwrap()))
+                .collect();
+            assert_eq!(vec, via_iter, "member {m}");
+        }
+        assert!(t.keys_for_member_iter(40).is_none());
+    }
+
+    #[test]
     fn member_lookup_round_trip() {
         let mut kg = keygen();
         let t = KeyTree::balanced(64, 4, &mut kg);
@@ -426,6 +617,18 @@ mod tests {
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(*ids.first().unwrap(), 5);
         assert_eq!(*ids.last().unwrap(), 20);
+    }
+
+    #[test]
+    fn member_ids_sorted_ascending() {
+        let mut kg = keygen();
+        let t = KeyTree::balanced(16, 4, &mut kg);
+        let members = t.member_ids();
+        assert_eq!(members, (0..16).collect::<Vec<_>>());
+        assert_eq!(
+            t.member_ids_iter().collect::<Vec<_>>(),
+            (0..16).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -454,5 +657,30 @@ mod tests {
         assert_eq!(t3.height(), 2);
         assert_eq!(t3.max_knode_id(), Some(3));
         t3.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn soa_layout_is_leaner_than_aos_equivalent() {
+        let mut kg = keygen();
+        let t = KeyTree::balanced(4096, 4, &mut kg);
+        let soa = t.resident_bytes();
+        let aos = t.aos_equivalent_bytes();
+        assert!(
+            (soa as f64) < 0.75 * aos as f64,
+            "SoA {soa} bytes vs AoS-equivalent {aos} bytes"
+        );
+    }
+
+    #[test]
+    fn max_knode_cache_tracks_mutations() {
+        let mut kg = keygen();
+        let mut t = KeyTree::balanced(16, 4, &mut kg);
+        assert_eq!(t.max_knode_id(), Some(4));
+        // Promote a leaf slot to a k-node: cache must rise.
+        t.set_node(5, Node::K { key: kg.next_key() });
+        assert_eq!(t.max_knode_id(), Some(5));
+        // Clear it again: cache must fall back to the previous maximum.
+        t.set_node(5, Node::N);
+        assert_eq!(t.max_knode_id(), Some(4));
     }
 }

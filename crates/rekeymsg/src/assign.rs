@@ -16,7 +16,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use keytree::{KeyTree, MarkOutcome, NodeId};
+use keytree::{EncEdge, KeyTree, MarkOutcome, NodeId};
 use wirecrypto::SealedKey;
 
 use crate::layout::Layout;
@@ -75,9 +75,10 @@ pub fn plan(tree: &KeyTree, outcome: &MarkOutcome, layout: &Layout) -> Vec<Packe
     let mut current_users: Vec<NodeId> = Vec::new();
     let mut current_set: HashSet<usize> = HashSet::new();
     let mut current_list: Vec<usize> = Vec::new();
+    let mut needs: Vec<usize> = Vec::new();
 
-    for uid in tree.user_ids() {
-        let needs = outcome.encryptions_for_user(uid, degree);
+    for uid in tree.user_ids_iter() {
+        outcome.encryptions_for_user_into(uid, degree, &mut needs);
         if needs.is_empty() {
             continue;
         }
@@ -204,13 +205,16 @@ pub fn naive_plan_stats(
     let mut max = 0usize;
     let mut single = 0usize;
     let mut users = 0usize;
-    for uid in tree.user_ids() {
-        let needs = outcome.encryptions_for_user(uid, degree);
+    let mut needs: Vec<usize> = Vec::new();
+    let mut pkts: Vec<usize> = Vec::new();
+    for uid in tree.user_ids_iter() {
+        outcome.encryptions_for_user_into(uid, degree, &mut needs);
         if needs.is_empty() {
             continue;
         }
         users += 1;
-        let mut pkts: Vec<usize> = needs.iter().map(|&i| packet_of_enc(i)).collect();
+        pkts.clear();
+        pkts.extend(needs.iter().map(|&i| packet_of_enc(i)));
         pkts.sort_unstable();
         pkts.dedup();
         sum += pkts.len();
@@ -271,41 +275,47 @@ impl UkaAssignment {
             return Err(AssignError::IdOutOfRange(max_kid));
         }
 
-        // Seal each distinct encryption once. `MarkOutcome::encryptions`
-        // groups edges contiguously by parent k-node, and the keys were
-        // all minted before this point, so the seal operations are
-        // mutually independent — fan them out across workers. Results
-        // come back in input order, so the first failing edge (in plan
-        // order) wins deterministically, exactly as a sequential loop.
-        let mut distinct: Vec<usize> = Vec::new();
-        let mut distinct_seen: HashSet<usize> = HashSet::new();
-        for plan in &plans {
-            for &i in &plan.enc_indices {
-                if distinct_seen.insert(i) {
-                    distinct.push(i);
-                }
-            }
+        // Seal every encryption of the rekey subtree once, index-aligned
+        // with `MarkOutcome::encryptions`. Every edge is on some live
+        // user's path (the orphan-key invariant: each live k-node has a
+        // u-descendant), so sealing the whole edge list does exactly the
+        // work the plans require — without the distinct-index set and
+        // keyed cache a plan-driven walk would need. The seals are
+        // mutually independent (all keys were minted before this point),
+        // so fan contiguous chunks out across workers; chunk boundaries
+        // are worker-count independent and results return in input order,
+        // so the sealed vector — and the first failing edge — are
+        // identical at any worker count.
+        const SEAL_CHUNK: usize = 64;
+        let chunks: Vec<&[EncEdge]> = outcome.encryptions.chunks(SEAL_CHUNK).collect();
+        let sealed_chunks: Vec<Result<Vec<SealedKey>, AssignError>> =
+            taskpool::map(&chunks, |_, edges| {
+                edges
+                    .iter()
+                    .map(|edge| {
+                        if edge.child > u16::MAX as NodeId {
+                            return Err(AssignError::IdOutOfRange(edge.child));
+                        }
+                        let (Some(kek), Some(plain)) =
+                            (tree.key_of(edge.child), tree.key_of(edge.parent))
+                        else {
+                            return Err(AssignError::MissingKey {
+                                child: edge.child,
+                                parent: edge.parent,
+                            });
+                        };
+                        Ok(SealedKey::seal(
+                            &kek,
+                            &plain,
+                            seal_context(msg_seq, edge.child),
+                        ))
+                    })
+                    .collect()
+            });
+        let mut sealed: Vec<SealedKey> = Vec::with_capacity(outcome.encryptions.len());
+        for chunk in sealed_chunks {
+            sealed.extend(chunk?);
         }
-        let sealed: Vec<(usize, SealedKey)> = taskpool::map(&distinct, |_, &i| {
-            let edge = outcome.encryptions[i];
-            if edge.child > u16::MAX as NodeId {
-                return Err(AssignError::IdOutOfRange(edge.child));
-            }
-            let (Some(kek), Some(plain)) = (tree.key_of(edge.child), tree.key_of(edge.parent))
-            else {
-                return Err(AssignError::MissingKey {
-                    child: edge.child,
-                    parent: edge.parent,
-                });
-            };
-            Ok((
-                i,
-                SealedKey::seal(&kek, &plain, seal_context(msg_seq, edge.child)),
-            ))
-        })
-        .into_iter()
-        .collect::<Result<_, AssignError>>()?;
-        let sealed_cache: HashMap<usize, SealedKey> = sealed.into_iter().collect();
 
         let mut packets = Vec::with_capacity(plans.len());
         let mut packet_of_user = HashMap::new();
@@ -314,11 +324,7 @@ impl UkaAssignment {
             let mut entries: Vec<(u16, SealedKey)> = Vec::with_capacity(plan.enc_indices.len());
             for &i in &plan.enc_indices {
                 let child = outcome.encryptions[i].child;
-                let Some(sealed) = sealed_cache.get(&i) else {
-                    // Every plan index was sealed above.
-                    return Err(AssignError::IdOutOfRange(child));
-                };
-                entries.push((child as u16, *sealed));
+                entries.push((child as u16, sealed[i]));
             }
             entries_emitted += entries.len();
             for &u in &plan.users {

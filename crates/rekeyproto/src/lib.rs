@@ -33,6 +33,7 @@
 
 mod adjust;
 mod server;
+/// Round-duration adaptation (paper Section 7.1).
 pub mod timing;
 mod user;
 

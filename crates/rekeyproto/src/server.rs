@@ -283,7 +283,7 @@ impl ServerSession {
         let sched = self
             .blocks
             .round_one_schedule_ordered(self.rho, self.cfg.send_order)
-            .expect("parity space exhausted in round one");
+            .unwrap_or_else(|e| panic!("parity space exhausted in round one: {e}"));
         self.count_multicast(&sched);
         sched
     }

@@ -5,7 +5,15 @@ use crate::walk::SourceFile;
 
 /// Crates whose non-test code must be panic-free (wire/hot paths and the
 /// simulation engine the figures depend on).
-const PANIC_FREE_CRATES: [&str; 5] = ["wirecrypto", "rekeymsg", "rse", "netsim", "grouprekey"];
+const PANIC_FREE_CRATES: [&str; 7] = [
+    "wirecrypto",
+    "rekeymsg",
+    "rse",
+    "netsim",
+    "grouprekey",
+    "keytree",
+    "rekeyproto",
+];
 
 /// Files in which `as` casts to narrower integer types are forbidden
 /// (GF(2^8) field and matrix cores, where a silent truncation corrupts
@@ -14,7 +22,7 @@ const NO_TRUNCATING_CAST_FILES: [&str; 2] =
     ["crates/gf256/src/field.rs", "crates/gf256/src/matrix.rs"];
 
 /// Crates whose entire `pub` surface must carry doc comments.
-const DOCUMENTED_CRATES: [&str; 3] = ["keytree", "rse", "netsim"];
+const DOCUMENTED_CRATES: [&str; 5] = ["keytree", "rse", "netsim", "grouprekey", "rekeyproto"];
 
 /// Integer types an `as` cast may truncate into.
 const NARROW_INT_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
@@ -57,7 +65,7 @@ pub fn run_all(sources: &[SourceFile]) -> Outcome {
     let mut no_panic = RuleReport {
         id: "no-unwrap-in-wire-crates",
         description: "no `.unwrap()` / `.expect()` in non-test code of wirecrypto, rekeymsg, rse, \
-                      netsim, grouprekey",
+                      netsim, grouprekey, keytree, rekeyproto",
         violations: Vec::new(),
     };
     let mut forbid_unsafe = RuleReport {
@@ -72,7 +80,8 @@ pub fn run_all(sources: &[SourceFile]) -> Outcome {
     };
     let mut pub_docs = RuleReport {
         id: "documented-pub-api",
-        description: "every `pub` item in keytree, rse, and netsim carries a doc comment",
+        description: "every `pub` item in keytree, rse, netsim, grouprekey, and rekeyproto \
+                      carries a doc comment",
         violations: Vec::new(),
     };
     let mut no_todo = RuleReport {
@@ -274,7 +283,7 @@ mod tests {
                     mod tests { fn t() { x.unwrap(); } }\n";
         let outcome = run_all(&[
             file("rse", "crates/rse/src/lib.rs", true, text),
-            file("keytree", "crates/keytree/src/lib.rs", true, text),
+            file("bench", "crates/bench/src/lib.rs", true, text),
         ]);
         let flagged = &rule(&outcome, "no-unwrap-in-wire-crates").violations;
         assert_eq!(flagged.len(), 2, "unwrap + expect in rse only");
@@ -294,12 +303,7 @@ mod tests {
         let panics = &rule(&outcome, "no-unwrap-in-wire-crates").violations;
         assert_eq!(panics.len(), 2, "both simulation crates are in scope");
         let docs = &rule(&outcome, "documented-pub-api").violations;
-        assert_eq!(
-            docs.len(),
-            1,
-            "netsim pub surface needs docs, grouprekey's does not"
-        );
-        assert!(docs[0].file.contains("netsim"));
+        assert_eq!(docs.len(), 2, "both crates' pub surfaces need docs");
     }
 
     #[test]

@@ -17,20 +17,47 @@ cargo run -p xcheck
 echo "==> cargo test --workspace --features sanitize"
 cargo test --workspace -q --features sanitize
 
-echo "==> bench smoke run (BENCH_rekey.json)"
-cargo run --release -p bench --bin bench_rekey -- --smoke --out BENCH_rekey.json
-if [ ! -s BENCH_rekey.json ]; then
-    echo "ci.sh: BENCH_rekey.json missing or empty" >&2
-    exit 1
-fi
-cargo run --release -p bench --bin bench_rekey -- --check BENCH_rekey.json
+# Smoke runs write under target/ so they never clobber the committed
+# full-mode baselines; the committed JSONs are validated read-only.
+mkdir -p target
 
-echo "==> figure engine smoke run (BENCH_figures.json)"
-cargo run --release -p bench --bin bench_figures -- --smoke --out BENCH_figures.json
-if [ ! -s BENCH_figures.json ]; then
-    echo "ci.sh: BENCH_figures.json missing or empty" >&2
+echo "==> bench smoke run (target/BENCH_rekey.smoke.json)"
+cargo run --release -p bench --bin bench_rekey -- --smoke --out target/BENCH_rekey.smoke.json
+if [ ! -s target/BENCH_rekey.smoke.json ]; then
+    echo "ci.sh: target/BENCH_rekey.smoke.json missing or empty" >&2
     exit 1
 fi
+cargo run --release -p bench --bin bench_rekey -- --check target/BENCH_rekey.smoke.json
+cargo run --release -p bench --bin bench_rekey -- --check BENCH_rekey.json
+if ! grep -q '"mode": "full"' BENCH_rekey.json; then
+    echo "ci.sh: committed BENCH_rekey.json is not a full-mode run" >&2
+    exit 1
+fi
+
+echo "==> figure engine smoke run (target/BENCH_figures.smoke.json)"
+cargo run --release -p bench --bin bench_figures -- --smoke --out target/BENCH_figures.smoke.json
+if [ ! -s target/BENCH_figures.smoke.json ]; then
+    echo "ci.sh: target/BENCH_figures.smoke.json missing or empty" >&2
+    exit 1
+fi
+cargo run --release -p bench --bin bench_figures -- --check target/BENCH_figures.smoke.json
 cargo run --release -p bench --bin bench_figures -- --check BENCH_figures.json
+if ! grep -q '"mode": "full"' BENCH_figures.json; then
+    echo "ci.sh: committed BENCH_figures.json is not a full-mode run" >&2
+    exit 1
+fi
+
+echo "==> scale bench smoke run (target/BENCH_scale.smoke.json)"
+cargo run --release -p bench --bin bench_scale -- --smoke --out target/BENCH_scale.smoke.json
+if [ ! -s target/BENCH_scale.smoke.json ]; then
+    echo "ci.sh: target/BENCH_scale.smoke.json missing or empty" >&2
+    exit 1
+fi
+cargo run --release -p bench --bin bench_scale -- --check target/BENCH_scale.smoke.json
+cargo run --release -p bench --bin bench_scale -- --check BENCH_scale.json
+if ! grep -q '"mode": "full"' BENCH_scale.json; then
+    echo "ci.sh: committed BENCH_scale.json is not a full-mode run" >&2
+    exit 1
+fi
 
 echo "==> ci.sh: all gates passed"
