@@ -3,27 +3,85 @@
 //! Figure text goes to stdout — byte-identical across runs and worker
 //! counts, so two runs can be diffed directly. Per-figure wall times go
 //! to stderr so CI logs surface regressions without perturbing the
-//! comparable output.
+//! comparable output. All stderr diagnostics — the `[time]` lines and,
+//! with `--obs-out`/`REKEY_OBS=1`, the metrics table — go through one
+//! `stderr` lock held for the whole run, so they can never interleave
+//! mid-line with each other or with figure stdout under any
+//! `REKEY_THREADS` setting.
+//!
+//! `REKEY_FIGURES=name,name,..` restricts the run to a subset of figures
+//! (exact names from the canonical list); unknown names abort. The
+//! header and figure text are unchanged for the selected subset, so a
+//! filtered run is byte-identical to the corresponding slice of a full
+//! run.
 
 use std::io::{self, Write};
 use std::time::Instant;
 
-use bench::{Mode, ALL_FIGURES};
+use bench::{Mode, ObsSink, ALL_FIGURES};
 
 fn main() -> io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut obs_out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--obs-out" => obs_out = Some(it.next().expect("--obs-out needs a path")),
+            other => {
+                eprintln!("unknown flag {other}; use [--obs-out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let obs_sink = match ObsSink::resolve(obs_out) {
+        Ok(sink) => sink,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
+
+    let figures: Vec<&(&str, bench::FigFn)> = match std::env::var("REKEY_FIGURES") {
+        Ok(filter) => {
+            let wanted: Vec<&str> = filter
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            for name in &wanted {
+                if !ALL_FIGURES.iter().any(|(n, _)| n == name) {
+                    eprintln!("REKEY_FIGURES names unknown figure {name}");
+                    std::process::exit(2);
+                }
+            }
+            ALL_FIGURES
+                .iter()
+                .filter(|(n, _)| wanted.contains(n))
+                .collect()
+        }
+        Err(_) => ALL_FIGURES.iter().collect(),
+    };
+
     let mode = Mode::from_env();
     let mut out = io::stdout().lock();
+    let mut err = io::stderr().lock();
     writeln!(
         out,
         "# Figure regeneration run (messages/point = {}, workload runs = {}, trajectory = {})",
         mode.messages, mode.runs, mode.trajectory
     )?;
     let total = Instant::now();
-    for (name, f) in ALL_FIGURES {
+    for (name, f) in figures {
         let t = Instant::now();
         f(mode, &mut out)?;
-        eprintln!("[time] {name}: {:.2}s", t.elapsed().as_secs_f64());
+        writeln!(err, "[time] {name}: {:.2}s", t.elapsed().as_secs_f64())?;
     }
-    eprintln!("[time] total: {:.2}s", total.elapsed().as_secs_f64());
+    writeln!(err, "[time] total: {:.2}s", total.elapsed().as_secs_f64())?;
+    if obs_sink.active() {
+        obs_sink.emit(&obs::snapshot(), &mut err)?;
+        if let Some(path) = &obs_sink.path {
+            writeln!(err, "wrote obs snapshot to {path}")?;
+        }
+    }
     Ok(())
 }

@@ -20,7 +20,10 @@
 //! Flags: `--smoke` shrinks measurement windows/reps (same sections, same
 //! JSON shape); `--check <path>` validates an existing JSON file and
 //! exits non-zero if it is missing, malformed, or records a parallel
-//! mismatch; `--out <path>` overrides the output path.
+//! mismatch; `--out <path>` overrides the output path; `--obs-out <path>`
+//! (or `REKEY_OBS=1`) dumps the metrics snapshot collected during the
+//! run — JSON to the path, human table to stderr — and requires a build
+//! with `--features obs`.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -507,18 +510,30 @@ fn main() {
     let mut smoke = std::env::var("REKEY_QUICK").is_ok_and(|v| v != "0");
     let mut out_path = "BENCH_rekey.json".to_string();
     let mut check_path: Option<String> = None;
+    let mut obs_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = it.next().expect("--out needs a path"),
             "--check" => check_path = Some(it.next().expect("--check needs a path")),
+            "--obs-out" => obs_out = Some(it.next().expect("--obs-out needs a path")),
             other => {
-                eprintln!("unknown flag {other}; use [--smoke] [--out PATH] [--check PATH]");
+                eprintln!(
+                    "unknown flag {other}; use [--smoke] [--out PATH] [--check PATH] \
+                     [--obs-out PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let obs_sink = match bench::ObsSink::resolve(obs_out) {
+        Ok(sink) => sink,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
 
     if let Some(path) = check_path {
         let Ok(text) = std::fs::read_to_string(&path) else {
@@ -572,6 +587,15 @@ fn main() {
     let json = render_json(mode, &enc, &dec, &par, &rekey);
     std::fs::write(&out_path, &json).expect("write BENCH_rekey.json");
     println!("wrote {out_path}");
+    if obs_sink.active() {
+        let snap = obs::snapshot();
+        obs_sink
+            .emit(&snap, &mut std::io::stderr().lock())
+            .expect("write obs snapshot");
+        if let Some(path) = &obs_sink.path {
+            eprintln!("wrote obs snapshot to {path}");
+        }
+    }
     if !par.matches_sequential {
         eprintln!("FAILED: parallel schedule differs from sequential");
         std::process::exit(1);

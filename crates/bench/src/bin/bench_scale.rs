@@ -21,7 +21,15 @@
 //! single-core container.
 //!
 //! Flags: `--smoke` shrinks the grid (same JSON shape); `--check <path>`
-//! validates an existing report; `--out <path>` overrides the output path.
+//! validates an existing report; `--out <path>` overrides the output
+//! path; `--obs-out <path>` (or `REKEY_OBS=1`) collects a per-stage
+//! metrics snapshot over the acceptance cell — the largest N in the grid
+//! — resetting the registry between cells so the snapshot covers exactly
+//! that workload. It writes `{"schema": "obs_scale/v1", ..}` JSON
+//! embedding the snapshot plus a stage-coverage percentage (how much of
+//! the measured batch wall time the mark/mint/seal/encode spans account
+//! for), prints the per-stage table to stderr, and requires a build with
+//! `--features obs`.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -119,6 +127,10 @@ struct CellReport {
     message_build_ms: Option<f64>,
     resident_bytes_per_node: f64,
     aos_bytes_per_node: f64,
+    /// Sum of every timed segment (marking, sealing, message build)
+    /// across all reps — the denominator for obs stage coverage, which
+    /// accumulates across reps the same way.
+    measured_wall_ms: f64,
 }
 
 /// Whether a full UKA message build is possible: every node ID that can
@@ -136,6 +148,7 @@ fn bench_cell(cell: Cell, reps: usize) -> CellReport {
     let mut seal_rate = 0.0f64;
     let mut message_build_ms: Option<f64> = None;
     let mut encryptions = 0usize;
+    let mut measured_wall_ms = 0.0f64;
     let mut tree = base.clone();
     for _ in 0..reps {
         tree.clone_from(&base);
@@ -144,12 +157,21 @@ fn bench_cell(cell: Cell, reps: usize) -> CellReport {
 
         let start = Instant::now();
         let outcome = tree.process_batch_in(batch, &mut kg, &mut scratch);
-        marking_ms = marking_ms.min(start.elapsed().as_secs_f64() * 1000.0);
+        let mark_wall = start.elapsed().as_secs_f64() * 1000.0;
+        marking_ms = marking_ms.min(mark_wall);
+        measured_wall_ms += mark_wall;
         encryptions = outcome.encryptions.len();
 
         let start = Instant::now();
-        let sealed = seal_all(&tree, &outcome, 1);
+        let sealed = {
+            // Raw sealing stands in for the in-message seal stage at the
+            // sizes where no full message can be built, so it carries the
+            // same stage span here.
+            let _span = obs::span("stage.seal");
+            seal_all(&tree, &outcome, 1)
+        };
         let seal_secs = start.elapsed().as_secs_f64();
+        measured_wall_ms += seal_secs * 1000.0;
         black_box(&sealed);
         if seal_secs > 0.0 {
             seal_rate = seal_rate.max(encryptions as f64 / seal_secs);
@@ -160,6 +182,7 @@ fn bench_cell(cell: Cell, reps: usize) -> CellReport {
             let assignment = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT)
                 .unwrap_or_else(|e| unreachable!("wire-size precheck passed: {e}"));
             let wall = start.elapsed().as_secs_f64() * 1000.0;
+            measured_wall_ms += wall;
             black_box(&assignment);
             message_build_ms = Some(message_build_ms.map_or(wall, |b: f64| b.min(wall)));
         }
@@ -174,6 +197,86 @@ fn bench_cell(cell: Cell, reps: usize) -> CellReport {
         message_build_ms,
         resident_bytes_per_node: tree.resident_bytes() as f64 / nodes,
         aos_bytes_per_node: tree.aos_equivalent_bytes() as f64 / nodes,
+        measured_wall_ms,
+    }
+}
+
+/// The disjoint stage spans whose totals are compared against the
+/// measured batch wall time: marking phases 1–2, fresh-key minting,
+/// sealing, and FEC encoding.
+const STAGE_SPANS: [&str; 4] = ["stage.mark", "stage.mint", "stage.seal", "stage.encode"];
+
+/// Per-stage observability report for one cell: the snapshot taken right
+/// after the cell ran (the registry is reset before each cell) plus the
+/// coverage arithmetic against its measured wall time.
+struct ObsCellReport {
+    cell: Cell,
+    measured_wall_ms: f64,
+    stage_total_ms: f64,
+    coverage_pct: f64,
+    snap: obs::Snapshot,
+}
+
+impl ObsCellReport {
+    fn new(cell: Cell, measured_wall_ms: f64, snap: obs::Snapshot) -> Self {
+        let stage_total_ms = snap.span_total_ns(&STAGE_SPANS) as f64 / 1e6;
+        let coverage_pct = if measured_wall_ms > 0.0 {
+            100.0 * stage_total_ms / measured_wall_ms
+        } else {
+            0.0
+        };
+        ObsCellReport {
+            cell,
+            measured_wall_ms,
+            stage_total_ms,
+            coverage_pct,
+            snap,
+        }
+    }
+
+    /// The `obs_scale/v1` wrapper: cell coordinates, wall/coverage
+    /// numbers, and the full `obs/v1` snapshot embedded verbatim.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\": \"obs_scale/v1\", \"cell\": {{\"n\": {}, \"d\": {}, \"joins\": {}, \
+             \"leaves\": {}}}, \"measured_wall_ms\": {}, \"stage_total_ms\": {}, \
+             \"coverage_pct\": {}, \"obs\": {}}}\n",
+            self.cell.n,
+            self.cell.d,
+            self.cell.joins,
+            self.cell.leaves,
+            fmt_f(self.measured_wall_ms),
+            fmt_f(self.stage_total_ms),
+            fmt_f(self.coverage_pct),
+            self.snap.to_json().trim_end(),
+        )
+    }
+
+    /// Stage breakdown + full table, written through one stderr handle.
+    fn render_stderr(&self, err: &mut dyn std::io::Write) -> std::io::Result<()> {
+        writeln!(
+            err,
+            "obs stage breakdown: N=2^{} d={} J={} L={}",
+            self.cell.n.trailing_zeros(),
+            self.cell.d,
+            self.cell.joins,
+            self.cell.leaves
+        )?;
+        for name in STAGE_SPANS {
+            let total_ms = self.snap.span(name).map_or(0.0, |s| s.total as f64 / 1e6);
+            let share = if self.measured_wall_ms > 0.0 {
+                100.0 * total_ms / self.measured_wall_ms
+            } else {
+                0.0
+            };
+            writeln!(err, "  {name:<14} {total_ms:>10.3} ms  {share:>5.1}%")?;
+        }
+        writeln!(
+            err,
+            "  coverage: {:.1}% of {:.3} ms measured batch wall",
+            self.coverage_pct, self.measured_wall_ms
+        )?;
+        err.write_all(self.snap.render_table().as_bytes())
     }
 }
 
@@ -335,18 +438,30 @@ fn main() {
     let mut smoke = std::env::var("REKEY_QUICK").is_ok_and(|v| v != "0");
     let mut out_path = "BENCH_scale.json".to_string();
     let mut check_path: Option<String> = None;
+    let mut obs_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = it.next().expect("--out needs a path"),
             "--check" => check_path = Some(it.next().expect("--check needs a path")),
+            "--obs-out" => obs_out = Some(it.next().expect("--obs-out needs a path")),
             other => {
-                eprintln!("unknown flag {other}; use [--smoke] [--out PATH] [--check PATH]");
+                eprintln!(
+                    "unknown flag {other}; use [--smoke] [--out PATH] [--check PATH] \
+                     [--obs-out PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let obs_sink = match bench::ObsSink::resolve(obs_out) {
+        Ok(sink) => sink,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
 
     if let Some(path) = check_path {
         let Ok(text) = std::fs::read_to_string(&path) else {
@@ -369,9 +484,27 @@ fn main() {
 
     let cells = grid(smoke);
     eprintln!("scale: {} cells ({mode})", cells.len());
+    // The cell whose per-stage snapshot ships when obs output is on: the
+    // acceptance row (N = 2^20 in full mode, the largest smoke cell
+    // otherwise) — the same cell the identity gate replays.
+    let obs_cell = identity_cell(smoke);
+    let mut obs_report: Option<ObsCellReport> = None;
     let mut reports = Vec::with_capacity(cells.len());
     for cell in cells {
+        if obs_sink.active() {
+            obs::reset();
+        }
         let r = bench_cell(cell, reps);
+        if obs_sink.active()
+            && (cell.n, cell.d, cell.joins, cell.leaves)
+                == (obs_cell.n, obs_cell.d, obs_cell.joins, obs_cell.leaves)
+        {
+            obs_report = Some(ObsCellReport::new(
+                cell,
+                r.measured_wall_ms,
+                obs::snapshot(),
+            ));
+        }
         eprintln!(
             "  N=2^{:<2} d={:<2} J={:<3} L={:<3} marking {:>8.3} ms, {:>6} enc, \
              seal {:>9.0}/s, {:>5.1} B/node (AoS {:>5.1})",
@@ -401,6 +534,18 @@ fn main() {
     let json = render_json(mode, &reports, &identity);
     std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
     println!("wrote {out_path}");
+
+    if obs_sink.active() {
+        let report = obs_report.expect("the obs cell is always in the grid");
+        report
+            .render_stderr(&mut std::io::stderr().lock())
+            .expect("write obs tables");
+        if let Some(path) = &obs_sink.path {
+            std::fs::write(path, report.to_json()).expect("write obs snapshot");
+            eprintln!("wrote obs snapshot to {path}");
+        }
+    }
+
     if !identity.matches_sequential {
         eprintln!("FAILED: parallel marking differs from sequential");
         std::process::exit(1);

@@ -76,6 +76,63 @@ pub fn par<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> 
     taskpool::map(items, |_, item| taskpool::with_workers(1, || f(item)))
 }
 
+/// Where a bench binary sends its observability snapshot, resolved from
+/// the `--obs-out PATH` flag and the `REKEY_OBS` environment variable.
+///
+/// Either source activates the sink; activation demands a build with the
+/// instrumentation compiled in ([`obs::enabled`]), because a snapshot
+/// from a no-op build would be silently empty. [`ObsSink::resolve`]
+/// turns that mismatch into a one-line error the binary prints before
+/// exiting non-zero.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSink {
+    /// Destination for the JSON snapshot (`--obs-out PATH`), if any.
+    pub path: Option<String>,
+    /// Whether the sink is active at all (path given or `REKEY_OBS=1`).
+    active: bool,
+}
+
+impl ObsSink {
+    /// Resolves the sink from the parsed `--obs-out` value plus the
+    /// `REKEY_OBS` environment variable. Errors (with the message the
+    /// binary should print verbatim) when output is requested but the
+    /// instrumentation is compiled out.
+    pub fn resolve(obs_out: Option<String>) -> Result<ObsSink, String> {
+        let env_on = std::env::var("REKEY_OBS").is_ok_and(|v| v != "0");
+        let active = env_on || obs_out.is_some();
+        if active && !obs::enabled() {
+            return Err(
+                "obs output requested (--obs-out / REKEY_OBS=1) but this binary was built \
+                 without the metrics layer; rebuild with `--features obs`"
+                    .to_string(),
+            );
+        }
+        Ok(ObsSink {
+            path: obs_out,
+            active,
+        })
+    }
+
+    /// Whether any observability output was requested.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Emits the snapshot: JSON to [`ObsSink::path`] when set, and the
+    /// human table through `err` (callers pass their stderr handle so
+    /// the table shares whatever lock their other diagnostics use).
+    /// No-op when the sink is inactive.
+    pub fn emit(&self, snap: &obs::Snapshot, err: &mut dyn std::io::Write) -> std::io::Result<()> {
+        if !self.active {
+            return Ok(());
+        }
+        if let Some(path) = &self.path {
+            std::fs::write(path, snap.to_json())?;
+        }
+        err.write_all(snap.render_table().as_bytes())
+    }
+}
+
 /// A figure-regeneration entry point: writes one figure's text to `out`.
 pub type FigFn = fn(Mode, &mut dyn std::io::Write) -> std::io::Result<()>;
 

@@ -1,0 +1,81 @@
+//! The bench binaries must honor `--obs-out`/`REKEY_OBS=1` when the
+//! metrics layer is compiled in, and fail fast — one clear line, nonzero
+//! exit — when it is not. Both sides branch on [`obs::enabled`] so the
+//! same test covers whichever way this binary was built.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bench_obs_{tag}_{}.json", std::process::id()))
+}
+
+fn bench_rekey() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_bench_rekey"));
+    // Quick workload; make sure an ambient REKEY_OBS doesn't leak in.
+    cmd.env("REKEY_QUICK", "1").env_remove("REKEY_OBS");
+    cmd
+}
+
+#[test]
+fn obs_out_flag_writes_snapshot_or_errors_cleanly() {
+    let obs_path = temp_path("flag");
+    let out_path = temp_path("flag_main");
+    let result = bench_rekey()
+        .args([
+            "--smoke",
+            "--out",
+            out_path.to_str().expect("utf8 temp path"),
+            "--obs-out",
+            obs_path.to_str().expect("utf8 temp path"),
+        ])
+        .output()
+        .expect("spawn bench_rekey");
+    if obs::enabled() {
+        assert!(
+            result.status.success(),
+            "obs build must honor --obs-out: {}",
+            String::from_utf8_lossy(&result.stderr)
+        );
+        let text = std::fs::read_to_string(&obs_path).expect("snapshot written");
+        assert!(obs::json::well_formed(&text), "snapshot parses: {text}");
+        assert!(text.contains("\"schema\": \"obs/v1\""));
+        assert!(text.contains("rekey.batch"), "pipeline spans present");
+        let stderr = String::from_utf8_lossy(&result.stderr);
+        assert!(stderr.contains("obs spans"), "table on stderr: {stderr}");
+    } else {
+        assert_eq!(result.status.code(), Some(1), "nonzero exit");
+        let stderr = String::from_utf8_lossy(&result.stderr);
+        assert_eq!(
+            stderr.lines().count(),
+            1,
+            "exactly one error line, got: {stderr}"
+        );
+        assert!(
+            stderr.contains("rebuild with `--features obs`"),
+            "error names the fix: {stderr}"
+        );
+        assert!(!obs_path.exists(), "no snapshot from a no-op build");
+    }
+    let _ = std::fs::remove_file(&obs_path);
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn rekey_obs_env_takes_the_same_gate() {
+    let out_path = temp_path("env_main");
+    let result = bench_rekey()
+        .env("REKEY_OBS", "1")
+        .args(["--smoke", "--out", out_path.to_str().expect("utf8")])
+        .output()
+        .expect("spawn bench_rekey");
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    if obs::enabled() {
+        assert!(result.status.success(), "{stderr}");
+        assert!(stderr.contains("obs spans"), "table on stderr: {stderr}");
+    } else {
+        assert_eq!(result.status.code(), Some(1));
+        assert!(stderr.contains("rebuild with `--features obs`"), "{stderr}");
+    }
+    let _ = std::fs::remove_file(&out_path);
+}

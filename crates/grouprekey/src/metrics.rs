@@ -1,37 +1,59 @@
 //! Per-message reporting used by experiments and examples.
+//!
+//! [`MessageReport`] carries the quantities the paper's evaluation plots;
+//! each field's doc names the paper symbol it reproduces, so the figure
+//! code reads as a transcription of the evaluation section. The paper's
+//! notation, for reference: `h` is the number of real (systematic) ENC
+//! packets in a rekey message, `h'` the number actually multicast once
+//! proactive FEC parity is added (so `h'/h` is the multicast bandwidth
+//! overhead), `ρ` (rho) the proactivity factor `h'/h − 1` chosen before
+//! sending, and `numNACK` the adaptive controller's per-message target
+//! for round-one NACKs.
 
 /// Measurements of one rekey message's delivery.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MessageReport {
-    /// Message sequence number.
+    /// Message sequence number. No paper symbol; identifies the message
+    /// within an experiment trace.
     pub msg_seq: u64,
-    /// Real ENC packets (`h`).
+    /// Real ENC packets — the paper's `h`, the systematic payload of the
+    /// rekey message before any parity is added.
     pub enc_packets: usize,
-    /// FEC blocks.
+    /// FEC blocks the message was split into — the paper's block count
+    /// (each block holds at most `k` ENC packets and is decoded
+    /// independently).
     pub blocks: usize,
-    /// Proactivity factor used for this message.
+    /// Proactivity factor used for this message — the paper's `ρ`: parity
+    /// packets are provisioned so `h' = (1 + ρ)·h`.
     pub rho: f64,
-    /// `numNACK` target in force for this message.
+    /// The adaptive controller's round-one NACK target in force for this
+    /// message — the paper's `numNACK`.
     pub num_nack: usize,
-    /// NACKs the server received at the end of round one.
+    /// NACKs the server actually received at the end of round one — the
+    /// observed quantity `numNACK` steers toward its target.
     pub nacks_round1: usize,
-    /// Multicast bandwidth overhead `h'/h`.
+    /// Multicast bandwidth overhead — the paper's `h'/h` ratio (1.0 means
+    /// no parity or retransmission cost at all).
     pub bandwidth_overhead: f64,
-    /// Multicast rounds used by the server.
+    /// Multicast rounds used by the server — the paper's "number of
+    /// rounds" from the server's perspective.
     pub server_rounds: usize,
     /// Per-user rounds-to-success histogram: `rounds_histogram[r]` users
-    /// succeeded in round `r + 1`.
+    /// succeeded in round `r + 1`. The paper's per-user "rounds needed to
+    /// receive" distribution.
     pub rounds_histogram: Vec<usize>,
     /// Users that had not recovered when the message completed (should be
     /// zero — reliability is eventual).
     pub unserved_users: usize,
     /// Users that missed the deadline (strictly more rounds than allowed).
     pub missed_deadline: usize,
-    /// USR packets unicast (with duplicates).
+    /// USR packets unicast (with duplicates) — the early-unicast tail of
+    /// the paper's hybrid delivery.
     pub usr_packets: usize,
     /// Unicast bytes (USR + UDP headers).
     pub usr_bytes: usize,
-    /// Duplication overhead of the UKA assignment.
+    /// Duplication overhead of the UKA assignment — the paper's key
+    /// duplication factor (sealed copies per fresh key beyond the first).
     pub duplication_overhead: f64,
     /// Total FEC encoding cost in the paper's abstract units
     /// (multiply-accumulate passes; `k` per parity packet).
@@ -73,6 +95,39 @@ impl MessageReport {
         let within: usize = self.rounds_histogram.iter().take(r).sum();
         within as f64 / total as f64
     }
+
+    /// Serializes the report as one deterministic JSON object (no
+    /// trailing newline), through the same [`obs::json::JsonWriter`] the
+    /// obs snapshot uses — identical data always yields identical bytes,
+    /// so experiment traces can be diffed and committed like the BENCH
+    /// artifacts. Keys are the field names; floats carry three decimals.
+    #[must_use]
+    pub fn to_json_row(&self) -> String {
+        let mut w = obs::json::JsonWriter::new();
+        w.begin_object();
+        w.field_u64("msg_seq", self.msg_seq);
+        w.field_u64("enc_packets", self.enc_packets as u64);
+        w.field_u64("blocks", self.blocks as u64);
+        w.field_f64("rho", self.rho, 3);
+        w.field_u64("num_nack", self.num_nack as u64);
+        w.field_u64("nacks_round1", self.nacks_round1 as u64);
+        w.field_f64("bandwidth_overhead", self.bandwidth_overhead, 3);
+        w.field_u64("server_rounds", self.server_rounds as u64);
+        w.key("rounds_histogram");
+        w.begin_array();
+        for &n in &self.rounds_histogram {
+            w.value_u64(n as u64);
+        }
+        w.end_array();
+        w.field_u64("unserved_users", self.unserved_users as u64);
+        w.field_u64("missed_deadline", self.missed_deadline as u64);
+        w.field_u64("usr_packets", self.usr_packets as u64);
+        w.field_u64("usr_bytes", self.usr_bytes as u64);
+        w.field_f64("duplication_overhead", self.duplication_overhead, 3);
+        w.field_u64("encoding_units", self.encoding_units);
+        w.end_object();
+        w.finish()
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +164,41 @@ mod tests {
         assert_eq!(r.avg_user_rounds(), 0.0);
         assert_eq!(r.rounds_all_users(), 0);
         assert_eq!(r.fraction_within(1), 1.0);
+    }
+
+    #[test]
+    fn json_row_is_deterministic_and_well_formed() {
+        let r = MessageReport {
+            msg_seq: 7,
+            enc_packets: 101,
+            blocks: 2,
+            rho: 0.25,
+            num_nack: 10,
+            nacks_round1: 12,
+            bandwidth_overhead: 1.25,
+            server_rounds: 2,
+            rounds_histogram: vec![90, 8, 2],
+            unserved_users: 0,
+            missed_deadline: 0,
+            usr_packets: 3,
+            usr_bytes: 129,
+            duplication_overhead: 1.5,
+            encoding_units: 4096,
+        };
+        let a = r.to_json_row();
+        assert_eq!(a, r.clone().to_json_row());
+        assert!(obs::json::well_formed(&a));
+        assert!(a.contains("\"enc_packets\": 101"));
+        assert!(a.contains("\"rho\": 0.250"));
+        assert!(a.contains("\"bandwidth_overhead\": 1.250"));
+        assert!(a.contains("\"rounds_histogram\": [90, 8, 2]"));
+        assert!(!a.ends_with('\n'));
+    }
+
+    #[test]
+    fn json_row_of_default_report_has_empty_histogram() {
+        let text = MessageReport::default().to_json_row();
+        assert!(obs::json::well_formed(&text));
+        assert!(text.contains("\"rounds_histogram\": []"));
     }
 }

@@ -113,6 +113,8 @@ impl KeyServer {
     /// Processes one batch: updates the tree, runs UKA, and opens a
     /// transport session at the controller's current proactivity factor.
     pub fn rekey(&mut self, batch: Batch) -> RekeyArtifacts {
+        let _span = obs::span("rekey.batch");
+        obs::counter_add("rekey.batches", 1);
         self.msg_seq += 1;
         let msg_seq = self.msg_seq;
         #[cfg(feature = "sanitize")]

@@ -318,6 +318,7 @@ pub fn run_message_transport_with(
     cfg: &SimConfig,
     scratch: &mut TransportScratch,
 ) -> TransportStats {
+    let _span_msg = obs::span("transport.message");
     let send_interval = net.config().send_interval_ms;
     let rtt = 2.0 * net.config().one_way_delay_ms;
     scratch.by_node.clear();
@@ -334,6 +335,8 @@ pub fn run_message_transport_with(
     let mut action = Action::Multicast(session.start());
 
     loop {
+        let _span_round = obs::span("transport.round");
+        obs::counter_add("transport.rounds", 1);
         match &action {
             Action::Multicast(schedule) => {
                 for pkt in schedule {

@@ -323,6 +323,14 @@ impl KeyTree {
         keygen: &mut KeyGen,
         scratch: &mut MarkScratch,
     ) -> MarkOutcome {
+        let _span_batch = obs::span("keytree.mark_batch");
+        if scratch.epoch > 0 {
+            // A warm scratch means its node maps and work lists carry
+            // capacity over from an earlier batch — the allocation-free
+            // steady state long-lived servers run in.
+            obs::counter_add("keytree.scratch_reuse_hits", 1);
+        }
+        let span_mark = obs::span("stage.mark");
         let d = self.degree();
         scratch.begin(self.storage_len());
 
@@ -551,6 +559,9 @@ impl KeyTree {
             scratch.stamp(id, label);
         }
 
+        drop(span_mark);
+        let span_mint = obs::span("stage.mint");
+
         // ---- Phase 3: fresh keys and encryption edges --------------------
         // `touched` is already descending (deepest first), so the filter
         // preserves the paper's bottom-up traversal order.
@@ -618,6 +629,10 @@ impl KeyTree {
                 }
             }
         }
+
+        obs::counter_add("keytree.keys_minted", updated.len() as u64);
+        obs::counter_add("keytree.encryptions", encryptions.len() as u64);
+        drop(span_mint);
 
         debug_assert_eq!(self.check_invariants(), Ok(()));
 

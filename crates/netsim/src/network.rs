@@ -142,12 +142,17 @@ impl Network {
     /// The per-packet hot path of the transport simulation calls this
     /// thousands of times per rekey message with the same scratch buffer.
     pub fn multicast_into(&mut self, now: SimTime, delivered: &mut Vec<bool>) {
+        obs::counter_add("net.multicast_packets", 1);
         delivered.clear();
         if !self.source.transmit(now) {
             delivered.resize(self.receivers.len(), false);
             return;
         }
         delivered.extend(self.receivers.iter_mut().map(|link| link.transmit(now)));
+        obs::counter_add(
+            "net.deliveries",
+            delivered.iter().filter(|&&ok| ok).count() as u64,
+        );
     }
 
     /// Multicast where only a subset of users still listens (the common
@@ -168,6 +173,7 @@ impl Network {
         listeners: &[usize],
         delivered: &mut Vec<bool>,
     ) {
+        obs::counter_add("net.multicast_packets", 1);
         delivered.clear();
         let source_ok = self.source.transmit(now);
         delivered.extend(
@@ -175,12 +181,21 @@ impl Network {
                 .iter()
                 .map(|&u| source_ok && self.receivers[u].transmit(now)),
         );
+        obs::counter_add(
+            "net.deliveries",
+            delivered.iter().filter(|&&ok| ok).count() as u64,
+        );
     }
 
     /// Unicasts one packet to `user` at time `now` (source + receiver
     /// link, same as multicast but for one destination).
     pub fn unicast(&mut self, now: SimTime, user: usize) -> bool {
-        self.source.transmit(now) && self.receivers[user].transmit(now)
+        obs::counter_add("net.unicast_packets", 1);
+        let ok = self.source.transmit(now) && self.receivers[user].transmit(now);
+        if ok {
+            obs::counter_add("net.unicast_delivered", 1);
+        }
+        ok
     }
 }
 

@@ -1,0 +1,470 @@
+//! Zero-dependency tracing + metrics for the rekey pipeline.
+//!
+//! The paper this workspace reproduces is a *performance analysis*:
+//! server cost per stage, bandwidth overhead, rounds to success. This
+//! crate gives every pipeline stage a first-class way to report where
+//! the time and bytes actually go, with the same discipline as the
+//! sibling `taskpool`/`xcheck` crates — no dependencies, deterministic
+//! output, and zero cost when switched off.
+//!
+//! Four instruments:
+//!
+//! * **Spans** — [`span("stage.mark")`](span) returns a guard that
+//!   records the enclosed wall time (monotonic clock) on drop. Guards
+//!   nest freely; each records its own elapsed time. Aggregation is
+//!   count / total / min / max plus p50/p99 from a fixed-bucket log2
+//!   histogram ([`hist`]), so recording is allocation-free and O(1).
+//! * **Values** — [`observe`] feeds unit-free magnitudes (tasks per
+//!   worker, packets per round) into the same histogram machinery.
+//! * **Counters** — [`counter_add`] monotonic sums (packets minted,
+//!   bytes sealed, cache hits).
+//! * **Gauges** — [`gauge_set`] last-write-wins levels (current worker
+//!   count, parity ratio in parts-per-thousand).
+//!
+//! [`snapshot`] collects everything into a [`Snapshot`] that serializes
+//! deterministically ([`Snapshot::to_json`], sections and entries sorted
+//! by name) or renders as a human table ([`Snapshot::render_table`]).
+//!
+//! # Feature gating
+//!
+//! Everything above is real only with the `enabled` cargo feature.
+//! Without it every entry point compiles to an inlineable no-op: no
+//! clock reads, no atomics, no heap allocation (a test pins the
+//! off-path at exactly zero allocations), and [`snapshot`] returns an
+//! empty [`Snapshot`]. Downstream crates expose an `obs` feature that
+//! forwards to `obs/enabled`, so one `--features obs` at the workspace
+//! root lights up the whole pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Fixed-bucket log2 histograms behind span/value aggregation.
+pub mod hist;
+/// Deterministic hand-rolled JSON writer shared with the bench emitters.
+pub mod json;
+
+#[cfg(feature = "enabled")]
+mod registry;
+
+use json::JsonWriter;
+
+/// Whether the metrics layer is compiled in (`enabled` cargo feature).
+///
+/// Binaries use this to fail fast when asked to emit observability data
+/// from a build that cannot collect any.
+#[must_use]
+pub const fn enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+// ---------------------------------------------------------------------------
+// Recording API
+// ---------------------------------------------------------------------------
+
+/// Live guard of one span; records the elapsed nanoseconds on drop.
+///
+/// Hold it for the duration of the stage being measured:
+///
+/// ```
+/// let _span = obs::span("stage.example");
+/// // ... the work being timed ...
+/// ```
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    #[cfg(feature = "enabled")]
+    slot: &'static registry::Slot,
+    #[cfg(feature = "enabled")]
+    start: std::time::Instant,
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.slot.record(ns);
+    }
+}
+
+/// Starts a span named `name`; the returned guard records its wall time
+/// into the span's histogram when dropped. Nested spans each record
+/// their own elapsed time.
+#[cfg(feature = "enabled")]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        slot: registry::slot(name, registry::Kind::SpanNs),
+        start: std::time::Instant::now(),
+    }
+}
+
+/// Starts a span named `name` (no-op: the `enabled` feature is off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard {}
+}
+
+/// Records one unit-free magnitude into the value histogram `name`.
+#[cfg(feature = "enabled")]
+pub fn observe(name: &'static str, value: u64) {
+    registry::slot(name, registry::Kind::Value).record(value);
+}
+
+/// Records one magnitude (no-op: the `enabled` feature is off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn observe(_name: &'static str, _value: u64) {}
+
+/// Adds `delta` to the counter `name`.
+#[cfg(feature = "enabled")]
+pub fn counter_add(name: &'static str, delta: u64) {
+    registry::slot(name, registry::Kind::Counter).add(delta);
+}
+
+/// Adds to a counter (no-op: the `enabled` feature is off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn counter_add(_name: &'static str, _delta: u64) {}
+
+/// Sets the gauge `name` to `value`.
+#[cfg(feature = "enabled")]
+pub fn gauge_set(name: &'static str, value: u64) {
+    registry::slot(name, registry::Kind::Gauge).set(value);
+}
+
+/// Sets a gauge (no-op: the `enabled` feature is off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn gauge_set(_name: &'static str, _value: u64) {}
+
+/// Zeroes every registered series (names stay registered). Benchmarks
+/// call this between cells so each snapshot covers exactly one workload.
+#[cfg(feature = "enabled")]
+pub fn reset() {
+    registry::reset_all();
+}
+
+/// Zeroes every series (no-op: the `enabled` feature is off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn reset() {}
+
+/// Collects a deterministic snapshot of every registered series.
+#[cfg(feature = "enabled")]
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    registry::snapshot_all()
+}
+
+/// Collects a snapshot (always empty: the `enabled` feature is off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    Snapshot::default()
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// Aggregated statistics of one span or value series.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeriesStats {
+    /// Series name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations (nanoseconds for spans).
+    pub total: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Median estimate (log2-bucket upper bound, clamped to [min, max]).
+    pub p50: u64,
+    /// 99th-percentile estimate (same construction as `p50`).
+    pub p99: u64,
+}
+
+/// One counter or gauge reading.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metric {
+    /// Metric name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// Point-in-time copy of every registered series, sections and entries
+/// sorted by name so two snapshots of identical state serialize to
+/// identical bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Whether the producing build had the metrics layer compiled in.
+    pub enabled: bool,
+    /// Span (duration) series, sorted by name; all fields nanoseconds.
+    pub spans: Vec<SeriesStats>,
+    /// Value (magnitude) series, sorted by name.
+    pub values: Vec<SeriesStats>,
+    /// Counters, sorted by name.
+    pub counters: Vec<Metric>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<Metric>,
+}
+
+impl Snapshot {
+    /// Schema tag written into the JSON form.
+    pub const SCHEMA: &'static str = "obs/v1";
+
+    /// Sum of `total` over the named span series (nanoseconds). Missing
+    /// names contribute zero — convenient for stage-coverage arithmetic.
+    #[must_use]
+    pub fn span_total_ns(&self, names: &[&str]) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| names.contains(&s.name.as_str()))
+            .map(|s| s.total)
+            .sum()
+    }
+
+    /// The named span series, if present.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Option<&SeriesStats> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The named counter value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Serializes deterministically to a single-line JSON object (plus a
+    /// trailing newline), schema `obs/v1`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", Self::SCHEMA);
+        w.field_bool("enabled", self.enabled);
+        for (key, series, ns) in [
+            ("spans", &self.spans, true),
+            ("values", &self.values, false),
+        ] {
+            w.key(key);
+            w.begin_array();
+            for s in series {
+                w.begin_object();
+                w.field_str("name", &s.name);
+                w.field_u64("count", s.count);
+                let suffix = if ns { "_ns" } else { "" };
+                for (stat, v) in [
+                    ("total", s.total),
+                    ("min", s.min),
+                    ("max", s.max),
+                    ("p50", s.p50),
+                    ("p99", s.p99),
+                ] {
+                    w.field_u64(&format!("{stat}{suffix}"), v);
+                }
+                w.end_object();
+            }
+            w.end_array();
+        }
+        for (key, metrics) in [("counters", &self.counters), ("gauges", &self.gauges)] {
+            w.key(key);
+            w.begin_array();
+            for m in metrics {
+                w.begin_object();
+                w.field_str("name", &m.name);
+                w.field_u64("value", m.value);
+                w.end_object();
+            }
+            w.end_array();
+        }
+        w.end_object();
+        let mut text = w.finish();
+        text.push('\n');
+        text
+    }
+
+    /// Renders a fixed-width human table (one block per non-empty
+    /// section). Callers print it to stderr under one lock so it never
+    /// interleaves with other diagnostics.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if !self.enabled {
+            out.push_str("obs: disabled (rebuild with --features obs)\n");
+            return out;
+        }
+        let ms = |ns: u64| ns as f64 / 1e6;
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "obs spans                        count    total_ms      p50_ms      p99_ms      max_ms"
+            );
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>8} {:>11.3} {:>11.3} {:>11.3} {:>11.3}",
+                    s.name,
+                    s.count,
+                    ms(s.total),
+                    ms(s.p50),
+                    ms(s.p99),
+                    ms(s.max),
+                );
+            }
+        }
+        if !self.values.is_empty() {
+            let _ = writeln!(
+                out,
+                "obs values                       count       total         p50         p99         max"
+            );
+            for s in &self.values {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>8} {:>11} {:>11} {:>11} {:>11}",
+                    s.name, s.count, s.total, s.p50, s.p99, s.max,
+                );
+            }
+        }
+        for (title, metrics) in [
+            ("obs counters", &self.counters),
+            ("obs gauges", &self.gauges),
+        ] {
+            if metrics.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "{title}");
+            for m in metrics {
+                let _ = writeln!(out, "  {:<28} {:>20}", m.name, m.value);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            enabled: true,
+            spans: vec![SeriesStats {
+                name: "stage.mark".to_string(),
+                count: 3,
+                total: 3_000_000,
+                min: 900_000,
+                max: 1_200_000,
+                p50: 1_000_000,
+                p99: 1_200_000,
+            }],
+            values: vec![SeriesStats {
+                name: "taskpool.tasks_per_worker".to_string(),
+                count: 4,
+                total: 64,
+                min: 12,
+                max: 20,
+                p50: 15,
+                p99: 20,
+            }],
+            counters: vec![Metric {
+                name: "uka.keys_sealed".to_string(),
+                value: 171,
+            }],
+            gauges: vec![Metric {
+                name: "taskpool.workers".to_string(),
+                value: 4,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let snap = sample();
+        let a = snap.to_json();
+        let b = snap.clone().to_json();
+        assert_eq!(a, b);
+        assert!(json::well_formed(&a));
+        assert!(a.contains("\"schema\": \"obs/v1\""));
+        assert!(a.contains("\"name\": \"stage.mark\""));
+        assert!(a.contains("\"total_ns\": 3000000"));
+        assert!(a.contains("\"uka.keys_sealed\""));
+        assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn table_lists_every_section() {
+        let table = sample().render_table();
+        assert!(table.contains("stage.mark"));
+        assert!(table.contains("taskpool.tasks_per_worker"));
+        assert!(table.contains("uka.keys_sealed"));
+        assert!(table.contains("taskpool.workers"));
+        assert!(table.lines().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    fn helpers_tolerate_missing_names() {
+        let snap = sample();
+        assert_eq!(snap.span_total_ns(&["stage.mark", "stage.none"]), 3_000_000);
+        assert!(snap.span("stage.none").is_none());
+        assert_eq!(snap.counter("uka.keys_sealed"), 171);
+        assert_eq!(snap.counter("nope"), 0);
+    }
+
+    #[test]
+    fn disabled_snapshot_renders_hint() {
+        let table = Snapshot::default().render_table();
+        assert!(table.contains("disabled"));
+    }
+
+    #[cfg(feature = "enabled")]
+    mod live {
+        // Global-registry behavior; each test uses its own metric names
+        // so parallel test threads cannot interfere.
+        #[test]
+        fn span_guard_records_on_drop() {
+            {
+                let _g = crate::span("test.lib.span_drop");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let snap = crate::snapshot();
+            let s = snap.span("test.lib.span_drop").expect("registered");
+            assert_eq!(s.count, 1);
+            assert!(s.total >= 1_000_000, "slept >= 1ms, got {} ns", s.total);
+            assert!(s.min <= s.p50 && s.p50 <= s.p99 && s.p99 <= s.max);
+        }
+
+        #[test]
+        fn counters_gauges_and_values_accumulate() {
+            crate::counter_add("test.lib.ctr", 2);
+            crate::counter_add("test.lib.ctr", 3);
+            crate::gauge_set("test.lib.gauge", 7);
+            crate::gauge_set("test.lib.gauge", 9);
+            crate::observe("test.lib.val", 16);
+            crate::observe("test.lib.val", 64);
+            let snap = crate::snapshot();
+            assert_eq!(snap.counter("test.lib.ctr"), 5);
+            let gauge = snap
+                .gauges
+                .iter()
+                .find(|g| g.name == "test.lib.gauge")
+                .expect("gauge registered");
+            assert_eq!(gauge.value, 9);
+            let val = snap
+                .values
+                .iter()
+                .find(|v| v.name == "test.lib.val")
+                .expect("value registered");
+            assert_eq!((val.count, val.total, val.min, val.max), (2, 80, 16, 64));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The live metric registry (compiled only with the `enabled` feature).
+//!
+//! A process-global table of named series. Registration (first use of a
+//! name) takes a write lock once; every recording afterwards is a read
+//! lock plus a handful of relaxed atomic read-modify-writes on the slot,
+//! so concurrent recorders never lose an observation — counts sum
+//! exactly, which the concurrency tests pin down. Slots are leaked
+//! (`Box::leak`) so recorded guards can hold `&'static` references
+//! without reference counting; the set of distinct metric names bounds
+//! the leak.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::hist::{bucket_of, quantile, BUCKETS};
+use crate::{Metric, SeriesStats, Snapshot};
+
+/// What a slot measures; decides the snapshot section it lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    /// Nanosecond durations recorded by span guards.
+    SpanNs,
+    /// Unit-free magnitudes recorded by `observe`.
+    Value,
+    /// Monotonic sum.
+    Counter,
+    /// Last-write-wins level.
+    Gauge,
+}
+
+/// One named series: histogram statistics for spans/values, a single
+/// atomic for counters/gauges (stored in `total`).
+#[derive(Debug)]
+pub(crate) struct Slot {
+    name: &'static str,
+    kind: Kind,
+    count: AtomicU64,
+    total: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Slot {
+    fn new(name: &'static str, kind: Kind) -> Self {
+        let hist = matches!(kind, Kind::SpanNs | Kind::Value);
+        Slot {
+            name,
+            kind,
+            count: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: if hist {
+                (0..BUCKETS).map(|_| AtomicU64::new(0)).collect()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Records one histogram observation.
+    pub(crate) fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        if let Some(bucket) = self.buckets.get(bucket_of(value)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds to a counter.
+    pub(crate) fn add(&self, delta: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets a gauge.
+    pub(crate) fn set(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total.store(value, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn stats(&self) -> SeriesStats {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = if count == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        };
+        let max = self.max.load(Ordering::Relaxed);
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Quantile estimates are bucket upper bounds; clamping into the
+        // observed [min, max] tightens them for free (a single
+        // observation reports itself exactly).
+        let clamp = |v: u64| v.clamp(min, max.max(min));
+        SeriesStats {
+            name: self.name.to_string(),
+            count,
+            total: self.total.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: clamp(quantile(&counts, 0.50)),
+            p99: clamp(quantile(&counts, 0.99)),
+        }
+    }
+}
+
+static REGISTRY: OnceLock<RwLock<Vec<&'static Slot>>> = OnceLock::new();
+
+fn read_slots() -> RwLockReadGuard<'static, Vec<&'static Slot>> {
+    let lock = REGISTRY.get_or_init(|| RwLock::new(Vec::new()));
+    match lock.read() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn write_slots() -> RwLockWriteGuard<'static, Vec<&'static Slot>> {
+    let lock = REGISTRY.get_or_init(|| RwLock::new(Vec::new()));
+    match lock.write() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The slot registered under `name`, creating it with `kind` on first
+/// use. A name keeps its original kind for the life of the process;
+/// callers use one name per instrument.
+pub(crate) fn slot(name: &'static str, kind: Kind) -> &'static Slot {
+    if let Some(found) = read_slots().iter().find(|s| s.name == name) {
+        return found;
+    }
+    let mut slots = write_slots();
+    // Another thread may have registered the name between the locks.
+    if let Some(found) = slots.iter().find(|s| s.name == name) {
+        return found;
+    }
+    let slot: &'static Slot = Box::leak(Box::new(Slot::new(name, kind)));
+    slots.push(slot);
+    slot
+}
+
+/// Zeroes every registered series (names stay registered).
+pub(crate) fn reset_all() {
+    for slot in read_slots().iter() {
+        slot.reset();
+    }
+}
+
+/// A deterministic snapshot: every section sorted by name.
+pub(crate) fn snapshot_all() -> Snapshot {
+    let mut snap = Snapshot {
+        enabled: true,
+        ..Snapshot::default()
+    };
+    for slot in read_slots().iter() {
+        match slot.kind {
+            Kind::SpanNs => snap.spans.push(slot.stats()),
+            Kind::Value => snap.values.push(slot.stats()),
+            Kind::Counter => snap.counters.push(Metric {
+                name: slot.name.to_string(),
+                value: slot.total.load(Ordering::Relaxed),
+            }),
+            Kind::Gauge => snap.gauges.push(Metric {
+                name: slot.name.to_string(),
+                value: slot.total.load(Ordering::Relaxed),
+            }),
+        }
+    }
+    snap.spans.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.values.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+    snap
+}

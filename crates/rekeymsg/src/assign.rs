@@ -268,6 +268,7 @@ impl UkaAssignment {
         msg_seq: u64,
         layout: &Layout,
     ) -> Result<UkaAssignment, AssignError> {
+        let _span_build = obs::span("uka.build");
         let plans = plan(tree, outcome, layout);
         let msg_id = (msg_seq & 0x3f) as u8;
         let max_kid = outcome.nk.unwrap_or(0);
@@ -287,6 +288,7 @@ impl UkaAssignment {
         // so the sealed vector — and the first failing edge — are
         // identical at any worker count.
         const SEAL_CHUNK: usize = 64;
+        let span_seal = obs::span("stage.seal");
         let chunks: Vec<&[EncEdge]> = outcome.encryptions.chunks(SEAL_CHUNK).collect();
         let sealed_chunks: Vec<Result<Vec<SealedKey>, AssignError>> =
             taskpool::map(&chunks, |_, edges| {
@@ -316,6 +318,12 @@ impl UkaAssignment {
         for chunk in sealed_chunks {
             sealed.extend(chunk?);
         }
+        drop(span_seal);
+        obs::counter_add("uka.keys_sealed", sealed.len() as u64);
+        obs::counter_add(
+            "uka.bytes_sealed",
+            (sealed.len() * wirecrypto::SEALED_KEY_LEN) as u64,
+        );
 
         let mut packets = Vec::with_capacity(plans.len());
         let mut packet_of_user = HashMap::new();
@@ -345,6 +353,7 @@ impl UkaAssignment {
             });
         }
 
+        obs::counter_add("uka.enc_packets", packets.len() as u64);
         let stats = AssignmentStats {
             packets: plans.len(),
             entries_emitted,

@@ -45,6 +45,11 @@ impl Block {
     /// sequence. Blocks are independent, so the block set fans this out
     /// across workers.
     fn mint(&mut self, msg_id: u8, count: usize) -> Result<Vec<ParityPacket>, RseError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        obs::counter_add("fec.parity_packets", count as u64);
+        let _span_encode = obs::span("stage.encode");
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             let j = self.next_parity;
@@ -119,9 +124,12 @@ impl BlockSet {
         proto_encoder: BlockEncoder,
         layout: Layout,
     ) -> Self {
+        let _span_build = obs::span("fec.block_build");
         let k = proto_encoder.k();
         let real_packets = packets.len();
         let block_count = packets.len().div_ceil(k);
+        obs::counter_add("fec.blocks", block_count as u64);
+        obs::counter_add("fec.enc_packets", real_packets as u64);
         assert!(
             block_count <= 256,
             "message needs {block_count} blocks, wire limit 256"

@@ -244,7 +244,14 @@ impl BlockEncoder {
         data: &[D],
         out: &mut [u8],
     ) -> Result<(), RseError> {
+        let _span = obs::span("rse.parity");
+        let rows_before = self.rows.len();
         self.ensure_row(parity_index)?;
+        if self.rows.len() == rows_before {
+            obs::counter_add("rse.row_cache_hits", 1);
+        } else {
+            obs::counter_add("rse.rows_built", (self.rows.len() - rows_before) as u64);
+        }
         // `ensure_row` ended the mutable borrow, so the cached row can be
         // borrowed directly — this is the fix for the old per-packet
         // `row(..)?.to_vec()` clone on the hottest server path.
@@ -311,6 +318,7 @@ impl Decoder {
     /// plus `k²` multiply-accumulate passes; when all surviving shares
     /// are data packets the inversion short-circuits to a copy.
     pub fn decode(&mut self, shares: &[Share]) -> Result<Vec<Vec<u8>>, RseError> {
+        let _span = obs::span("rse.decode");
         // Select the first k shares, validating only what we select. The
         // `seen` table is persistent: every slot set here is cleared
         // before returning (on success and error alike).

@@ -91,19 +91,24 @@ where
 {
     let workers = max_workers().min(items.len());
     if workers <= 1 {
+        let _busy = obs::span("taskpool.worker_busy");
+        record_worker_share(items.len());
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    obs::gauge_set("taskpool.workers", workers as u64);
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let _busy = obs::span("taskpool.worker_busy");
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(idx) else { break };
                     local.push((idx, f(idx, item)));
                 }
+                record_worker_share(local.len());
                 lock_ignoring_poison(&collected).append(&mut local);
             });
         }
@@ -130,8 +135,11 @@ where
 {
     let workers = max_workers().min(items.len());
     if workers <= 1 {
+        let _busy = obs::span("taskpool.worker_busy");
+        record_worker_share(items.len());
         return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    obs::gauge_set("taskpool.workers", workers as u64);
     let total = items.len();
     let queue: Mutex<std::iter::Enumerate<std::slice::IterMut<'_, T>>> =
         Mutex::new(items.iter_mut().enumerate());
@@ -139,17 +147,27 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let _busy = obs::span("taskpool.worker_busy");
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let next = lock_ignoring_poison(&queue).next();
                     let Some((idx, item)) = next else { break };
                     local.push((idx, f(idx, item)));
                 }
+                record_worker_share(local.len());
                 lock_ignoring_poison(&collected).append(&mut local);
             });
         }
     });
     into_input_order(collected, total)
+}
+
+/// Records one worker's slice of a map: how many tasks it pulled off the
+/// shared queue, both as a per-worker distribution and as a running
+/// total. No-ops (like every `obs` call) unless the `obs` feature is on.
+fn record_worker_share(tasks: usize) {
+    obs::counter_add("taskpool.tasks", tasks as u64);
+    obs::observe("taskpool.tasks_per_worker", tasks as u64);
 }
 
 /// Locks a mutex, proceeding through poisoning: a poisoned lock here only

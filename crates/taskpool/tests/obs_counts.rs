@@ -1,0 +1,46 @@
+//! With the metrics layer compiled in, metrics recorded concurrently from
+//! pool workers must sum exactly — no lost updates under the relaxed
+//! atomics the registry uses. A no-op build has no registry to interrogate,
+//! so the test is vacuous there (the zero-allocation test in `obs` covers
+//! that side).
+
+#[test]
+fn pool_recorded_metrics_sum_exactly() {
+    if !obs::enabled() {
+        return;
+    }
+    const ITEMS: u64 = 512;
+    let items: Vec<u64> = (0..ITEMS).collect();
+    let out = taskpool::with_workers(4, || {
+        taskpool::map(&items, |_, &v| {
+            let _span = obs::span("test.pool.item");
+            obs::counter_add("test.pool.count", 1);
+            obs::observe("test.pool.value", v);
+            v
+        })
+    });
+    assert_eq!(out, items, "map stays deterministic under instrumentation");
+
+    let snap = obs::snapshot();
+    assert_eq!(snap.counter("test.pool.count"), ITEMS);
+    let span = snap.span("test.pool.item").expect("span registered");
+    assert_eq!(span.count, ITEMS, "every span guard recorded exactly once");
+    let value = snap
+        .values
+        .iter()
+        .find(|v| v.name == "test.pool.value")
+        .expect("value series registered");
+    assert_eq!(value.count, ITEMS);
+    assert_eq!(value.total, ITEMS * (ITEMS - 1) / 2, "no lost updates");
+    assert_eq!((value.min, value.max), (0, ITEMS - 1));
+
+    // taskpool's own instrumentation saw the same work: every item pulled
+    // off the queue is counted exactly once across all workers.
+    assert_eq!(snap.counter("taskpool.tasks"), ITEMS);
+    let per_worker = snap
+        .values
+        .iter()
+        .find(|v| v.name == "taskpool.tasks_per_worker")
+        .expect("taskpool records its worker shares");
+    assert_eq!(per_worker.total, ITEMS, "worker shares partition the items");
+}

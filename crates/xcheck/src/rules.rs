@@ -5,7 +5,7 @@ use crate::walk::SourceFile;
 
 /// Crates whose non-test code must be panic-free (wire/hot paths and the
 /// simulation engine the figures depend on).
-const PANIC_FREE_CRATES: [&str; 7] = [
+const PANIC_FREE_CRATES: [&str; 8] = [
     "wirecrypto",
     "rekeymsg",
     "rse",
@@ -13,6 +13,7 @@ const PANIC_FREE_CRATES: [&str; 7] = [
     "grouprekey",
     "keytree",
     "rekeyproto",
+    "obs",
 ];
 
 /// Files in which `as` casts to narrower integer types are forbidden
@@ -22,7 +23,14 @@ const NO_TRUNCATING_CAST_FILES: [&str; 2] =
     ["crates/gf256/src/field.rs", "crates/gf256/src/matrix.rs"];
 
 /// Crates whose entire `pub` surface must carry doc comments.
-const DOCUMENTED_CRATES: [&str; 5] = ["keytree", "rse", "netsim", "grouprekey", "rekeyproto"];
+const DOCUMENTED_CRATES: [&str; 6] = [
+    "keytree",
+    "rse",
+    "netsim",
+    "grouprekey",
+    "rekeyproto",
+    "obs",
+];
 
 /// Integer types an `as` cast may truncate into.
 const NARROW_INT_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
@@ -65,7 +73,7 @@ pub fn run_all(sources: &[SourceFile]) -> Outcome {
     let mut no_panic = RuleReport {
         id: "no-unwrap-in-wire-crates",
         description: "no `.unwrap()` / `.expect()` in non-test code of wirecrypto, rekeymsg, rse, \
-                      netsim, grouprekey, keytree, rekeyproto",
+                      netsim, grouprekey, keytree, rekeyproto, obs",
         violations: Vec::new(),
     };
     let mut forbid_unsafe = RuleReport {
@@ -80,7 +88,7 @@ pub fn run_all(sources: &[SourceFile]) -> Outcome {
     };
     let mut pub_docs = RuleReport {
         id: "documented-pub-api",
-        description: "every `pub` item in keytree, rse, netsim, grouprekey, and rekeyproto \
+        description: "every `pub` item in keytree, rse, netsim, grouprekey, rekeyproto, and obs \
                       carries a doc comment",
         violations: Vec::new(),
     };

@@ -60,4 +60,34 @@ if ! grep -q '"mode": "full"' BENCH_scale.json; then
     exit 1
 fi
 
+echo "==> obs gate: build + test with --features obs"
+cargo build -q --workspace --features obs
+cargo test -q --workspace --features obs
+
+echo "==> obs gate: bench_scale --smoke --obs-out target/obs.smoke.json"
+cargo run -q --release -p bench --features bench/obs --bin bench_scale -- \
+    --smoke --out target/BENCH_scale.obs-smoke.json --obs-out target/obs.smoke.json
+if [ ! -s target/obs.smoke.json ]; then
+    echo "ci.sh: target/obs.smoke.json missing or empty" >&2
+    exit 1
+fi
+for key in '"schema": "obs_scale/v1"' '"schema": "obs/v1"' '"coverage_pct"' \
+    'stage.mark' 'stage.mint' 'stage.seal' 'keytree.mark_batch' 'uka.build'; do
+    if ! grep -q "$key" target/obs.smoke.json; then
+        echo "ci.sh: obs snapshot is missing $key" >&2
+        exit 1
+    fi
+done
+# Balanced-brace structural parse, same check the --check flags apply.
+python3 - <<'EOF'
+import json
+with open("target/obs.smoke.json") as f:
+    snap = json.load(f)
+assert snap["schema"] == "obs_scale/v1", snap["schema"]
+assert snap["obs"]["enabled"] is True
+names = {s["name"] for s in snap["obs"]["spans"]}
+for expected in ("stage.mark", "stage.mint", "stage.seal", "keytree.mark_batch", "uka.build"):
+    assert expected in names, f"missing span {expected}: {sorted(names)}"
+EOF
+
 echo "==> ci.sh: all gates passed"
