@@ -1,0 +1,44 @@
+//! Schedule-perturbation bit-identity gate for the figure engine: whole
+//! rendered figures must be byte-identical under seeded adversarial
+//! `taskpool` schedules (shuffled task pickup, injected yields) at any
+//! worker count — the dynamic companion to xcheck's static
+//! `determinism-unordered-iter` rule.
+
+use bench::Mode;
+
+fn render_figure(workers: usize, sched_seed: Option<u64>, fig: bench::FigFn) -> Vec<u8> {
+    let mode = Mode {
+        messages: 2,
+        runs: 2,
+        trajectory: 4,
+    };
+    let mut out = Vec::new();
+    taskpool::with_workers(workers, || match sched_seed {
+        Some(seed) => taskpool::with_schedule(seed, || fig(mode, &mut out)),
+        None => fig(mode, &mut out),
+    })
+    .expect("figure renders to a Vec");
+    out
+}
+
+#[test]
+fn figure_text_is_schedule_invariant() {
+    // Two cheap figures — a workload table and a transport grid — rendered
+    // under eight adversarial schedules each, sequential and parallel.
+    for fig in [
+        bench::figures::sigcomm_sparseness as bench::FigFn,
+        bench::figures::sigcomm_model as bench::FigFn,
+    ] {
+        let baseline = render_figure(1, None, fig);
+        assert!(!baseline.is_empty());
+        for seed in 0..8u64 {
+            for workers in [1, 3] {
+                assert_eq!(
+                    baseline,
+                    render_figure(workers, Some(seed), fig),
+                    "seed={seed}, workers={workers}"
+                );
+            }
+        }
+    }
+}

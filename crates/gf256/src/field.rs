@@ -222,6 +222,7 @@ impl Div for Gf256 {
     type Output = Gf256;
     #[inline]
     fn div(self, rhs: Self) -> Self {
+        // xcheck-allow(no-unwrap-in-wire-crates): Div mirrors integer `/` — panicking on zero divisor is the documented contract; fallible callers use checked_div
         self.checked_div(rhs).expect("division by zero in GF(2^8)")
     }
 }

@@ -143,6 +143,7 @@ impl Matrix {
                 inv.swap_rows(pivot, col);
             }
             // Scale pivot row to 1.
+            // xcheck-allow(no-unwrap-in-wire-crates): the find() above selected this row precisely because the pivot is non-zero
             let p = a[(col, col)].inv().expect("pivot is non-zero");
             for c in 0..n {
                 a[(col, c)] *= p;
@@ -178,6 +179,7 @@ impl Matrix {
                 continue;
             };
             a.swap_rows(pivot, row);
+            // xcheck-allow(no-unwrap-in-wire-crates): the find() above selected this row precisely because the pivot is non-zero
             let p = a[(row, col)].inv().expect("pivot non-zero");
             for c in 0..a.cols {
                 a[(row, c)] *= p;

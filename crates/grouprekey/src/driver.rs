@@ -8,7 +8,7 @@
 //! correctness at realistic-but-moderate group sizes; the `sim` module
 //! scales the same protocol to the paper's 4096–16384-user experiments.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use keytree::{Batch, MemberId, NodeId};
 use netsim::{Network, NetworkConfig};
@@ -32,10 +32,11 @@ fn require<T>(value: Option<T>, what: &str) -> T {
 pub struct Group {
     /// The key server.
     pub server: KeyServer,
-    /// Live member agents.
-    pub agents: HashMap<MemberId, UserAgent>,
+    /// Live member agents. Ordered so that every iteration over members
+    /// (loss draws, outcome application) is deterministic across runs.
+    pub agents: BTreeMap<MemberId, UserAgent>,
     net: Network,
-    net_index: HashMap<MemberId, usize>,
+    net_index: BTreeMap<MemberId, usize>,
     free_indices: Vec<usize>,
     clock: f64,
     degree: u32,
@@ -51,8 +52,8 @@ impl Group {
         net_cfg.n_users = net_cfg.n_users.max(n as usize);
         let net = Network::new(net_cfg);
 
-        let mut agents = HashMap::new();
-        let mut net_index = HashMap::new();
+        let mut agents = BTreeMap::new();
+        let mut net_index = BTreeMap::new();
         for m in 0..n {
             let tree = server.tree();
             let node = require(tree.node_of_member(m), "bootstrap member has a node");
@@ -128,7 +129,7 @@ impl Group {
     /// driver misuse).
     pub fn rekey(&mut self, batch: Batch) -> MessageReport {
         // Snapshot pre-batch node IDs (the "old IDs" users hold).
-        let old_ids: HashMap<MemberId, NodeId> = self
+        let old_ids: BTreeMap<MemberId, NodeId> = self
             .agents
             .keys()
             .map(|&m| (m, self.agents[&m].node_id()))
@@ -163,7 +164,7 @@ impl Group {
 
         // One transport session per member.
         let k = self.server.controller().config().block_size;
-        let mut sessions: HashMap<MemberId, UserSession> = self
+        let mut sessions: BTreeMap<MemberId, UserSession> = self
             .agents
             .keys()
             .map(|&m| {
@@ -175,7 +176,7 @@ impl Group {
                 (m, session)
             })
             .collect();
-        let member_of_node: HashMap<NodeId, MemberId> = self
+        let member_of_node: BTreeMap<NodeId, MemberId> = self
             .agents
             .keys()
             .map(|&m| {

@@ -122,7 +122,12 @@ impl SimUser {
         self.satisfied_round
     }
 
-    fn receive(&mut self, pkt: &Packet, round: usize) {
+    /// Feeds one received packet into the user's share bookkeeping.
+    /// Steady-state allocation-free: the share bitsets and the block-ID
+    /// estimator reuse their capacity once a rekey message is underway
+    /// (pinned by the `no_alloc_marks` integration test).
+    // xcheck: no_alloc
+    pub fn receive(&mut self, pkt: &Packet, round: usize) {
         if self.is_satisfied() {
             return;
         }
@@ -170,7 +175,8 @@ impl SimUser {
     /// `nack` (clearing any previous requests) and returns whether the
     /// user NACKs this round. Same decision logic as [`Self::end_of_round`];
     /// the transport loop threads one scratch packet through every user.
-    fn end_of_round_into(&mut self, round: usize, nack: &mut NackPacket) -> bool {
+    // xcheck: no_alloc
+    pub fn end_of_round_into(&mut self, round: usize, nack: &mut NackPacket) -> bool {
         nack.msg_id = 0;
         nack.requests.clear();
         if self.is_satisfied() {

@@ -1,0 +1,89 @@
+//! Dynamic half of the `// xcheck: no_alloc` contract for the transport
+//! simulation's per-user hot paths: once a rekey message is underway
+//! (share bitsets sized, block-ID estimator constructed, NACK scratch
+//! warm), [`SimUser::receive`] and [`SimUser::end_of_round_into`] must
+//! perform zero heap allocations.
+
+use grouprekey::sim::SimUser;
+use rekeymsg::{EncPacket, NackPacket, Packet, ParityPacket};
+
+#[global_allocator]
+static ALLOC: xcheck_rt::CountingAlloc = xcheck_rt::CountingAlloc;
+
+fn enc(block_id: u8, seq: u8, frm_id: u16, to_id: u16) -> Packet {
+    Packet::Enc(EncPacket {
+        msg_id: 1,
+        block_id,
+        seq,
+        duplicate: false,
+        max_kid: 63,
+        frm_id,
+        to_id,
+        entries: Vec::new(),
+    })
+}
+
+fn parity(block_id: u8, seq: u8) -> Packet {
+    Packet::Parity(ParityPacket {
+        msg_id: 1,
+        block_id,
+        seq,
+        body: Vec::new(),
+    })
+}
+
+#[test]
+fn receive_and_end_of_round_into_are_allocation_free_in_steady_state() {
+    xcheck_rt::assert_counting();
+
+    // User at node 500 with FEC block size 8; its ENC packet lives in
+    // block 3, which we never deliver, so the user stays busy collecting
+    // shares and NACKing — the transport steady state.
+    let k = 8;
+    let mut user = SimUser::new(0, 500, k, 4, Some(3));
+
+    // Warm-up: packets for every block the rounds below will touch size
+    // the share bitsets, and the first ENC observation constructs the
+    // block-ID estimator. Build all packets up front — constructing a
+    // `Packet` allocates by design; receiving it must not.
+    let warm: Vec<Packet> = vec![enc(0, 0, 100, 120), enc(4, 1, 600, 650), parity(4, 0)];
+    for pkt in &warm {
+        user.receive(pkt, 0);
+    }
+    let mut nack = NackPacket {
+        msg_id: 0,
+        requests: Vec::new(),
+    };
+    assert!(
+        user.end_of_round_into(0, &mut nack),
+        "unsatisfied user NACKs"
+    );
+
+    // Steady state: stream more shares and round boundaries.
+    let stream: Vec<Packet> = (0u8..16)
+        .map(|i| {
+            if i % 2 == 0 {
+                enc(i % 5, i / 2, 600, 650)
+            } else {
+                parity(i % 5, i)
+            }
+        })
+        .collect();
+    for (round, pkt) in stream.iter().enumerate() {
+        xcheck_rt::assert_zero_alloc("SimUser::receive", || user.receive(pkt, round + 1));
+        let nacked = xcheck_rt::assert_zero_alloc("SimUser::end_of_round_into", || {
+            user.end_of_round_into(round + 1, &mut nack)
+        });
+        assert!(nacked, "still missing block 3, must keep NACKing");
+        assert!(!nack.requests.is_empty());
+    }
+    assert!(!user.is_satisfied());
+
+    // Delivering k distinct shares of the true block satisfies the user.
+    for seq in 0..k as u8 {
+        let pkt = parity(3, seq);
+        user.receive(&pkt, 20);
+    }
+    assert!(!user.end_of_round_into(20, &mut nack), "decoded: no NACK");
+    assert!(user.is_satisfied());
+}

@@ -1,0 +1,69 @@
+//! Schedule-perturbation bit-identity gate: the rekey pipeline's
+//! artifacts must be byte-identical under seeded adversarial `taskpool`
+//! schedules — shuffled task pickup plus injected yield points — at any
+//! worker count. This is the dynamic check behind the static
+//! `determinism-unordered-iter` rule: where xcheck proves no unordered
+//! container feeds an ordered output, this test lets actual hostile
+//! interleavings try to break the artifact stream.
+
+use grouprekey::{KeyServer, ServerOptions};
+use keytree::{Batch, MemberId};
+use rekeymsg::UsrPacket;
+use wirecrypto::SymKey;
+
+/// One churned message stream under an optional perturbation seed:
+/// bootstrap N users, run a leave-heavy batch, then a join-heavy batch
+/// (forcing splits), collecting everything observable about each rekey.
+#[allow(clippy::type_complexity)]
+fn run_stream(
+    workers: usize,
+    sched_seed: Option<u64>,
+    n: u32,
+) -> Vec<(
+    keytree::MarkOutcome,
+    Vec<rekeymsg::EncPacket>,
+    Vec<Option<UsrPacket>>,
+    Option<SymKey>,
+)> {
+    let body = || {
+        let mut server = KeyServer::bootstrap(n, ServerOptions::default());
+        let batches = vec![
+            Batch::new(vec![], (0..n / 4).map(|i| i * 3 % n).collect()),
+            Batch::new(
+                (0..n / 2)
+                    .map(|i| (n + i, server.mint_individual_key()))
+                    .collect(),
+                vec![1, 2],
+            ),
+        ];
+        batches
+            .into_iter()
+            .map(|batch| {
+                let artifacts = server.rekey(batch);
+                let members: Vec<MemberId> = server.tree().member_ids();
+                let usr = server.usr_packets_bulk(&members);
+                (
+                    (*artifacts.outcome).clone(),
+                    artifacts.assignment.packets.clone(),
+                    usr,
+                    server.tree().group_key(),
+                )
+            })
+            .collect()
+    };
+    taskpool::with_workers(workers, || match sched_seed {
+        Some(seed) => taskpool::with_schedule(seed, body),
+        None => body(),
+    })
+}
+
+#[test]
+fn rekey_artifacts_are_schedule_invariant() {
+    let baseline = run_stream(1, None, 256);
+    for seed in 0..8u64 {
+        for workers in [1, 4] {
+            let perturbed = run_stream(workers, Some(seed), 256);
+            assert_eq!(baseline, perturbed, "seed={seed}, workers={workers}");
+        }
+    }
+}

@@ -330,9 +330,127 @@ impl KeyTree {
             // steady state long-lived servers run in.
             obs::counter_add("keytree.scratch_reuse_hits", 1);
         }
+        let mut moves: Vec<UserMove> = Vec::new();
+        self.mark_batch_in(&batch, keygen, scratch, &mut moves);
+
+        let d = self.degree();
+        let span_mint = obs::span("stage.mint");
+
+        // ---- Phase 3: fresh keys and encryption edges --------------------
+        // `touched` is already descending (deepest first), so the filter
+        // preserves the paper's bottom-up traversal order.
+        let updated: Vec<NodeId> = scratch
+            .touched
+            .iter()
+            .copied()
+            .filter(|&id| {
+                matches!(
+                    scratch.label_of(id),
+                    Some(Label::Join) | Some(Label::Replace)
+                )
+            })
+            .collect();
+
+        // Mint the fresh keys in parallel from one batch seed: each key is
+        // a PRF of (seed, node id), so chunked workers produce exactly the
+        // keys a sequential pass would.
+        if !updated.is_empty() {
+            let batch_seed = keygen.next_key();
+            let chunks: Vec<&[NodeId]> = updated.chunks(DERIVE_CHUNK).collect();
+            let derived: Vec<Vec<SymKey>> = taskpool::map(&chunks, |_, ids| {
+                ids.iter()
+                    .map(|&id| derive_node_key(&batch_seed, id))
+                    .collect()
+            });
+            for (ids, keys) in chunks.iter().zip(&derived) {
+                for (&id, &key) in ids.iter().zip(keys) {
+                    self.set_key(id, key);
+                }
+            }
+        }
+
+        let mut encryptions = Vec::new();
+        for &p in &updated {
+            for c in ident::children(p, d) {
+                if self.is_n(c) {
+                    continue;
+                }
+                if scratch.label_of(c) == Some(Label::Leave) {
+                    continue;
+                }
+                encryptions.push(EncEdge {
+                    child: c,
+                    parent: p,
+                });
+            }
+        }
+        let mut index_by_child: Vec<(NodeId, usize)> = encryptions
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.child, i))
+            .collect();
+        index_by_child.sort_unstable_by_key(|&(c, _)| c);
+
+        // The outward labels map holds the rekey subtree only: the nodes
+        // this batch placed, vacated, or relabelled.
+        let mut labels: HashMap<NodeId, Label> = HashMap::with_capacity(
+            scratch.touched.len() + scratch.placed.len() + scratch.became_n.len(),
+        );
+        for list in [&scratch.touched, &scratch.placed, &scratch.became_n] {
+            for &id in list {
+                if let Some(label) = scratch.label_of(id) {
+                    labels.insert(id, label);
+                }
+            }
+        }
+
+        obs::counter_add("keytree.keys_minted", updated.len() as u64);
+        obs::counter_add("keytree.encryptions", encryptions.len() as u64);
+        drop(span_mint);
+
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+
+        let Batch { joins, leaves } = batch;
+        MarkOutcome {
+            updated_knodes: updated,
+            encryptions,
+            moves,
+            departed: leaves,
+            joined: joins.into_iter().map(|(m, _)| m).collect(),
+            nk: self.max_knode_id(),
+            labels,
+            index_by_child,
+        }
+    }
+
+    /// Phases 1–2 of [`KeyTree::process_batch_in`]: applies one batch's
+    /// topology changes (replacements, pruning, splitting, revivals) and
+    /// labels the rekey subtree, leaving the labelled node set in
+    /// `scratch` and the member relocations in `moves` (cleared first).
+    /// Fresh keys are *not* minted here — [`KeyTree::process_batch_in`]
+    /// runs this and then derives keys and encryption edges from the
+    /// labels.
+    ///
+    /// With a warm `scratch`, a warm `moves`, and no tree growth this is
+    /// the allocation-free half of the batch pipeline; the
+    /// `no_alloc_marks` integration test pins it at zero steady-state
+    /// allocations under the `xcheck-rt` counting allocator.
+    ///
+    /// # Panics
+    ///
+    /// As [`KeyTree::process_batch`].
+    // xcheck: no_alloc
+    pub fn mark_batch_in(
+        &mut self,
+        batch: &Batch,
+        keygen: &mut KeyGen,
+        scratch: &mut MarkScratch,
+        moves: &mut Vec<UserMove>,
+    ) {
         let span_mark = obs::span("stage.mark");
         let d = self.degree();
         scratch.begin(self.storage_len());
+        moves.clear();
 
         // ---- Phase 1: update the key tree -------------------------------
         for m in &batch.leaves {
@@ -349,7 +467,6 @@ impl KeyTree {
             );
         }
 
-        let mut moves: Vec<UserMove> = Vec::new();
         let j = batch.j();
         let l = batch.l();
 
@@ -560,93 +677,6 @@ impl KeyTree {
         }
 
         drop(span_mark);
-        let span_mint = obs::span("stage.mint");
-
-        // ---- Phase 3: fresh keys and encryption edges --------------------
-        // `touched` is already descending (deepest first), so the filter
-        // preserves the paper's bottom-up traversal order.
-        let updated: Vec<NodeId> = scratch
-            .touched
-            .iter()
-            .copied()
-            .filter(|&id| {
-                matches!(
-                    scratch.label_of(id),
-                    Some(Label::Join) | Some(Label::Replace)
-                )
-            })
-            .collect();
-
-        // Mint the fresh keys in parallel from one batch seed: each key is
-        // a PRF of (seed, node id), so chunked workers produce exactly the
-        // keys a sequential pass would.
-        if !updated.is_empty() {
-            let batch_seed = keygen.next_key();
-            let chunks: Vec<&[NodeId]> = updated.chunks(DERIVE_CHUNK).collect();
-            let derived: Vec<Vec<SymKey>> = taskpool::map(&chunks, |_, ids| {
-                ids.iter()
-                    .map(|&id| derive_node_key(&batch_seed, id))
-                    .collect()
-            });
-            for (ids, keys) in chunks.iter().zip(&derived) {
-                for (&id, &key) in ids.iter().zip(keys) {
-                    self.set_key(id, key);
-                }
-            }
-        }
-
-        let mut encryptions = Vec::new();
-        for &p in &updated {
-            for c in ident::children(p, d) {
-                if self.is_n(c) {
-                    continue;
-                }
-                if scratch.label_of(c) == Some(Label::Leave) {
-                    continue;
-                }
-                encryptions.push(EncEdge {
-                    child: c,
-                    parent: p,
-                });
-            }
-        }
-        let mut index_by_child: Vec<(NodeId, usize)> = encryptions
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (e.child, i))
-            .collect();
-        index_by_child.sort_unstable_by_key(|&(c, _)| c);
-
-        // The outward labels map holds the rekey subtree only: the nodes
-        // this batch placed, vacated, or relabelled.
-        let mut labels: HashMap<NodeId, Label> = HashMap::with_capacity(
-            scratch.touched.len() + scratch.placed.len() + scratch.became_n.len(),
-        );
-        for list in [&scratch.touched, &scratch.placed, &scratch.became_n] {
-            for &id in list {
-                if let Some(label) = scratch.label_of(id) {
-                    labels.insert(id, label);
-                }
-            }
-        }
-
-        obs::counter_add("keytree.keys_minted", updated.len() as u64);
-        obs::counter_add("keytree.encryptions", encryptions.len() as u64);
-        drop(span_mint);
-
-        debug_assert_eq!(self.check_invariants(), Ok(()));
-
-        let Batch { joins, leaves } = batch;
-        MarkOutcome {
-            updated_knodes: updated,
-            encryptions,
-            moves,
-            departed: leaves,
-            joined: joins.into_iter().map(|(m, _)| m).collect(),
-            nk: self.max_knode_id(),
-            labels,
-            index_by_child,
-        }
     }
 }
 

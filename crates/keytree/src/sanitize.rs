@@ -96,7 +96,7 @@ pub fn verify_marking(
             return Err(format!("k-node {id} is in updated_knodes but kept its key"));
         }
     }
-    for &id in &updated {
+    for &id in &outcome.updated_knodes {
         if !after.node(id).is_k() {
             return Err(format!(
                 "updated_knodes contains {id}, which is not a k-node"

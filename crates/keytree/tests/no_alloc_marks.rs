@@ -1,0 +1,53 @@
+//! Dynamic half of the `// xcheck: no_alloc` contract for
+//! [`KeyTree::mark_batch_in`]: with a warm scratch, a warm moves buffer,
+//! and a replace-shaped batch (joins == leaves, so the tree's storage
+//! does not grow), phases 1–2 of batch processing must perform zero heap
+//! allocations.
+
+use keytree::{Batch, KeyTree, MarkScratch, UserMove};
+use wirecrypto::KeyGen;
+
+#[global_allocator]
+static ALLOC: xcheck_rt::CountingAlloc = xcheck_rt::CountingAlloc;
+
+#[test]
+fn mark_batch_in_is_allocation_free_in_steady_state() {
+    xcheck_rt::assert_counting();
+
+    let mut kg = KeyGen::from_seed(41);
+    let mut tree = KeyTree::balanced(64, 4, &mut kg);
+    let mut scratch = MarkScratch::new();
+    let mut moves: Vec<UserMove> = Vec::new();
+
+    // Warm-up: several replace batches fill the scratch's node maps and
+    // work lists to their steady-state capacity.
+    let mut next_member = 1000u32;
+    let batch_at = |round: u32, kg: &mut KeyGen, next: &mut u32| {
+        let leaves: Vec<u32> = (0..4).map(|i| round * 4 + i).collect();
+        let joins: Vec<_> = (0..4)
+            .map(|_| {
+                *next += 1;
+                (*next, kg.next_key())
+            })
+            .collect();
+        Batch::new(joins, leaves)
+    };
+    for round in 0..4 {
+        let batch = batch_at(round, &mut kg, &mut next_member);
+        tree.mark_batch_in(&batch, &mut kg, &mut scratch, &mut moves);
+    }
+
+    // Steady state: one more batch of the same shape must not allocate.
+    let batch = batch_at(4, &mut kg, &mut next_member);
+    xcheck_rt::assert_zero_alloc("KeyTree::mark_batch_in", || {
+        tree.mark_batch_in(&batch, &mut kg, &mut scratch, &mut moves)
+    });
+
+    // The marking really ran: the batch's joins are live members now.
+    assert!(tree.node_of_member(next_member).is_some());
+    assert!(
+        tree.node_of_member(30).is_some(),
+        "untouched member survives"
+    );
+    assert!(tree.node_of_member(16).is_none(), "round-4 leave departed");
+}

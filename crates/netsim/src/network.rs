@@ -141,6 +141,7 @@ impl Network {
     /// fills it with one flag per user, reusing the buffer's capacity.
     /// The per-packet hot path of the transport simulation calls this
     /// thousands of times per rekey message with the same scratch buffer.
+    // xcheck: no_alloc
     pub fn multicast_into(&mut self, now: SimTime, delivered: &mut Vec<bool>) {
         obs::counter_add("net.multicast_packets", 1);
         delivered.clear();
@@ -167,6 +168,7 @@ impl Network {
     /// Allocation-free [`Network::multicast_to`]: clears `delivered` and
     /// fills it with one flag per entry of `listeners`, in order, reusing
     /// the buffer's capacity across packets.
+    // xcheck: no_alloc
     pub fn multicast_to_into(
         &mut self,
         now: SimTime,
@@ -189,6 +191,7 @@ impl Network {
 
     /// Unicasts one packet to `user` at time `now` (source + receiver
     /// link, same as multicast but for one destination).
+    // xcheck: no_alloc
     pub fn unicast(&mut self, now: SimTime, user: usize) -> bool {
         obs::counter_add("net.unicast_packets", 1);
         let ok = self.source.transmit(now) && self.receivers[user].transmit(now);

@@ -100,6 +100,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// Starts a span named `name` (no-op: the `enabled` feature is off).
 #[cfg(not(feature = "enabled"))]
 #[inline(always)]
+// xcheck: no_alloc
 pub fn span(_name: &'static str) -> SpanGuard {
     SpanGuard {}
 }
@@ -113,6 +114,7 @@ pub fn observe(name: &'static str, value: u64) {
 /// Records one magnitude (no-op: the `enabled` feature is off).
 #[cfg(not(feature = "enabled"))]
 #[inline(always)]
+// xcheck: no_alloc
 pub fn observe(_name: &'static str, _value: u64) {}
 
 /// Adds `delta` to the counter `name`.
@@ -124,6 +126,7 @@ pub fn counter_add(name: &'static str, delta: u64) {
 /// Adds to a counter (no-op: the `enabled` feature is off).
 #[cfg(not(feature = "enabled"))]
 #[inline(always)]
+// xcheck: no_alloc
 pub fn counter_add(_name: &'static str, _delta: u64) {}
 
 /// Sets the gauge `name` to `value`.
@@ -135,6 +138,7 @@ pub fn gauge_set(name: &'static str, value: u64) {
 /// Sets a gauge (no-op: the `enabled` feature is off).
 #[cfg(not(feature = "enabled"))]
 #[inline(always)]
+// xcheck: no_alloc
 pub fn gauge_set(_name: &'static str, _value: u64) {}
 
 /// Zeroes every registered series (names stay registered). Benchmarks

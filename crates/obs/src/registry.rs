@@ -61,49 +61,54 @@ impl Slot {
 
     /// Records one histogram observation.
     pub(crate) fn record(&self, value: u64) {
+        // xcheck-ordering: independent monotonic stats; readers tolerate torn cross-field views
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(value, Ordering::Relaxed);
-        self.min.fetch_min(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        self.total.fetch_add(value, Ordering::Relaxed); // xcheck-ordering: same
+        self.min.fetch_min(value, Ordering::Relaxed); // xcheck-ordering: same
+        self.max.fetch_max(value, Ordering::Relaxed); // xcheck-ordering: same
         if let Some(bucket) = self.buckets.get(bucket_of(value)) {
-            bucket.fetch_add(1, Ordering::Relaxed);
+            bucket.fetch_add(1, Ordering::Relaxed); // xcheck-ordering: same
         }
     }
 
     /// Adds to a counter.
     pub(crate) fn add(&self, delta: u64) {
+        // xcheck-ordering: pure accumulators; no other memory is published through them
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(delta, Ordering::Relaxed);
+        self.total.fetch_add(delta, Ordering::Relaxed); // xcheck-ordering: same
     }
 
     /// Sets a gauge.
     pub(crate) fn set(&self, value: u64) {
+        // xcheck-ordering: last-writer-wins gauge; no cross-field invariant to order against
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.total.store(value, Ordering::Relaxed);
+        self.total.store(value, Ordering::Relaxed); // xcheck-ordering: same
     }
 
     fn reset(&self) {
+        // xcheck-ordering: callers quiesce recorders before reset; no ordering can save a racing reset anyway
         self.count.store(0, Ordering::Relaxed);
-        self.total.store(0, Ordering::Relaxed);
-        self.min.store(u64::MAX, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.total.store(0, Ordering::Relaxed); // xcheck-ordering: same
+        self.min.store(u64::MAX, Ordering::Relaxed); // xcheck-ordering: same
+        self.max.store(0, Ordering::Relaxed); // xcheck-ordering: same
         for bucket in &self.buckets {
-            bucket.store(0, Ordering::Relaxed);
+            bucket.store(0, Ordering::Relaxed); // xcheck-ordering: same
         }
     }
 
     fn stats(&self) -> SeriesStats {
+        // xcheck-ordering: snapshot reads are advisory; fields may tear between loads by design
         let count = self.count.load(Ordering::Relaxed);
         let min = if count == 0 {
             0
         } else {
-            self.min.load(Ordering::Relaxed)
+            self.min.load(Ordering::Relaxed) // xcheck-ordering: same
         };
-        let max = self.max.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed); // xcheck-ordering: same
         let counts: Vec<u64> = self
             .buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|b| b.load(Ordering::Relaxed)) // xcheck-ordering: same
             .collect();
         // Quantile estimates are bucket upper bounds; clamping into the
         // observed [min, max] tightens them for free (a single
@@ -112,7 +117,7 @@ impl Slot {
         SeriesStats {
             name: self.name.to_string(),
             count,
-            total: self.total.load(Ordering::Relaxed),
+            total: self.total.load(Ordering::Relaxed), // xcheck-ordering: same
             min,
             max,
             p50: clamp(quantile(&counts, 0.50)),
@@ -175,10 +180,12 @@ pub(crate) fn snapshot_all() -> Snapshot {
             Kind::Value => snap.values.push(slot.stats()),
             Kind::Counter => snap.counters.push(Metric {
                 name: slot.name.to_string(),
+                // xcheck-ordering: advisory snapshot read of a monotonic counter
                 value: slot.total.load(Ordering::Relaxed),
             }),
             Kind::Gauge => snap.gauges.push(Metric {
                 name: slot.name.to_string(),
+                // xcheck-ordering: advisory snapshot read of a last-writer-wins gauge
                 value: slot.total.load(Ordering::Relaxed),
             }),
         }

@@ -1,0 +1,97 @@
+//! Edge cases of the log2-histogram aggregation surface: the value `0`
+//! (its own bucket), `u64::MAX` (the clamped tail bucket), exact
+//! power-of-two bucket boundaries, and min/max exactness under
+//! concurrent recording. Runs against the real registry, so each test
+//! uses its own series names; without the `enabled` feature the tests
+//! are vacuous no-ops, matching the crate's feature contract.
+
+fn stats(snap: &obs::Snapshot, name: &str) -> obs::SeriesStats {
+    snap.values
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("series {name} registered"))
+        .clone()
+}
+
+#[test]
+fn zero_is_its_own_bucket() {
+    if !obs::enabled() {
+        return;
+    }
+    for _ in 0..5 {
+        obs::observe("test.hist.zero", 0);
+    }
+    let s = stats(&obs::snapshot(), "test.hist.zero");
+    assert_eq!(s.count, 5);
+    assert_eq!(s.total, 0);
+    assert_eq!((s.min, s.max), (0, 0));
+    assert_eq!((s.p50, s.p99), (0, 0), "all-zero series estimates zero");
+}
+
+#[test]
+fn u64_max_lands_in_the_tail_bucket() {
+    if !obs::enabled() {
+        return;
+    }
+    obs::observe("test.hist.max", 0);
+    obs::observe("test.hist.max", u64::MAX);
+    let s = stats(&obs::snapshot(), "test.hist.max");
+    assert_eq!(s.count, 2);
+    assert_eq!(s.total, u64::MAX, "0 + u64::MAX must not wrap");
+    assert_eq!((s.min, s.max), (0, u64::MAX));
+    // Rank 1 of 2 is the zero observation; rank 2 the tail bucket, whose
+    // upper bound is u64::MAX itself.
+    assert_eq!(s.p50, 0);
+    assert_eq!(s.p99, u64::MAX);
+}
+
+#[test]
+fn power_of_two_boundaries_stay_inside_min_max() {
+    if !obs::enabled() {
+        return;
+    }
+    // Both edges of a mid-range bucket: 2^20 and 2^21 - 1 share bucket 21,
+    // so every quantile estimate is the bucket's upper bound — but the
+    // snapshot clamps it into the observed range.
+    obs::observe("test.hist.edges", 1 << 20);
+    obs::observe("test.hist.edges", (1 << 21) - 1);
+    let s = stats(&obs::snapshot(), "test.hist.edges");
+    assert_eq!((s.min, s.max), (1 << 20, (1 << 21) - 1));
+    assert_eq!(s.p50, (1 << 21) - 1, "shared bucket's upper bound");
+    assert_eq!(s.p99, (1 << 21) - 1);
+
+    // A sweep of exact powers of two: estimates must never escape the
+    // observed [min, max] envelope, even for the 1 -> 2 -> 4 low buckets.
+    for exp in 0..48u32 {
+        obs::observe("test.hist.powers", 1u64 << exp);
+    }
+    let s = stats(&obs::snapshot(), "test.hist.powers");
+    assert_eq!(s.count, 48);
+    assert_eq!((s.min, s.max), (1, 1u64 << 47));
+    assert!(s.min <= s.p50 && s.p50 <= s.p99 && s.p99 <= s.max);
+}
+
+#[test]
+fn concurrent_recording_keeps_min_max_exact() {
+    if !obs::enabled() {
+        return;
+    }
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 2_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Thread t records the range [t*P + 1, (t+1)*P]; the
+                    // global extremes are 1 and THREADS * P.
+                    obs::observe("test.hist.racing", t * PER_THREAD + i + 1);
+                }
+            });
+        }
+    });
+    let s = stats(&obs::snapshot(), "test.hist.racing");
+    assert_eq!(s.count, THREADS * PER_THREAD, "no lost observations");
+    assert_eq!(s.min, 1, "fetch_min is exact under contention");
+    assert_eq!(s.max, THREADS * PER_THREAD, "fetch_max is exact");
+    assert!(s.min <= s.p50 && s.p99 <= s.max);
+}

@@ -1,41 +1,12 @@
 //! Pins the feature-off contract: with `enabled` compiled out, the whole
-//! recording surface performs **zero heap allocations** (and the
-//! feature-on build of the same calls performs plenty — the counting
-//! allocator is validated against that, so a broken counter cannot pass
-//! the off-path silently).
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Allocator shim that counts every allocation, delegating to [`System`].
-struct CountingAlloc;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-// SAFETY: pure delegation to `System`; the counter is a relaxed atomic
-// with no effect on allocation behavior.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
+//! recording surface — the four `// xcheck: no_alloc`-marked stubs plus
+//! span guards, reset, and snapshot — performs **zero heap allocations**.
+//! The feature-on build of the same calls performs plenty; the `xcheck-rt`
+//! counting allocator is validated against that, so a broken counter
+//! cannot pass the off-path silently.
 
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
-
-fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
-}
+static ALLOC: xcheck_rt::CountingAlloc = xcheck_rt::CountingAlloc;
 
 /// Exercises every recording entry point `rounds` times.
 fn hammer(rounds: u64) {
@@ -52,14 +23,17 @@ fn hammer(rounds: u64) {
 
 #[test]
 fn off_path_records_nothing_and_allocates_nothing() {
+    xcheck_rt::assert_counting();
+
     if obs::enabled() {
         // Feature-on build: instead validate that the counting allocator
         // actually counts, so the zero assertion below is meaningful.
-        let before = allocations();
-        hammer(64);
-        let _snap = obs::snapshot();
+        let (allocs, _) = xcheck_rt::count_in(|| {
+            hammer(64);
+            obs::snapshot()
+        });
         assert!(
-            allocations() > before,
+            allocs > 0,
             "enabled-path hammer must allocate (registry slots, snapshot vectors)"
         );
         return;
@@ -69,17 +43,13 @@ fn off_path_records_nothing_and_allocates_nothing() {
     // allocate lazily on first use).
     hammer(8);
 
-    let before = allocations();
-    hammer(4096);
-    let snap = obs::snapshot();
-    obs::reset();
-    let after = allocations();
+    let snap = xcheck_rt::assert_zero_alloc("obs disabled stubs", || {
+        hammer(4096);
+        let snap = obs::snapshot();
+        obs::reset();
+        snap
+    });
 
-    assert_eq!(
-        after - before,
-        0,
-        "feature-off spans/counters/gauges/snapshot must not touch the heap"
-    );
     assert!(!snap.enabled);
     assert!(snap.spans.is_empty() && snap.counters.is_empty());
     // An empty snapshot's JSON still materializes (allocates) — outside

@@ -218,7 +218,12 @@ impl BlockEncoder {
     /// `out` must match the data packet length; its prior contents are
     /// overwritten.
     ///
+    /// With a warm row cache (see [`BlockEncoder::warm`]) this path is
+    /// allocation-free; the `no_alloc_marks` integration test pins it
+    /// under the `xcheck-rt` counting allocator.
+    ///
     /// [`parity`]: BlockEncoder::parity
+    // xcheck: no_alloc
     pub fn parity_into<D: AsRef<[u8]>>(
         &mut self,
         parity_index: usize,
@@ -237,7 +242,9 @@ impl BlockEncoder {
     }
 
     /// XORs the parity for `parity_index` into `out` (assumed zeroed),
-    /// borrowing the cached row in place.
+    /// borrowing the cached row in place. Allocation-free once the row
+    /// cache is warm (cold calls build missing rows via `ensure_row`).
+    // xcheck: no_alloc
     fn accumulate<D: AsRef<[u8]>>(
         &mut self,
         parity_index: usize,

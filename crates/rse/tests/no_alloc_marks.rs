@@ -1,0 +1,46 @@
+//! Dynamic half of the `// xcheck: no_alloc` contract for
+//! [`BlockEncoder::parity_into`]: once the coefficient-row cache is warm,
+//! encoding a parity packet into a caller-provided buffer must perform
+//! zero heap allocations.
+
+use rse::BlockEncoder;
+
+#[global_allocator]
+static ALLOC: xcheck_rt::CountingAlloc = xcheck_rt::CountingAlloc;
+
+#[test]
+fn parity_into_is_allocation_free_with_a_warm_row_cache() {
+    xcheck_rt::assert_counting();
+
+    let k = 16;
+    let len = 128;
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..len).map(|j| (i * 31 + j) as u8).collect())
+        .collect();
+    let mut out = vec![0u8; len];
+
+    let mut enc = BlockEncoder::new(k).unwrap();
+    enc.warm(8).unwrap();
+    // One unmeasured call: with `--features obs`, the first parity_into
+    // registers its span/counter slots (leaked Boxes + registry pushes).
+    enc.parity_into(0, &data, &mut out).unwrap();
+
+    // Steady state: every warmed parity index encodes without touching
+    // the heap — both the cache-hit path and the accumulate inner loop.
+    for parity_index in 0..8 {
+        xcheck_rt::assert_zero_alloc("BlockEncoder::parity_into", || {
+            enc.parity_into(parity_index, &data, &mut out).unwrap()
+        });
+        assert!(out.iter().any(|&b| b != 0), "parity must be non-trivial");
+    }
+
+    // A cold index (row not yet built) is allowed to allocate — the
+    // no_alloc contract is about the steady state, which is why the mark
+    // sits on the warm path. Verify the cold call still works.
+    let (allocs, _) = xcheck_rt::count_in(|| enc.parity_into(8, &data, &mut out).unwrap());
+    assert!(allocs >= 1, "building a fresh row allocates");
+    // ...and is immediately warm afterwards.
+    xcheck_rt::assert_zero_alloc("BlockEncoder::parity_into (rewarmed)", || {
+        enc.parity_into(8, &data, &mut out).unwrap()
+    });
+}

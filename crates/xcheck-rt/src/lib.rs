@@ -1,0 +1,170 @@
+//! Runtime companion to the `xcheck` static analyzer.
+//!
+//! The static `no-alloc-static` rule scans functions marked
+//! `// xcheck: no_alloc` for allocation smells; this crate supplies the
+//! *dynamic* half of that contract: a counting [`GlobalAlloc`] wrapper
+//! around [`System`] plus assertion helpers, so a test can pin a marked
+//! hot path at exactly zero steady-state heap allocations.
+//!
+//! Usage, from a test binary (integration test or unit-test module):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: xcheck_rt::CountingAlloc = xcheck_rt::CountingAlloc;
+//!
+//! #[test]
+//! fn hot_path_is_allocation_free() {
+//!     xcheck_rt::assert_counting();      // fails if the line above is missing
+//!     warm_up();                         // first calls may fill caches
+//!     xcheck_rt::assert_zero_alloc("hot path", || hot_path());
+//! }
+//! ```
+//!
+//! The allocator must be installed *per test binary* (a
+//! `#[global_allocator]` in this library would force itself on every
+//! crate that links it, tests and production binaries alike).
+//! [`assert_counting`] exists so a binary that forgot the declaration
+//! cannot pass the zero-allocation assertion vacuously.
+//
+// xcheck-allow(forbid-unsafe-code): implementing GlobalAlloc requires an unsafe trait impl; it is pure delegation to System plus a per-thread counter
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Allocator shim that counts every allocation and reallocation,
+/// delegating the actual memory management to [`System`].
+///
+/// The count is **per thread**: `cargo test` runs tests on concurrent
+/// threads within one binary, and a process-global counter would let one
+/// test's allocations fail another's zero-allocation assertion. A
+/// measured closure must therefore do its allocating work on the calling
+/// thread (all the harness tests in this workspace do).
+pub struct CountingAlloc;
+
+thread_local! {
+    // const-initialized so that reading it never allocates (a lazily
+    // initialized thread-local could recurse into the allocator).
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // try_with: allocations during thread teardown (after this TLS slot
+    // is destroyed) are simply not counted rather than aborting.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: pure delegation to `System`; the counter is a const-init
+// thread-local cell with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total allocations (+ reallocations) observed so far **on the calling
+/// thread**.
+///
+/// Only meaningful when [`CountingAlloc`] is installed as the binary's
+/// `#[global_allocator]`; otherwise it stays at 0 forever (which is what
+/// [`assert_counting`] detects).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.with(|c| c.get())
+}
+
+/// Number of heap allocations performed by `f` on the calling thread.
+pub fn count_in<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocations();
+    let result = f();
+    (allocations() - before, result)
+}
+
+/// Asserts that [`CountingAlloc`] is actually installed, by performing a
+/// heap allocation and checking the counter moved. Call this first in
+/// every harness test: without it, a test binary that forgot its
+/// `#[global_allocator]` declaration would pass zero-allocation
+/// assertions vacuously.
+///
+/// # Panics
+///
+/// Panics when the counter does not advance across a boxed allocation.
+pub fn assert_counting() {
+    let (allocs, probe) = count_in(|| std::hint::black_box(Box::new(0xA5u8)));
+    drop(probe);
+    assert!(
+        allocs > 0,
+        "xcheck-rt: allocation counter did not move; declare \
+         `#[global_allocator] static ALLOC: xcheck_rt::CountingAlloc = xcheck_rt::CountingAlloc;` \
+         in this test binary"
+    );
+}
+
+/// Runs `f` and asserts it performed exactly zero heap allocations.
+/// `label` names the pinned path in the failure message.
+///
+/// # Panics
+///
+/// Panics when `f` allocates.
+pub fn assert_zero_alloc<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    let (allocs, result) = count_in(f);
+    assert_eq!(
+        allocs, 0,
+        "xcheck-rt: `{label}` is marked `// xcheck: no_alloc` but performed \
+         {allocs} heap allocation(s) in steady state"
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[global_allocator]
+    static ALLOC: CountingAlloc = CountingAlloc;
+
+    #[test]
+    fn counter_counts_and_zero_assertion_holds_for_stack_work() {
+        assert_counting();
+        let (allocs, sum) = count_in(|| (0u64..64).sum::<u64>());
+        assert_eq!(allocs, 0);
+        assert_eq!(sum, 2016);
+        let product = assert_zero_alloc("stack-only arithmetic", || {
+            std::hint::black_box(7u64) * std::hint::black_box(6u64)
+        });
+        assert_eq!(product, 42);
+    }
+
+    #[test]
+    fn heap_work_is_counted() {
+        assert_counting();
+        let (allocs, v) = count_in(|| {
+            let mut v = Vec::with_capacity(8);
+            v.push(1u32);
+            std::hint::black_box(v)
+        });
+        assert!(allocs >= 1, "with_capacity must register");
+        assert_eq!(v.len(), 1);
+        let (allocs, _) = count_in(|| {
+            let mut v: Vec<u8> = Vec::new();
+            for i in 0..1024 {
+                v.push(i as u8);
+            }
+            std::hint::black_box(v)
+        });
+        assert!(allocs >= 1, "growth reallocations must register");
+    }
+}

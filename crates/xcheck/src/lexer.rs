@@ -1,8 +1,12 @@
 //! A minimal Rust lexer for lint scanning.
 //!
 //! Strips comments, string/char literals and numbers, and yields a flat
-//! stream of identifier and punctuation tokens tagged with line numbers.
-//! From that stream it derives, per line, whether the line sits inside a
+//! stream of identifier and punctuation tokens tagged with line/column
+//! positions. Line comments are additionally parsed for the project's
+//! in-source directive syntax (`// xcheck-allow(rule): reason`,
+//! `// xcheck-ordering: why`, `// xcheck: no_alloc`), which the rules use
+//! for suppressions, atomics justifications, and hot-path marks. From the
+//! token stream it also derives, per line, whether the line sits inside a
 //! `#[cfg(test)]`-gated item — the information every non-test-scoped rule
 //! needs. This is deliberately not a full parser: it only has to be exact
 //! about the token shapes the rules match (`.unwrap(`, `as u32`,
@@ -17,95 +21,298 @@ pub enum Tok {
     Punct(char),
 }
 
-/// A token plus the 1-based source line it starts on.
+/// A token plus the 1-based source position it starts at.
 #[derive(Debug, Clone)]
 pub struct SpannedTok {
     /// 1-based line number.
     pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
     /// The token itself.
     pub tok: Tok,
 }
 
-/// Lexes `src` into spanned tokens, discarding comments, literals and
-/// whitespace.
-pub fn lex(src: &str) -> Vec<SpannedTok> {
-    let chars: Vec<char> = src.chars().collect();
-    let mut toks = Vec::new();
-    let mut line: u32 = 1;
-    let mut i = 0;
+/// An `// xcheck-...` directive comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// What the directive says.
+    pub kind: DirectiveKind,
+}
 
-    while i < chars.len() {
-        let c = chars[i];
-        match c {
-            '\n' => {
-                line += 1;
-                i += 1;
-            }
-            '/' if chars.get(i + 1) == Some(&'/') => {
-                while i < chars.len() && chars[i] != '\n' {
-                    i += 1;
+/// The recognized directive forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `// xcheck-allow(rule-id): reason` — suppress `rule-id` on this
+    /// line (trailing form) or the next line (standalone form).
+    Allow {
+        /// The rule being suppressed.
+        rule: String,
+        /// Why (must be non-empty; enforced by the suppression rule).
+        reason: String,
+    },
+    /// `// xcheck-ordering: why` — justifies an atomic memory-ordering
+    /// choice on this or the next line.
+    OrderingJustification {
+        /// The justification text.
+        reason: String,
+    },
+    /// `// xcheck: no_alloc` — marks the next function as an
+    /// allocation-free hot path (statically scanned, dynamically pinned
+    /// by the `xcheck-rt` harness).
+    NoAllocMark,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<SpannedTok>,
+    /// Directive comments in source order.
+    pub directives: Vec<Directive>,
+}
+
+/// Lexes `src` into spanned tokens and directives, discarding ordinary
+/// comments, literals and whitespace.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        line_start: 0,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    /// Index of the first character of the current line.
+    line_start: usize,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn col(&self) -> u32 {
+        (self.i - self.line_start) as u32 + 1
+    }
+
+    fn newline(&mut self) {
+        self.line += 1;
+        self.line_start = self.i + 1;
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            match c {
+                '\n' => {
+                    self.newline();
+                    self.i += 1;
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.quote(),
+                'r' | 'b' if raw_string_start(&self.chars, self.i).is_some() => {
+                    let hashes = raw_string_start(&self.chars, self.i).unwrap_or(0);
+                    self.raw_string(hashes);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.i += 1;
+                    self.string();
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.i += 1;
+                    self.quote();
+                }
+                c if c.is_ascii_digit() => self.number(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_whitespace() => self.i += 1,
+                other => {
+                    self.out.toks.push(SpannedTok {
+                        line: self.line,
+                        col: self.col(),
+                        tok: Tok::Punct(other),
+                    });
+                    self.i += 1;
                 }
             }
-            '/' if chars.get(i + 1) == Some(&'*') => {
-                let mut depth = 1;
-                i += 2;
-                while i < chars.len() && depth > 0 {
-                    if chars[i] == '\n' {
-                        line += 1;
-                        i += 1;
-                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                        depth += 1;
-                        i += 2;
-                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                i = skip_string(&chars, i, &mut line);
-            }
-            '\'' => {
-                i = skip_quote(&chars, i, &mut line);
-            }
-            'r' | 'b' if raw_string_start(&chars, i).is_some() => {
-                let hashes = raw_string_start(&chars, i).unwrap_or(0);
-                i = skip_raw_string(&chars, i, hashes, &mut line);
-            }
-            'b' if chars.get(i + 1) == Some(&'"') => {
-                i = skip_string(&chars, i + 1, &mut line);
-            }
-            'b' if chars.get(i + 1) == Some(&'\'') => {
-                i = skip_quote(&chars, i + 1, &mut line);
-            }
-            c if c.is_ascii_digit() => {
-                i = skip_number(&chars, i);
-            }
-            c if c.is_alphabetic() || c == '_' => {
-                let start = i;
-                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
-                    i += 1;
-                }
-                toks.push(SpannedTok {
-                    line,
-                    tok: Tok::Ident(chars[start..i].iter().collect()),
-                });
-            }
-            c if c.is_whitespace() => {
-                i += 1;
-            }
-            other => {
-                toks.push(SpannedTok {
-                    line,
-                    tok: Tok::Punct(other),
-                });
-                i += 1;
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes a `//` comment, parsing it as a directive if it is one.
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.chars.len() && self.chars[self.i] != '\n' {
+            self.i += 1;
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        if let Some(kind) = parse_directive(&text) {
+            self.out.directives.push(Directive {
+                line: self.line,
+                kind,
+            });
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let mut depth = 1;
+        self.i += 2;
+        while self.i < self.chars.len() && depth > 0 {
+            if self.chars[self.i] == '\n' {
+                self.newline();
+                self.i += 1;
+            } else if self.chars[self.i] == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.chars[self.i] == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.i += 1;
             }
         }
     }
-    toks
+
+    /// Skips a `"..."` literal starting at the opening quote.
+    fn string(&mut self) {
+        self.i += 1;
+        while self.i < self.chars.len() {
+            match self.chars[self.i] {
+                '\\' => self.i += 2,
+                '\n' => {
+                    self.newline();
+                    self.i += 1;
+                }
+                '"' => {
+                    self.i += 1;
+                    return;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Skips either a lifetime marker or a `'x'` char literal starting at
+    /// the quote.
+    fn quote(&mut self) {
+        let is_lifetime = self.peek(1).is_some_and(|c| c.is_alphabetic() || c == '_')
+            && self.peek(2) != Some('\'');
+        if is_lifetime {
+            // Leave the identifier for the main loop; it is harmless.
+            self.i += 1;
+            return;
+        }
+        self.i += 1;
+        while self.i < self.chars.len() {
+            match self.chars[self.i] {
+                '\\' => self.i += 2,
+                '\n' => {
+                    self.newline();
+                    self.i += 1;
+                }
+                '\'' => {
+                    self.i += 1;
+                    return;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn raw_string(&mut self, hashes: usize) {
+        // Consume up to and including the opening quote.
+        while self.i < self.chars.len() && self.chars[self.i] != '"' {
+            self.i += 1;
+        }
+        self.i += 1;
+        while self.i < self.chars.len() {
+            if self.chars[self.i] == '\n' {
+                self.newline();
+                self.i += 1;
+            } else if self.chars[self.i] == '"'
+                && self.chars[self.i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .all(|&c| c == '#')
+            {
+                self.i += 1 + hashes;
+                return;
+            } else {
+                self.i += 1;
+            }
+        }
+    }
+
+    /// Skips a numeric literal (including suffixes and fractional parts,
+    /// but not range dots).
+    fn number(&mut self) {
+        while self.i < self.chars.len()
+            && (self.chars[self.i].is_alphanumeric() || self.chars[self.i] == '_')
+        {
+            self.i += 1;
+        }
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            while self.i < self.chars.len()
+                && (self.chars[self.i].is_alphanumeric() || self.chars[self.i] == '_')
+            {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        let col = self.col();
+        while self.i < self.chars.len()
+            && (self.chars[self.i].is_alphanumeric() || self.chars[self.i] == '_')
+        {
+            self.i += 1;
+        }
+        self.out.toks.push(SpannedTok {
+            line: self.line,
+            col,
+            tok: Tok::Ident(self.chars[start..self.i].iter().collect()),
+        });
+    }
+}
+
+/// Parses the text of one `//` comment as a directive, if it is one.
+///
+/// Accepts any number of leading slashes (so `/// xcheck: no_alloc`
+/// inside docs also counts) and surrounding whitespace.
+fn parse_directive(comment: &str) -> Option<DirectiveKind> {
+    let body = comment.trim_start_matches('/').trim();
+    if let Some(rest) = body.strip_prefix("xcheck-allow(") {
+        let (rule, after) = rest.split_once(')')?;
+        let reason = after.trim().strip_prefix(':').unwrap_or("").trim();
+        return Some(DirectiveKind::Allow {
+            rule: rule.trim().to_string(),
+            reason: reason.to_string(),
+        });
+    }
+    if let Some(rest) = body.strip_prefix("xcheck-ordering") {
+        let reason = rest.trim().strip_prefix(':').unwrap_or("").trim();
+        return Some(DirectiveKind::OrderingJustification {
+            reason: reason.to_string(),
+        });
+    }
+    if let Some(rest) = body.strip_prefix("xcheck:") {
+        if rest.trim() == "no_alloc" {
+            return Some(DirectiveKind::NoAllocMark);
+        }
+    }
+    None
 }
 
 /// If position `i` starts a raw (byte) string (`r"`, `r#"`, `br"`, ...),
@@ -125,83 +332,6 @@ fn raw_string_start(chars: &[char], i: usize) -> Option<usize> {
         j += 1;
     }
     (chars.get(j) == Some(&'"')).then_some(hashes)
-}
-
-fn skip_raw_string(chars: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
-    // Consume up to and including the opening quote.
-    while i < chars.len() && chars[i] != '"' {
-        i += 1;
-    }
-    i += 1;
-    while i < chars.len() {
-        if chars[i] == '\n' {
-            *line += 1;
-            i += 1;
-        } else if chars[i] == '"' && chars[i + 1..].iter().take(hashes).all(|&c| c == '#') {
-            return i + 1 + hashes;
-        } else {
-            i += 1;
-        }
-    }
-    i
-}
-
-/// Skips a `"..."` literal starting at the opening quote.
-fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
-    i += 1;
-    while i < chars.len() {
-        match chars[i] {
-            '\\' => i += 2,
-            '\n' => {
-                *line += 1;
-                i += 1;
-            }
-            '"' => return i + 1,
-            _ => i += 1,
-        }
-    }
-    i
-}
-
-/// Skips either a lifetime marker or a `'x'` char literal starting at the
-/// quote.
-fn skip_quote(chars: &[char], i: usize, line: &mut u32) -> usize {
-    let is_lifetime = chars
-        .get(i + 1)
-        .is_some_and(|c| c.is_alphabetic() || *c == '_')
-        && chars.get(i + 2) != Some(&'\'');
-    if is_lifetime {
-        // Leave the identifier for the main loop; it is harmless.
-        return i + 1;
-    }
-    let mut j = i + 1;
-    while j < chars.len() {
-        match chars[j] {
-            '\\' => j += 2,
-            '\n' => {
-                *line += 1;
-                j += 1;
-            }
-            '\'' => return j + 1,
-            _ => j += 1,
-        }
-    }
-    j
-}
-
-/// Skips a numeric literal (including suffixes and fractional parts, but
-/// not range dots).
-fn skip_number(chars: &[char], mut i: usize) -> usize {
-    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
-        i += 1;
-    }
-    if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
-        i += 1;
-        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
-            i += 1;
-        }
-    }
-    i
 }
 
 /// Returns, for each 1-based line of `src`, whether the line is inside a
@@ -311,6 +441,7 @@ mod tests {
 
     fn idents(src: &str) -> Vec<String> {
         lex(src)
+            .toks
             .into_iter()
             .filter_map(|t| match t.tok {
                 Tok::Ident(name) => Some(name),
@@ -349,10 +480,66 @@ mod tests {
     }
 
     #[test]
+    fn columns_are_one_based_character_positions() {
+        let lexed = lex("let x = y;\n    foo.bar();\n");
+        let foo = lexed
+            .toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("foo".to_string()))
+            .expect("foo is lexed");
+        assert_eq!((foo.line, foo.col), (2, 5));
+        let first = &lexed.toks[0];
+        assert_eq!((first.line, first.col), (1, 1));
+    }
+
+    #[test]
+    fn directives_are_parsed_from_line_comments() {
+        let src = "\
+            // xcheck-allow(no-unwrap-in-wire-crates): div by zero is the documented contract\n\
+            x.unwrap();\n\
+            self.a.store(0, Ordering::Relaxed); // xcheck-ordering: counter, no ordering needed\n\
+            // xcheck: no_alloc\n\
+            fn hot() {}\n\
+            // xcheck-allow(rule-without-reason)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.directives.len(), 4);
+        assert_eq!(
+            lexed.directives[0].kind,
+            DirectiveKind::Allow {
+                rule: "no-unwrap-in-wire-crates".to_string(),
+                reason: "div by zero is the documented contract".to_string(),
+            }
+        );
+        assert_eq!(lexed.directives[0].line, 1);
+        assert_eq!(
+            lexed.directives[1].kind,
+            DirectiveKind::OrderingJustification {
+                reason: "counter, no ordering needed".to_string(),
+            }
+        );
+        assert_eq!(lexed.directives[1].line, 3);
+        assert_eq!(lexed.directives[2].kind, DirectiveKind::NoAllocMark);
+        assert_eq!(lexed.directives[2].line, 4);
+        assert_eq!(
+            lexed.directives[3].kind,
+            DirectiveKind::Allow {
+                rule: "rule-without-reason".to_string(),
+                reason: String::new(),
+            }
+        );
+    }
+
+    #[test]
+    fn directives_inside_string_literals_are_ignored() {
+        let src = "let s = \"// xcheck: no_alloc\";\n";
+        assert!(lex(src).directives.is_empty());
+    }
+
+    #[test]
     fn cfg_test_regions_cover_mod_body() {
         let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
-        let toks = lex(src);
-        let in_test = test_region_lines(src, &toks);
+        let lexed = lex(src);
+        let in_test = test_region_lines(src, &lexed.toks);
         assert!(!in_test[1], "live fn is not test code");
         assert!(in_test[2], "attribute line");
         assert!(in_test[3] && in_test[4] && in_test[5], "mod body");
@@ -362,16 +549,16 @@ mod tests {
     #[test]
     fn cfg_any_is_not_treated_as_test_only() {
         let src = "#[cfg(any(test, feature = \"sanitize\"))]\nmod deep {\n    fn f() {}\n}\n";
-        let toks = lex(src);
-        let in_test = test_region_lines(src, &toks);
+        let lexed = lex(src);
+        let in_test = test_region_lines(src, &lexed.toks);
         assert!(!in_test[2] && !in_test[3], "sanitize code is live code");
     }
 
     #[test]
     fn braceless_cfg_test_item_does_not_leak() {
         let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
-        let toks = lex(src);
-        let in_test = test_region_lines(src, &toks);
+        let lexed = lex(src);
+        let in_test = test_region_lines(src, &lexed.toks);
         assert!(in_test[2]);
         assert!(!in_test[3]);
     }

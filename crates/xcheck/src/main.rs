@@ -1,20 +1,25 @@
 //! `xcheck` — the workspace's project-rule lint driver.
 //!
-//! Walks `crates/*/src/**/*.rs` (plus the umbrella crate's `src/`) with a
-//! lightweight token scanner and enforces the rules listed in
-//! [`rules::all_rules`]: panic-free hot/wire crates, `forbid(unsafe_code)`
-//! everywhere, no truncating casts in the GF(2^8) core, documented public
-//! API in `keytree`/`rse`, and no `todo!`/`unimplemented!` anywhere.
+//! Walks `crates/*/src/**/*.rs` (plus the umbrella crate's `src/`),
+//! builds an item-aware source model per file ([`model`]), and enforces
+//! the rules listed in [`rules::RULES`]: panic-free hot/wire crates,
+//! `forbid(unsafe_code)` everywhere, no truncating casts in the GF(2^8)
+//! core, documented public API, no `todo!`/`unimplemented!`,
+//! deterministic iteration in output-producing crates, justified atomic
+//! orderings, and statically allocation-free `no_alloc` functions.
 //!
-//! Run with `cargo run -p xcheck`. Prints a human report, writes a
-//! machine-readable JSON summary (default `target/xcheck.json`, override
-//! with `--json PATH`), and exits nonzero when any rule is violated so it
-//! can gate CI. `--root PATH` points the scanner at a different workspace
-//! checkout.
+//! Run with `cargo run -p xcheck`. Prints a human report with
+//! `file:line:col` spans, writes the machine-readable `xcheck/v1` JSON
+//! report (default `target/xcheck.json`, override with `--json PATH`),
+//! and exits nonzero when any rule is violated so it can gate CI.
+//! `--root PATH` points the scanner at a different workspace checkout;
+//! `--list-rules` prints the rule table the README embeds. Violations
+//! are suppressible in-source with `// xcheck-allow(rule-id): reason`.
 
 #![forbid(unsafe_code)]
 
 mod lexer;
+mod model;
 mod report;
 mod rules;
 mod walk;
@@ -37,8 +42,14 @@ fn main() -> ExitCode {
                 Some(value) => json_path = Some(PathBuf::from(value)),
                 None => return usage("--json needs a path"),
             },
+            "--list-rules" => {
+                report::print_rule_table();
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
-                println!("usage: xcheck [--root WORKSPACE_DIR] [--json REPORT_PATH]");
+                println!(
+                    "usage: xcheck [--root WORKSPACE_DIR] [--json REPORT_PATH] [--list-rules]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -76,7 +87,7 @@ fn main() -> ExitCode {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("xcheck: {problem}");
-    eprintln!("usage: xcheck [--root WORKSPACE_DIR] [--json REPORT_PATH]");
+    eprintln!("usage: xcheck [--root WORKSPACE_DIR] [--json REPORT_PATH] [--list-rules]");
     ExitCode::FAILURE
 }
 

@@ -1,0 +1,608 @@
+//! The item-aware source model.
+//!
+//! Parses the flat token stream from [`crate::lexer`] into a token tree
+//! of *items*: functions, types, impls, modules, constants. Each item
+//! records its span (`line:col` of the defining keyword), visibility,
+//! qualification (the surrounding `impl` target, so a method reports as
+//! `Type::method`), and — for brace-bodied items — the token range of
+//! the body. Rules then operate per item instead of per token, which is
+//! what makes scoped checks (per-function allocation smells, per-binding
+//! determinism tracking, docs on `pub` items) possible without a full
+//! compiler frontend.
+//!
+//! The parser is intentionally approximate in the same places the lexer
+//! is: it does not resolve paths or types, and it does not descend into
+//! nested functions' items. It only has to be exact about the shapes the
+//! rules consume, and it is tested against those shapes.
+
+use crate::lexer::{self, Directive, Lexed, SpannedTok, Tok};
+use crate::walk::SourceFile;
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn`, free or associated.
+    Fn,
+    /// `struct` (brace, tuple or unit).
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `trait` definition.
+    Trait,
+    /// `impl` block (inherent or trait).
+    Impl,
+    /// `mod` with an inline body.
+    Mod,
+    /// `const` or `static`.
+    Const,
+    /// `type` alias.
+    TypeAlias,
+    /// `macro_rules!` definition.
+    MacroDef,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The item kind.
+    pub kind: ItemKind,
+    /// Qualified name (`BlockEncoder::accumulate` for methods, the
+    /// bare name elsewhere; the impl target for impls).
+    pub qual: String,
+    /// 1-based line of the defining keyword.
+    pub line: u32,
+    /// 1-based column of the defining keyword.
+    pub col: u32,
+    /// Whether the item is `pub` (unrestricted; `pub(crate)` and
+    /// narrower count as private).
+    pub is_pub: bool,
+    /// Token-index range of the signature: from the first token of the
+    /// item (after attributes/visibility) up to the body `{` or the
+    /// terminating `;`, exclusive.
+    pub sig: (usize, usize),
+    /// Token-index range strictly inside the body braces, if the item
+    /// has a brace body.
+    pub body: Option<(usize, usize)>,
+}
+
+/// A fully analyzed source file: tokens, directives, test-line map, and
+/// the flattened item list.
+pub struct SourceModel<'a> {
+    /// The file this model describes.
+    pub file: &'a SourceFile,
+    /// Significant tokens in source order.
+    pub toks: Vec<SpannedTok>,
+    /// `// xcheck-...` directives in source order.
+    pub directives: Vec<Directive>,
+    /// Per 1-based line: is it inside `#[cfg(test)]`-gated code?
+    pub in_test: Vec<bool>,
+    /// All items, in source order, including items nested in `mod`,
+    /// `impl` and `trait` bodies (but not inside function bodies).
+    pub items: Vec<Item>,
+}
+
+impl<'a> SourceModel<'a> {
+    /// Lexes and parses one source file.
+    pub fn build(file: &'a SourceFile) -> SourceModel<'a> {
+        let Lexed { toks, directives } = lexer::lex(&file.text);
+        let in_test = lexer::test_region_lines(&file.text, &toks);
+        let mut items = Vec::new();
+        parse_items(&toks, 0, toks.len(), "", &mut items);
+        SourceModel {
+            file,
+            toks,
+            directives,
+            in_test,
+            items,
+        }
+    }
+
+    /// Whether 1-based `line` is inside `#[cfg(test)]`-gated code.
+    pub fn line_in_test(&self, line: u32) -> bool {
+        self.in_test.get(line as usize).copied().unwrap_or(false)
+    }
+}
+
+fn ident_at(toks: &[SpannedTok], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(name)) => Some(name.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[SpannedTok], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Index one past the matching closer for the opener at `open`.
+fn skip_balanced(
+    toks: &[SpannedTok],
+    open: usize,
+    end: usize,
+    opener: char,
+    closer: char,
+) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        match punct_at(toks, i) {
+            Some(c) if c == opener => depth += 1,
+            Some(c) if c == closer => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Skips an attribute (`#[...]` or `#![...]`) whose `#` is at `i`.
+fn skip_attribute(toks: &[SpannedTok], i: usize, end: usize) -> usize {
+    let mut j = i + 1;
+    if punct_at(toks, j) == Some('!') {
+        j += 1;
+    }
+    if punct_at(toks, j) == Some('[') {
+        skip_balanced(toks, j, end, '[', ']')
+    } else {
+        i + 1
+    }
+}
+
+/// Parses the items in `toks[start..end]`, appending to `out`. `qual`
+/// is the name prefix items inherit from a surrounding impl or trait.
+fn parse_items(toks: &[SpannedTok], start: usize, end: usize, qual: &str, out: &mut Vec<Item>) {
+    let mut i = start;
+    while i < end {
+        // Attributes and doc markers.
+        if punct_at(toks, i) == Some('#') {
+            i = skip_attribute(toks, i, end);
+            continue;
+        }
+
+        // Visibility.
+        let mut is_pub = false;
+        let item_start = i;
+        if ident_at(toks, i) == Some("pub") {
+            if punct_at(toks, i + 1) == Some('(') {
+                // pub(crate), pub(super), pub(in path) — restricted.
+                i = skip_balanced(toks, i + 1, end, '(', ')');
+            } else {
+                is_pub = true;
+                i += 1;
+            }
+        }
+
+        // Modifier keywords that may precede an item keyword.
+        while matches!(
+            ident_at(toks, i),
+            Some("unsafe") | Some("async") | Some("extern") | Some("default")
+        ) || (ident_at(toks, i) == Some("const")
+            && matches!(
+                ident_at(toks, i + 1),
+                Some("fn") | Some("unsafe") | Some("extern")
+            ))
+        {
+            if ident_at(toks, i) == Some("extern") {
+                // `extern "C" fn` — the ABI string literal is stripped by
+                // the lexer, so just step past the keyword.
+                i += 1;
+            } else {
+                i += 1;
+            }
+        }
+
+        let Some(keyword) = ident_at(toks, i) else {
+            i += 1;
+            continue;
+        };
+        let (line, col) = (toks[i].line, toks[i].col);
+
+        match keyword {
+            "fn" => {
+                let name = ident_at(toks, i + 1).unwrap_or("").to_string();
+                let (sig_end, body) = find_body_or_semi(toks, i + 1, end);
+                out.push(Item {
+                    kind: ItemKind::Fn,
+                    qual: qualify(qual, &name),
+                    line,
+                    col,
+                    is_pub,
+                    sig: (item_start, sig_end),
+                    body,
+                });
+                i = after_body_or_semi(sig_end, body, end);
+            }
+            "struct" | "enum" | "union" => {
+                let name = ident_at(toks, i + 1).unwrap_or("").to_string();
+                let kind = if keyword == "enum" {
+                    ItemKind::Enum
+                } else {
+                    ItemKind::Struct
+                };
+                let (sig_end, body) = find_body_or_semi(toks, i + 1, end);
+                out.push(Item {
+                    kind,
+                    qual: qualify(qual, &name),
+                    line,
+                    col,
+                    is_pub,
+                    sig: (item_start, sig_end),
+                    body,
+                });
+                i = after_body_or_semi(sig_end, body, end);
+            }
+            "trait" => {
+                let name = ident_at(toks, i + 1).unwrap_or("").to_string();
+                let (sig_end, body) = find_body_or_semi(toks, i + 1, end);
+                out.push(Item {
+                    kind: ItemKind::Trait,
+                    qual: qualify(qual, &name),
+                    line,
+                    col,
+                    is_pub,
+                    sig: (item_start, sig_end),
+                    body,
+                });
+                if let Some((bs, be)) = body {
+                    parse_items(toks, bs, be, &name, out);
+                }
+                i = after_body_or_semi(sig_end, body, end);
+            }
+            "impl" => {
+                let (sig_end, body) = find_body_or_semi(toks, i + 1, end);
+                let target = impl_target(toks, i + 1, sig_end);
+                out.push(Item {
+                    kind: ItemKind::Impl,
+                    qual: target.clone(),
+                    line,
+                    col,
+                    is_pub: false,
+                    sig: (item_start, sig_end),
+                    body,
+                });
+                if let Some((bs, be)) = body {
+                    parse_items(toks, bs, be, &target, out);
+                }
+                i = after_body_or_semi(sig_end, body, end);
+            }
+            "mod" => {
+                let name = ident_at(toks, i + 1).unwrap_or("").to_string();
+                let (sig_end, body) = find_body_or_semi(toks, i + 1, end);
+                out.push(Item {
+                    kind: ItemKind::Mod,
+                    qual: qualify(qual, &name),
+                    line,
+                    col,
+                    is_pub,
+                    sig: (item_start, sig_end),
+                    body,
+                });
+                if let Some((bs, be)) = body {
+                    // Items in an inline module keep the outer qualifier
+                    // (impl targets matter for naming, module paths do
+                    // not).
+                    parse_items(toks, bs, be, qual, out);
+                }
+                i = after_body_or_semi(sig_end, body, end);
+            }
+            "const" | "static" => {
+                let mut j = i + 1;
+                if ident_at(toks, j) == Some("mut") {
+                    j += 1;
+                }
+                let name = ident_at(toks, j).unwrap_or("").to_string();
+                let (sig_end, body) = find_body_or_semi(toks, i + 1, end);
+                out.push(Item {
+                    kind: ItemKind::Const,
+                    qual: qualify(qual, &name),
+                    line,
+                    col,
+                    is_pub,
+                    sig: (item_start, sig_end),
+                    body: None,
+                });
+                i = after_body_or_semi(sig_end, body, end);
+            }
+            "type" => {
+                let name = ident_at(toks, i + 1).unwrap_or("").to_string();
+                let (sig_end, body) = find_body_or_semi(toks, i + 1, end);
+                out.push(Item {
+                    kind: ItemKind::TypeAlias,
+                    qual: qualify(qual, &name),
+                    line,
+                    col,
+                    is_pub,
+                    sig: (item_start, sig_end),
+                    body: None,
+                });
+                i = after_body_or_semi(sig_end, body, end);
+            }
+            "macro_rules" => {
+                let name = ident_at(toks, i + 2).unwrap_or("").to_string();
+                let (sig_end, body) = find_body_or_semi(toks, i + 1, end);
+                out.push(Item {
+                    kind: ItemKind::MacroDef,
+                    qual: qualify(qual, &name),
+                    line,
+                    col,
+                    is_pub,
+                    sig: (item_start, sig_end),
+                    body,
+                });
+                i = after_body_or_semi(sig_end, body, end);
+            }
+            "use" | "crate" => {
+                // `use` declarations (and `extern crate`): skip to `;`.
+                while i < end && punct_at(toks, i) != Some(';') {
+                    i += 1;
+                }
+                i += 1;
+            }
+            _ => {
+                // Not an item keyword at this position (e.g. a macro
+                // invocation at module level). Skip one balanced group or
+                // one token.
+                match punct_at(toks, i) {
+                    Some('{') => i = skip_balanced(toks, i, end, '{', '}'),
+                    _ => i += 1,
+                }
+            }
+        }
+    }
+}
+
+fn qualify(qual: &str, name: &str) -> String {
+    if qual.is_empty() {
+        name.to_string()
+    } else {
+        format!("{qual}::{name}")
+    }
+}
+
+/// From `from`, finds the first `{` at brace depth 0 (returning the
+/// signature end and the inner body range) or the terminating `;`
+/// (returning `(index_of_semi, None)`).
+fn find_body_or_semi(
+    toks: &[SpannedTok],
+    from: usize,
+    end: usize,
+) -> (usize, Option<(usize, usize)>) {
+    let mut i = from;
+    while i < end {
+        match punct_at(toks, i) {
+            Some('{') => {
+                let close = skip_balanced(toks, i, end, '{', '}');
+                return (i, Some((i + 1, close.saturating_sub(1))));
+            }
+            Some(';') => return (i, None),
+            Some('(') => {
+                i = skip_balanced(toks, i, end, '(', ')');
+            }
+            _ => i += 1,
+        }
+    }
+    (end, None)
+}
+
+fn after_body_or_semi(sig_end: usize, body: Option<(usize, usize)>, end: usize) -> usize {
+    match body {
+        Some((_, body_end)) => (body_end + 1).min(end),
+        None => (sig_end + 1).min(end),
+    }
+}
+
+/// Extracts the target type name of an `impl` header whose tokens run
+/// over `[from, sig_end)`: the last path-segment identifier of the
+/// implemented-on type (`impl Foo`, `impl Trait for a::b::Foo<'_>`,
+/// `impl<T> Foo<T>` all yield `Foo`).
+fn impl_target(toks: &[SpannedTok], from: usize, sig_end: usize) -> String {
+    let mut i = from;
+    // Skip the generic parameter list directly after `impl`, if any.
+    if punct_at(toks, i) == Some('<') {
+        i = skip_angle_balanced(toks, i, sig_end);
+    }
+    // If there is a `for`, the target follows it; otherwise it starts
+    // here.
+    let mut target_start = i;
+    let mut j = i;
+    while j < sig_end {
+        if ident_at(toks, j) == Some("for") {
+            target_start = j + 1;
+        }
+        j += 1;
+    }
+    // The target name: the last identifier before a `<` (generic args)
+    // or the end, skipping `&`, lifetimes, `mut`, `dyn`.
+    let mut name = String::new();
+    let mut k = target_start;
+    while k < sig_end {
+        match &toks[k].tok {
+            Tok::Ident(id) if !matches!(id.as_str(), "mut" | "dyn" | "where") => {
+                name = id.clone();
+                // Stop at generic arguments — the head of the path is
+                // complete once we hit `<` that is not `::<`.
+                if punct_at(toks, k + 1) == Some('<') {
+                    break;
+                }
+            }
+            Tok::Ident(_) | Tok::Punct('&') | Tok::Punct(':') | Tok::Punct('\'') => {}
+            Tok::Punct('<') => break,
+            Tok::Punct('{') => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    name
+}
+
+/// Skips a balanced `<...>` group, treating `->`'s `>` as not a closer.
+fn skip_angle_balanced(toks: &[SpannedTok], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        match punct_at(toks, i) {
+            Some('<') => depth += 1,
+            Some('>') if punct_at(toks, i.wrapping_sub(1)) != Some('-') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_of(text: &str) -> (SourceFile, Vec<Item>) {
+        let file = SourceFile {
+            crate_name: "demo".to_string(),
+            rel_path: "crates/demo/src/lib.rs".to_string(),
+            is_crate_root: true,
+            text: text.to_string(),
+        };
+        let items = {
+            let model = SourceModel::build(&file);
+            model.items.clone()
+        };
+        (file, items)
+    }
+
+    fn find<'a>(items: &'a [Item], qual: &str) -> &'a Item {
+        items
+            .iter()
+            .find(|item| item.qual == qual)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no item {qual}; have {:?}",
+                    items.iter().map(|i| i.qual.clone()).collect::<Vec<_>>()
+                )
+            })
+    }
+
+    #[test]
+    fn free_functions_and_methods_are_qualified() {
+        let (_file, items) = model_of(
+            "pub fn free() {}\n\
+             struct Enc;\n\
+             impl Enc {\n\
+                 pub fn seal(&self) -> u8 { 0 }\n\
+                 fn inner(&self) {}\n\
+             }\n\
+             impl core::fmt::Debug for Enc {\n\
+                 fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result { Ok(()) }\n\
+             }\n",
+        );
+        assert!(find(&items, "free").is_pub);
+        let seal = find(&items, "Enc::seal");
+        assert_eq!(seal.kind, ItemKind::Fn);
+        assert!(seal.is_pub);
+        assert_eq!(seal.line, 4);
+        assert!(!find(&items, "Enc::inner").is_pub);
+        assert_eq!(find(&items, "Enc::fmt").kind, ItemKind::Fn);
+    }
+
+    #[test]
+    fn generic_impl_targets_resolve() {
+        let (_file, items) = model_of(
+            "pub struct Pool<T> { items: Vec<T> }\n\
+             impl<T: Clone + Send> Pool<T> {\n\
+                 pub fn drain(&mut self) {}\n\
+             }\n\
+             impl<'a, T> IntoIterator for &'a Pool<T> where T: Copy {\n\
+                 type Item = T;\n\
+                 type IntoIter = std::vec::IntoIter<T>;\n\
+                 fn into_iter(self) -> Self::IntoIter { todo!() }\n\
+             }\n",
+        );
+        assert_eq!(find(&items, "Pool::drain").line, 3);
+        assert_eq!(find(&items, "Pool::into_iter").kind, ItemKind::Fn);
+    }
+
+    #[test]
+    fn fn_bodies_cover_their_statements() {
+        let file = SourceFile {
+            crate_name: "demo".to_string(),
+            rel_path: "lib.rs".to_string(),
+            is_crate_root: true,
+            text: "fn outer() {\n    let x = vec![1];\n    x.iter().count();\n}\nfn later() {}\n"
+                .to_string(),
+        };
+        let model = SourceModel::build(&file);
+        let iter_ti = model
+            .toks
+            .iter()
+            .position(|t| t.tok == Tok::Ident("iter".to_string()))
+            .expect("iter token");
+        let outer = model
+            .items
+            .iter()
+            .find(|item| item.qual == "outer")
+            .expect("outer item");
+        let (start, end) = outer.body.expect("outer has a body");
+        assert!(start <= iter_ti && iter_ti < end, "body covers statements");
+        let later = model
+            .items
+            .iter()
+            .find(|item| item.qual == "later")
+            .expect("later item");
+        assert_eq!(later.line, 5);
+    }
+
+    #[test]
+    fn mod_bodies_are_descended_and_pub_crate_is_private() {
+        let (_file, items) = model_of(
+            "mod inner {\n\
+                 pub(crate) fn helper() {}\n\
+                 pub fn api() {}\n\
+             }\n\
+             pub const LIMIT: usize = 4;\n\
+             pub type Alias = u8;\n",
+        );
+        assert!(!find(&items, "helper").is_pub);
+        assert!(find(&items, "api").is_pub);
+        assert_eq!(find(&items, "LIMIT").kind, ItemKind::Const);
+        assert_eq!(find(&items, "Alias").kind, ItemKind::TypeAlias);
+    }
+
+    #[test]
+    fn where_clauses_and_return_types_do_not_confuse_bodies() {
+        let (_file, items) = model_of(
+            "fn complex<F>(f: F) -> impl Iterator<Item = u8>\n\
+             where\n\
+                 F: Fn(u8) -> u8,\n\
+             {\n\
+                 std::iter::once(f(0))\n\
+             }\n\
+             fn after() {}\n",
+        );
+        let complex = find(&items, "complex");
+        assert!(complex.body.is_some());
+        assert_eq!(find(&items, "after").line, 7);
+    }
+
+    #[test]
+    fn trait_fns_are_items_with_trait_qual() {
+        let (_file, items) = model_of(
+            "pub trait Codec {\n\
+                 fn encode(&self) -> u8;\n\
+                 fn tag(&self) -> u8 { 0 }\n\
+             }\n",
+        );
+        assert_eq!(find(&items, "Codec::encode").body, None);
+        assert!(find(&items, "Codec::tag").body.is_some());
+    }
+}

@@ -1,10 +1,10 @@
-//! Human and JSON rendering of a lint run.
+//! Human and JSON (`xcheck/v1`) rendering of a lint run.
 
 use std::fs;
 use std::io;
 use std::path::Path;
 
-use crate::rules::Outcome;
+use crate::rules::{Outcome, RULES};
 
 /// Prints the human-readable report to stdout.
 pub fn print_human(outcome: &Outcome, files_scanned: usize) {
@@ -24,11 +24,39 @@ pub fn print_human(outcome: &Outcome, files_scanned: usize) {
         );
         for violation in &rule.violations {
             println!(
-                "        {}:{}  {}",
-                violation.file, violation.line, violation.message
+                "        {}:{}:{}  {}",
+                violation.file, violation.line, violation.col, violation.message
             );
         }
     }
+    if !outcome.suppressions.is_empty() {
+        println!(
+            "xcheck: {} suppression{} in effect:",
+            outcome.suppressions.len(),
+            if outcome.suppressions.len() == 1 {
+                ""
+            } else {
+                "s"
+            }
+        );
+        for s in &outcome.suppressions {
+            println!(
+                "        {}:{}  allow({}) — {}",
+                s.file, s.line, s.rule, s.reason
+            );
+        }
+    }
+    println!(
+        "xcheck: {} atomic-ordering site{}, {} no_alloc mark{}",
+        outcome.atomics.len(),
+        if outcome.atomics.len() == 1 { "" } else { "s" },
+        outcome.no_alloc_marks.len(),
+        if outcome.no_alloc_marks.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+    );
     let total = outcome.total_violations();
     if total == 0 {
         println!("xcheck: PASS");
@@ -40,8 +68,27 @@ pub fn print_human(outcome: &Outcome, files_scanned: usize) {
     }
 }
 
-/// Writes the machine-readable JSON summary to `path`, creating parent
-/// directories as needed.
+/// Prints the rule table (`--list-rules`) as the markdown table the
+/// README embeds verbatim.
+pub fn print_rule_table() {
+    println!("| rule | scope | description |");
+    println!("| --- | --- | --- |");
+    for info in &RULES {
+        println!(
+            "| `{}` | {} | {} |",
+            info.id,
+            info.scope,
+            collapse_ws(info.description)
+        );
+    }
+}
+
+fn collapse_ws(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Writes the machine-readable `xcheck/v1` JSON report to `path`,
+/// creating parent directories as needed.
 pub fn write_json(outcome: &Outcome, files_scanned: usize, path: &Path) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
@@ -52,6 +99,7 @@ pub fn write_json(outcome: &Outcome, files_scanned: usize, path: &Path) -> io::R
 fn render_json(outcome: &Outcome, files_scanned: usize) -> String {
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str("  \"schema\": \"xcheck/v1\",\n");
     json.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
     json.push_str(&format!(
         "  \"violations_total\": {},\n",
@@ -67,8 +115,9 @@ fn render_json(outcome: &Outcome, files_scanned: usize) -> String {
         json.push_str(&format!("      \"id\": {},\n", quote(rule.id)));
         json.push_str(&format!(
             "      \"description\": {},\n",
-            quote(rule.description)
+            quote(&collapse_ws(rule.description))
         ));
+        json.push_str(&format!("      \"scope\": {},\n", quote(rule.scope)));
         json.push_str(&format!(
             "      \"violation_count\": {},\n",
             rule.violations.len()
@@ -76,9 +125,10 @@ fn render_json(outcome: &Outcome, files_scanned: usize) -> String {
         json.push_str("      \"violations\": [\n");
         for (violation_idx, violation) in rule.violations.iter().enumerate() {
             json.push_str(&format!(
-                "        {{\"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                "        {{\"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}{}\n",
                 quote(&violation.file),
                 violation.line,
+                violation.col,
                 quote(&violation.message),
                 trailing_comma(violation_idx, rule.violations.len()),
             ));
@@ -87,6 +137,50 @@ fn render_json(outcome: &Outcome, files_scanned: usize) -> String {
         json.push_str(&format!(
             "    }}{}\n",
             trailing_comma(rule_idx, outcome.rules.len())
+        ));
+    }
+    json.push_str("  ],\n");
+
+    json.push_str("  \"suppressions\": [\n");
+    for (idx, s) in outcome.suppressions.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}{}\n",
+            quote(&s.file),
+            s.line,
+            quote(&s.rule),
+            quote(&s.reason),
+            trailing_comma(idx, outcome.suppressions.len()),
+        ));
+    }
+    json.push_str("  ],\n");
+
+    json.push_str("  \"atomics\": [\n");
+    for (idx, site) in outcome.atomics.iter().enumerate() {
+        let justification = match &site.justification {
+            Some(reason) => quote(reason),
+            None => "null".to_string(),
+        };
+        json.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"ordering\": {}, \
+             \"justification\": {}}}{}\n",
+            quote(&site.file),
+            site.line,
+            site.col,
+            quote(&site.ordering),
+            justification,
+            trailing_comma(idx, outcome.atomics.len()),
+        ));
+    }
+    json.push_str("  ],\n");
+
+    json.push_str("  \"no_alloc_marks\": [\n");
+    for (idx, mark) in outcome.no_alloc_marks.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"function\": {}}}{}\n",
+            quote(&mark.file),
+            mark.line,
+            quote(&mark.function),
+            trailing_comma(idx, outcome.no_alloc_marks.len()),
         ));
     }
     json.push_str("  ]\n");
@@ -124,31 +218,67 @@ fn quote(text: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{RuleReport, Violation};
+    use crate::rules::{AtomicSite, NoAllocMark, RuleReport, Suppression, Violation};
 
     #[test]
-    fn json_is_well_formed_and_escaped() {
+    fn json_is_well_formed_escaped_and_carries_v1_sections() {
         let outcome = Outcome {
             rules: vec![RuleReport {
                 id: "demo",
                 description: "a \"quoted\" rule",
+                scope: "workspace",
                 violations: vec![Violation {
                     file: "crates/x/src/lib.rs".to_string(),
                     line: 7,
+                    col: 13,
                     message: "uses `.unwrap()`\nbadly".to_string(),
                 }],
             }],
+            suppressions: vec![Suppression {
+                file: "crates/y/src/lib.rs".to_string(),
+                line: 3,
+                rule: "demo".to_string(),
+                reason: "checked above".to_string(),
+            }],
+            atomics: vec![AtomicSite {
+                file: "crates/z/src/lib.rs".to_string(),
+                line: 9,
+                col: 30,
+                ordering: "Relaxed".to_string(),
+                justification: None,
+            }],
+            no_alloc_marks: vec![NoAllocMark {
+                file: "crates/z/src/hot.rs".to_string(),
+                line: 41,
+                function: "Enc::seal".to_string(),
+            }],
         };
         let json = render_json(&outcome, 3);
+        assert!(json.contains("\"schema\": \"xcheck/v1\""));
         assert!(json.contains("\"files_scanned\": 3"));
-        assert!(json.contains("\"violations_total\": 1"));
+        assert!(json.contains("\"col\": 13"));
+        assert!(json.contains("\"reason\": \"checked above\""));
+        assert!(json.contains("\"justification\": null"));
+        assert!(json.contains("\"function\": \"Enc::seal\""));
         assert!(json.contains("\\\"quoted\\\""));
-        assert!(json.contains("\\n"));
         assert!(
             !json.contains("`.unwrap()`\nbadly"),
             "newline must be escaped"
         );
         let quotes = json.matches('"').count();
         assert_eq!(quotes % 2, 0, "balanced quotes");
+    }
+
+    #[test]
+    fn empty_sections_render_as_empty_arrays() {
+        let outcome = Outcome {
+            rules: Vec::new(),
+            suppressions: Vec::new(),
+            atomics: Vec::new(),
+            no_alloc_marks: Vec::new(),
+        };
+        let json = render_json(&outcome, 0);
+        assert!(json.contains("\"suppressions\": [\n  ]"));
+        assert!(json.contains("\"pass\": true"));
     }
 }

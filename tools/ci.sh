@@ -1,27 +1,92 @@
 #!/usr/bin/env bash
-# The full local gate: formatting, lints, the xcheck static-analysis pass,
-# and the test suite with the deep invariant sanitizer live. Everything
-# runs offline against the vendored in-tree dependency shims.
+# The full local gate: formatting, lints, the xcheck static-analysis pass
+# (with its machine-readable report), the test suite with the deep
+# invariant sanitizer live, the dynamic no-alloc and schedule-perturbation
+# harnesses, and the bench/obs smoke runs. Everything runs offline against
+# the vendored in-tree dependency shims. Each stage's wall time is
+# reported in a summary at the end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
+STAGE_NAMES=()
+STAGE_SECONDS=()
+CURRENT_STAGE=""
+CURRENT_START=0
+
+stage() {
+    stage_end
+    CURRENT_STAGE="$1"
+    CURRENT_START=$SECONDS
+    echo "==> $1"
+}
+
+stage_end() {
+    if [ -n "$CURRENT_STAGE" ]; then
+        STAGE_NAMES+=("$CURRENT_STAGE")
+        STAGE_SECONDS+=("$((SECONDS - CURRENT_START))")
+        CURRENT_STAGE=""
+    fi
+}
+
+stage "cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+stage "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo run -p xcheck"
-cargo run -p xcheck
+stage "xcheck static analysis (--json target/xcheck.json)"
+mkdir -p target
+cargo run -q -p xcheck -- --json target/xcheck.json
+python3 - <<'EOF'
+import json
+with open("target/xcheck.json") as f:
+    report = json.load(f)
+assert report["schema"] == "xcheck/v1", report["schema"]
+assert report["pass"] is True
+assert report["violations_total"] == 0
+# Every suppression that reaches the report carries a non-empty reason
+# (suppression-hygiene flags the rest, which would have failed the run).
+for sup in report["suppressions"]:
+    assert sup["reason"].strip(), f"reasonless suppression: {sup}"
+# The atomics inventory and the no_alloc mark list back the dynamic gates.
+assert report["atomics"], "atomics inventory must not be empty"
+assert report["no_alloc_marks"], "no_alloc marks must be inventoried"
+EOF
 
-echo "==> cargo test --workspace --features sanitize"
+stage "cargo test --workspace --features sanitize"
 cargo test --workspace -q --features sanitize
+
+stage "dynamic no-alloc harness (xcheck-rt counting allocator)"
+cargo test -q -p xcheck-rt
+cargo test -q -p keytree --test no_alloc_marks
+cargo test -q -p rse --test no_alloc_marks
+cargo test -q -p netsim --test no_alloc_marks
+cargo test -q -p grouprekey --test no_alloc_marks
+cargo test -q -p obs --test no_alloc_off
+cargo test -q -p obs --features enabled --test no_alloc_off
+
+stage "schedule-perturbation bit-identity gates"
+cargo test -q -p taskpool
+cargo test -q -p grouprekey --test sched_perturb
+cargo test -q -p bench --test sched_perturb
+
+stage "committed BENCH_*.json parse as JSON"
+python3 - <<'EOF'
+import glob
+import json
+files = sorted(glob.glob("BENCH_*.json"))
+assert files, "no committed BENCH_*.json found"
+for path in files:
+    with open(path) as f:
+        doc = json.load(f)
+    assert isinstance(doc, dict) and doc, f"{path}: not a JSON object"
+    print(f"    {path}: valid JSON ({len(doc)} top-level keys)")
+EOF
 
 # Smoke runs write under target/ so they never clobber the committed
 # full-mode baselines; the committed JSONs are validated read-only.
-mkdir -p target
 
-echo "==> bench smoke run (target/BENCH_rekey.smoke.json)"
+stage "bench smoke run (target/BENCH_rekey.smoke.json)"
 cargo run --release -p bench --bin bench_rekey -- --smoke --out target/BENCH_rekey.smoke.json
 if [ ! -s target/BENCH_rekey.smoke.json ]; then
     echo "ci.sh: target/BENCH_rekey.smoke.json missing or empty" >&2
@@ -34,7 +99,7 @@ if ! grep -q '"mode": "full"' BENCH_rekey.json; then
     exit 1
 fi
 
-echo "==> figure engine smoke run (target/BENCH_figures.smoke.json)"
+stage "figure engine smoke run (target/BENCH_figures.smoke.json)"
 cargo run --release -p bench --bin bench_figures -- --smoke --out target/BENCH_figures.smoke.json
 if [ ! -s target/BENCH_figures.smoke.json ]; then
     echo "ci.sh: target/BENCH_figures.smoke.json missing or empty" >&2
@@ -47,7 +112,7 @@ if ! grep -q '"mode": "full"' BENCH_figures.json; then
     exit 1
 fi
 
-echo "==> scale bench smoke run (target/BENCH_scale.smoke.json)"
+stage "scale bench smoke run (target/BENCH_scale.smoke.json)"
 cargo run --release -p bench --bin bench_scale -- --smoke --out target/BENCH_scale.smoke.json
 if [ ! -s target/BENCH_scale.smoke.json ]; then
     echo "ci.sh: target/BENCH_scale.smoke.json missing or empty" >&2
@@ -60,11 +125,11 @@ if ! grep -q '"mode": "full"' BENCH_scale.json; then
     exit 1
 fi
 
-echo "==> obs gate: build + test with --features obs"
+stage "obs gate: build + test with --features obs"
 cargo build -q --workspace --features obs
 cargo test -q --workspace --features obs
 
-echo "==> obs gate: bench_scale --smoke --obs-out target/obs.smoke.json"
+stage "obs gate: bench_scale --smoke --obs-out target/obs.smoke.json"
 cargo run -q --release -p bench --features bench/obs --bin bench_scale -- \
     --smoke --out target/BENCH_scale.obs-smoke.json --obs-out target/obs.smoke.json
 if [ ! -s target/obs.smoke.json ]; then
@@ -90,4 +155,10 @@ for expected in ("stage.mark", "stage.mint", "stage.seal", "keytree.mark_batch",
     assert expected in names, f"missing span {expected}: {sorted(names)}"
 EOF
 
+stage_end
+echo ""
 echo "==> ci.sh: all gates passed"
+echo "    stage wall times:"
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '    %4ss  %s\n' "${STAGE_SECONDS[$i]}" "${STAGE_NAMES[$i]}"
+done
