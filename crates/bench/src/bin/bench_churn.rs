@@ -1,0 +1,491 @@
+//! Long-horizon churn benchmark over the scenario engine: emits
+//! `BENCH_churn.json`.
+//!
+//! Sweeps the five adversarial trace families (`flash_crowd`, `diurnal`,
+//! `mass_departure`, `oscillation`, `storm`; see `grouprekey::scenario`)
+//! × group size N × tree degree d × compaction {off, on}, running each
+//! combination for hundreds of rekey intervals and recording the
+//! trajectory-level metrics the paper's Poisson analysis cannot see:
+//!
+//! * `enc_per_member_mean` — mean distinct encryptions per current
+//!   member per interval (the server-cost density);
+//! * `bytes_on_wire_total` — total multicast ENC bytes over the run;
+//! * `max_depth_run` / `max_depth_final` / `mean_depth_final` — tree
+//!   skew: with compaction off, one-sided traces leave survivors
+//!   stranded at the historical depth; with compaction on, depth must
+//!   track the *current* group size;
+//! * `resident_bytes_peak` / `resident_bytes_final` — memory: a
+//!   mass-departure trace must not pin the SoA arrays at peak forever;
+//! * `relocations_total` and the mean per-interval batch wall.
+//!
+//! The `identity` section replays the mass-departure acceptance row
+//! (compaction on) under 1 and 4 workers and under adversarial
+//! `taskpool::with_schedule` perturbation, comparing whole-run digests —
+//! the gate is bit-identity of the entire rekey stream.
+//!
+//! Flags: `--smoke` shrinks the grid (same JSON shape); `--check <path>`
+//! validates an existing report, including the bounded-depth and
+//! memory-reclamation acceptance criteria on full-mode reports;
+//! `--out <path>` overrides the output path; `--obs-out <path>` (or
+//! `REKEY_OBS=1`) snapshots the `scenario.*` / `stage.*` metrics over
+//! the acceptance row (requires `--features obs`).
+
+use std::time::Instant;
+
+use grouprekey::scenario::{self, ScenarioConfig, ScenarioKind, ScenarioReport};
+use grouprekey::ServerOptions;
+use keytree::CompactionPolicy;
+
+const SCHEMA: &str = "bench_churn/v1";
+const IDENTITY_WORKERS: [usize; 2] = [1, 4];
+const IDENTITY_SCHED_SEEDS: [u64; 2] = [0xA5, 0x5A];
+
+#[derive(Clone, Copy)]
+struct Cell {
+    kind: ScenarioKind,
+    n: u32,
+    d: u32,
+    compaction: bool,
+    intervals: usize,
+}
+
+fn grid(smoke: bool) -> Vec<Cell> {
+    let (sizes, degrees, intervals): (&[u32], &[u32], usize) = if smoke {
+        (&[256], &[4], 24)
+    } else {
+        (&[1 << 10, 1 << 13], &[4, 8], 256)
+    };
+    let mut cells = Vec::new();
+    for kind in ScenarioKind::ALL {
+        for &n in sizes {
+            for &d in degrees {
+                for compaction in [false, true] {
+                    cells.push(Cell {
+                        kind,
+                        n,
+                        d,
+                        compaction,
+                        intervals,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// The identity-gate cell: the acceptance row — mass departure with
+/// compaction on at the largest N in the grid.
+fn identity_cell(smoke: bool) -> Cell {
+    Cell {
+        kind: ScenarioKind::MassDeparture,
+        n: if smoke { 256 } else { 1 << 13 },
+        d: 4,
+        compaction: true,
+        intervals: if smoke { 24 } else { 256 },
+    }
+}
+
+fn config_for(cell: Cell) -> ScenarioConfig {
+    let mut options = ServerOptions {
+        degree: cell.d,
+        ..ServerOptions::default()
+    };
+    if cell.compaction {
+        options.compaction = CompactionPolicy::DEFAULT_ON;
+    }
+    ScenarioConfig {
+        kind: cell.kind,
+        seed: 0xC4E2_0007 ^ u64::from(cell.n) ^ (u64::from(cell.d) << 32),
+        initial_users: cell.n,
+        intervals: cell.intervals,
+        options,
+    }
+}
+
+struct CellReport {
+    cell: Cell,
+    report: ScenarioReport,
+    users_final: usize,
+    mean_depth_final: f64,
+    max_depth_final: u32,
+    batch_wall_ms_mean: f64,
+    /// Whether `resident_bytes` strictly dropped at any point in the
+    /// trajectory — the memory-reclamation acceptance signal.
+    resident_nonmonotonic: bool,
+}
+
+fn bench_cell(cell: Cell) -> CellReport {
+    let start = Instant::now();
+    let report = scenario::run(config_for(cell));
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let last = report.stats.last().expect("at least one interval");
+    let resident_nonmonotonic = report
+        .stats
+        .windows(2)
+        .any(|w| w[1].resident_bytes < w[0].resident_bytes);
+    CellReport {
+        cell,
+        users_final: last.users,
+        mean_depth_final: last.mean_depth,
+        max_depth_final: last.max_depth,
+        batch_wall_ms_mean: wall_ms / report.stats.len().max(1) as f64,
+        resident_nonmonotonic,
+        report,
+    }
+}
+
+struct IdentityReport {
+    cell: Cell,
+    matches_sequential: bool,
+}
+
+/// Replays the acceptance row at each worker count, and at each schedule
+/// perturbation seed, demanding identical whole-run digests and
+/// trajectories.
+fn bench_identity(cell: Cell) -> IdentityReport {
+    let run = |workers: usize, sched_seed: Option<u64>| -> ScenarioReport {
+        taskpool::with_workers(workers, || match sched_seed {
+            Some(seed) => taskpool::with_schedule(seed, || scenario::run(config_for(cell))),
+            None => scenario::run(config_for(cell)),
+        })
+    };
+    let baseline = run(IDENTITY_WORKERS[0], None);
+    let mut matches = true;
+    for &w in &IDENTITY_WORKERS {
+        matches &= run(w, None) == baseline;
+        for &seed in &IDENTITY_SCHED_SEEDS {
+            matches &= run(w, Some(seed)) == baseline;
+        }
+    }
+    IdentityReport {
+        cell,
+        matches_sequential: matches,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON emit + check
+// ---------------------------------------------------------------------------
+
+fn fmt_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn render_json(mode: &str, cells: &[CellReport], identity: &IdentityReport) -> String {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"kind\": \"{}\", \"n\": {}, \"d\": {}, \"compaction\": {}, \
+                 \"intervals\": {}, \"users_final\": {}, \"enc_per_member_mean\": {}, \
+                 \"bytes_on_wire_total\": {}, \"max_depth_run\": {}, \"max_depth_final\": {}, \
+                 \"mean_depth_final\": {}, \"resident_bytes_peak\": {}, \
+                 \"resident_bytes_final\": {}, \"resident_nonmonotonic\": {}, \
+                 \"relocations_total\": {}, \
+                 \"batch_wall_ms_mean\": {}, \"digest\": \"{:016x}\"}}",
+                r.cell.kind.name(),
+                r.cell.n,
+                r.cell.d,
+                r.cell.compaction,
+                r.cell.intervals,
+                r.users_final,
+                fmt_f(r.report.mean_enc_per_member()),
+                r.report.total_bytes_on_wire(),
+                r.report.max_depth(),
+                r.max_depth_final,
+                fmt_f(r.mean_depth_final),
+                r.report.peak_resident_bytes(),
+                r.report.final_resident_bytes(),
+                r.resident_nonmonotonic,
+                r.report.total_relocations(),
+                fmt_f(r.batch_wall_ms_mean),
+                r.report.digest,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"mode\": \"{mode}\",\n  \"identity\": {{\n    \
+         \"kind\": \"{}\", \"n\": {}, \"d\": {}, \"compaction\": {},\n    \
+         \"workers\": [{}, {}], \"sched_seeds\": [{}, {}],\n    \
+         \"matches_sequential\": {}\n  }},\n  \"churn\": [\n{}\n  ]\n}}\n",
+        identity.cell.kind.name(),
+        identity.cell.n,
+        identity.cell.d,
+        identity.cell.compaction,
+        IDENTITY_WORKERS[0],
+        IDENTITY_WORKERS[1],
+        IDENTITY_SCHED_SEEDS[0],
+        IDENTITY_SCHED_SEEDS[1],
+        identity.matches_sequential,
+        rows.join(",\n")
+    )
+}
+
+/// Structural well-formedness: balanced braces/brackets outside strings,
+/// non-empty, object at the top level.
+fn json_well_formed(text: &str) -> bool {
+    let trimmed = text.trim();
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return false;
+    }
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in trimmed.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_string
+}
+
+/// Extracts the integer value of `"key": <digits>` from one JSON row line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validates a previously emitted `BENCH_churn.json`. Returns a list of
+/// problems (empty = valid). Full-mode reports must additionally satisfy
+/// the acceptance criteria: bounded final depth and non-monotonic
+/// resident bytes on the compaction-on mass-departure and oscillation
+/// rows.
+fn check_report(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    if !json_well_formed(text) {
+        problems.push("not a well-formed JSON object".to_string());
+        return problems;
+    }
+    for key in [
+        "\"schema\"",
+        SCHEMA,
+        "\"identity\"",
+        "\"churn\"",
+        "\"enc_per_member_mean\"",
+        "\"max_depth_final\"",
+        "\"resident_bytes_peak\"",
+        "\"resident_bytes_final\"",
+    ] {
+        if !text.contains(key) {
+            problems.push(format!("missing {key}"));
+        }
+    }
+    if !text.contains("\"matches_sequential\": true") {
+        problems.push("scenario replay did not match across workers/schedules".to_string());
+    }
+    for kind in ScenarioKind::ALL {
+        let pat = format!("\"kind\": \"{}\"", kind.name());
+        if !text.contains(&pat) {
+            problems.push(format!("missing trace family {}", kind.name()));
+        }
+    }
+    if !text.contains("\"mode\": \"full\"") {
+        return problems;
+    }
+    // Acceptance criteria on the compaction-on rows of the one-sided
+    // traces. Rows are one per line and are the only lines carrying a
+    // "digest" field (which keeps the identity header out of this scan),
+    // so a line scan suffices.
+    for line in text.lines() {
+        let one_sided = line.contains("\"kind\": \"mass_departure\"")
+            || line.contains("\"kind\": \"oscillation\"");
+        if !one_sided || !line.contains("\"compaction\": true") || !line.contains("\"digest\"") {
+            continue;
+        }
+        let (Some(users), Some(d), Some(depth_final)) = (
+            field_u64(line, "users_final"),
+            field_u64(line, "d"),
+            field_u64(line, "max_depth_final"),
+        ) else {
+            problems.push("row missing users_final/d/max_depth_final".to_string());
+            continue;
+        };
+        // Bounded depth: within 2 levels of the balanced ideal for the
+        // *final* population (compaction budget + trailing churn slack).
+        let mut ideal = 0u64;
+        let mut cap = 1u64;
+        while cap < users.max(1) {
+            cap *= u64::from(d as u32).max(2);
+            ideal += 1;
+        }
+        if depth_final > ideal + 2 {
+            problems.push(format!(
+                "unbounded depth: final depth {depth_final} vs ideal {ideal} \
+                 for {users} users (line: {})",
+                line.trim()
+            ));
+        }
+        if !line.contains("\"resident_nonmonotonic\": true") {
+            problems.push(format!(
+                "monotonic resident_bytes trajectory (line: {})",
+                line.trim()
+            ));
+        }
+        // An ended mass departure must also settle well below peak, not
+        // just dip somewhere (oscillation legitimately refills).
+        if line.contains("\"kind\": \"mass_departure\"") {
+            let (Some(peak), Some(fin)) = (
+                field_u64(line, "resident_bytes_peak"),
+                field_u64(line, "resident_bytes_final"),
+            ) else {
+                problems.push("row missing resident_bytes fields".to_string());
+                continue;
+            };
+            if fin * 2 > peak {
+                problems.push(format!(
+                    "resident_bytes stuck near peak: final {fin} vs peak {peak} (line: {})",
+                    line.trim()
+                ));
+            }
+        }
+    }
+    problems
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = std::env::var("REKEY_QUICK").is_ok_and(|v| v != "0");
+    let mut out_path = "BENCH_churn.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut obs_out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = it.next().expect("--out needs a path"),
+            "--check" => check_path = Some(it.next().expect("--check needs a path")),
+            "--obs-out" => obs_out = Some(it.next().expect("--obs-out needs a path")),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; use [--smoke] [--out PATH] [--check PATH] \
+                     [--obs-out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let obs_sink = match bench::ObsSink::resolve(obs_out) {
+        Ok(sink) => sink,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(path) = check_path {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            eprintln!("BENCH check FAILED: cannot read {path}");
+            std::process::exit(1);
+        };
+        let problems = check_report(&text);
+        if problems.is_empty() {
+            println!("BENCH check ok: {path}");
+            return;
+        }
+        for p in &problems {
+            eprintln!("BENCH check FAILED: {p}");
+        }
+        std::process::exit(1);
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let cells = grid(smoke);
+    eprintln!("churn: {} trace runs ({mode})", cells.len());
+    let obs_cell = identity_cell(smoke);
+    let mut obs_snapshot: Option<obs::Snapshot> = None;
+    let mut reports = Vec::with_capacity(cells.len());
+    for cell in cells {
+        if obs_sink.active() {
+            obs::reset();
+        }
+        let r = bench_cell(cell);
+        if obs_sink.active()
+            && (cell.kind, cell.n, cell.d, cell.compaction)
+                == (obs_cell.kind, obs_cell.n, obs_cell.d, obs_cell.compaction)
+        {
+            obs_snapshot = Some(obs::snapshot());
+        }
+        eprintln!(
+            "  {:<14} N={:<5} d={:<2} compact={:<5} users {:>5} depth {}->{} \
+             enc/mem {:>6.3} reloc {:>5} {:>7.3} ms/batch",
+            cell.kind.name(),
+            cell.n,
+            cell.d,
+            cell.compaction,
+            r.users_final,
+            r.report.max_depth(),
+            r.max_depth_final,
+            r.report.mean_enc_per_member(),
+            r.report.total_relocations(),
+            r.batch_wall_ms_mean,
+        );
+        reports.push(r);
+    }
+
+    let id_cell = identity_cell(smoke);
+    eprintln!(
+        "identity: {} N={} d={} workers {:?} sched seeds {:?}",
+        id_cell.kind.name(),
+        id_cell.n,
+        id_cell.d,
+        IDENTITY_WORKERS,
+        IDENTITY_SCHED_SEEDS
+    );
+    let identity = bench_identity(id_cell);
+    eprintln!("  matches_sequential={}", identity.matches_sequential);
+
+    let json = render_json(mode, &reports, &identity);
+    let problems = check_report(&json);
+    std::fs::write(&out_path, &json).expect("write BENCH_churn.json");
+    println!("wrote {out_path}");
+
+    if obs_sink.active() {
+        let snap = obs_snapshot.expect("the obs cell is always in the grid");
+        std::io::Write::write_all(
+            &mut std::io::stderr().lock(),
+            snap.render_table().as_bytes(),
+        )
+        .expect("write obs table");
+        if let Some(path) = &obs_sink.path {
+            std::fs::write(path, snap.to_json()).expect("write obs snapshot");
+            eprintln!("wrote obs snapshot to {path}");
+        }
+    }
+
+    let mut failed = false;
+    for p in &problems {
+        eprintln!("FAILED: {p}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -177,6 +177,16 @@ impl UserAgent {
         Ok(())
     }
 
+    /// Accepts a server-announced compaction relocation. Unlike split
+    /// moves — which [`UserAgent::apply_enc`] rederives from `maxKID`
+    /// alone (Theorem 4.2) — compaction moves members *downward*, outside
+    /// the rederivation window, so the new ID travels explicitly (the USR
+    /// `newUserID` field, or this out-of-band call in the simulator). The
+    /// agent keeps its individual key and bootstraps the new path from it.
+    pub fn accept_relocation(&mut self, new_id: NodeId) {
+        self.relocate(new_id);
+    }
+
     /// Moves the agent to a (possibly) new u-node ID, re-keying its
     /// individual key.
     fn relocate(&mut self, new_id: NodeId) {

@@ -141,6 +141,20 @@ impl Group {
         let msg_seq = artifacts.msg_seq;
         let layout = artifacts.session.blocks().layout();
 
+        // Compaction relocations are announced out of band (the USR
+        // `newUserID` field carries them on the wire): a relocated member
+        // moves *down*, outside the maxKID rederivation window, so its
+        // agent must learn the new ID before it can place this message's
+        // ENC entries. Its session below starts from the new ID for the
+        // same reason.
+        let mut old_ids = old_ids;
+        for rl in &artifacts.outcome.relocations {
+            if let Some(agent) = self.agents.get_mut(&rl.member) {
+                agent.accept_relocation(rl.new_id);
+            }
+            old_ids.insert(rl.member, rl.new_id);
+        }
+
         // Membership bookkeeping.
         for m in &leaves {
             self.agents.remove(m);

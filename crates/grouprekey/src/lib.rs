@@ -67,6 +67,8 @@ mod metrics;
 /// Deep invariant pass run after every batch (`--features sanitize`).
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
+/// Trace-driven adversarial membership scenarios.
+pub mod scenario;
 mod server;
 /// High-throughput transport simulation.
 pub mod sim;

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use keytree::{Batch, KeyTree, MarkOutcome, MarkScratch, MemberId};
+use keytree::{Batch, CompactionPolicy, KeyTree, MarkOutcome, MarkScratch, MemberId};
 use rekeymsg::{build_usr_packet, Layout, UkaAssignment, UsrPacket};
 use rekeyproto::{ServerConfig, ServerController, ServerSession};
 use wirecrypto::{KeyGen, SymKey};
@@ -16,6 +16,10 @@ pub struct ServerOptions {
     pub protocol: ServerConfig,
     /// Seed of the key generator.
     pub keygen_seed: u64,
+    /// Amortized tail-compaction policy applied after each batch. Off by
+    /// default: the paper's Poisson workloads never skew the tree, and a
+    /// disabled policy is byte-identical to the pre-compaction pipeline.
+    pub compaction: CompactionPolicy,
 }
 
 impl Default for ServerOptions {
@@ -24,6 +28,7 @@ impl Default for ServerOptions {
             degree: 4,
             protocol: ServerConfig::default(),
             keygen_seed: 0x6B65_7973, // "keys"
+            compaction: CompactionPolicy::DISABLED,
         }
     }
 }
@@ -53,6 +58,7 @@ pub struct KeyServer {
     msg_seq: u64,
     last_outcome: Option<Arc<MarkOutcome>>,
     scratch: MarkScratch,
+    compaction: CompactionPolicy,
 }
 
 impl KeyServer {
@@ -66,6 +72,7 @@ impl KeyServer {
             msg_seq: 0,
             last_outcome: None,
             scratch: MarkScratch::new(),
+            compaction: options.compaction,
         }
     }
 
@@ -121,9 +128,12 @@ impl KeyServer {
         let tree_before = self.tree.clone();
         #[cfg(feature = "sanitize")]
         let batch_copy = batch.clone();
-        let outcome = self
-            .tree
-            .process_batch_in(batch, &mut self.keygen, &mut self.scratch);
+        let outcome = self.tree.process_batch_compacting_in(
+            batch,
+            &mut self.keygen,
+            &mut self.scratch,
+            &self.compaction,
+        );
         let assignment = UkaAssignment::build(&self.tree, &outcome, msg_seq, &self.layout)
             .unwrap_or_else(|e| {
                 unreachable!("marking outcome always seals against its own tree: {e}")
@@ -210,6 +220,7 @@ impl KeyServer {
             msg_seq,
             last_outcome: None,
             scratch: MarkScratch::new(),
+            compaction: options.compaction,
         })
     }
 }

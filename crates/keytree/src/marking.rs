@@ -133,13 +133,19 @@ pub struct UserMove {
 #[derive(Debug, Default)]
 pub struct MarkScratch {
     /// Current batch epoch; entries with a different stamp are invalid.
-    epoch: u32,
+    /// 64 bits wide: a `u32` epoch would wrap after 2^32 batches, at which
+    /// point every stale stamp from four billion batches ago would read as
+    /// current again and leak phantom labels into the rekey subtree. At
+    /// one batch per millisecond a `u64` epoch outlives the hardware; the
+    /// wrap branch in [`MarkScratch::begin`] stays as a defensive
+    /// hard-clear so even a forced wrap cannot resurrect stale entries.
+    epoch: u64,
     /// Per-node epoch stamp for `label_val`.
-    label_epoch: Vec<u32>,
+    label_epoch: Vec<u64>,
     /// Per-node label (`LABEL_NONE` = explicitly cleared this epoch).
     label_val: Vec<u8>,
     /// Per-node epoch stamp for the ancestor-collection visited set.
-    anc_epoch: Vec<u32>,
+    anc_epoch: Vec<u64>,
     /// Sorted u-node IDs of this batch's departures.
     departed_ids: Vec<NodeId>,
     /// Slots vacated this batch (departed u-nodes and pruned k-nodes).
@@ -159,9 +165,11 @@ impl MarkScratch {
     /// Starts a new batch epoch and sizes the node maps for a tree with
     /// `storage` slots.
     fn begin(&mut self, storage: usize) {
-        if self.epoch == u32::MAX {
+        if self.epoch == u64::MAX {
             // Epoch wrapped: every stale stamp would look current again,
-            // so do the one O(N) reset per 2^32 batches.
+            // so hard-clear both stamp maps. Unreachable in practice with
+            // a 64-bit epoch; kept as defence in depth (and exercised by
+            // the forced-wrap regression test).
             self.label_epoch.iter_mut().for_each(|e| *e = 0);
             self.anc_epoch.iter_mut().for_each(|e| *e = 0);
             self.epoch = 0;
@@ -172,6 +180,14 @@ impl MarkScratch {
         self.became_n.clear();
         self.placed.clear();
         self.touched.clear();
+    }
+
+    /// Jumps the epoch counter to `epoch` (test-only): lets the
+    /// forced-wrap regression test reach the `u64::MAX` hard-clear branch
+    /// without running 2^64 batches.
+    #[cfg(test)]
+    fn set_epoch_for_wrap_test(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     fn grow(&mut self, storage: usize) {
@@ -218,6 +234,91 @@ impl MarkScratch {
     }
 }
 
+/// When and how hard the tree compacts itself under one-sided churn.
+///
+/// Sustained departures leave the key tree sparse: `nk` (the maximum
+/// k-node ID) stays at its historical peak while the population shrinks,
+/// so tree depth — and with it encryptions per member and USR packet size
+/// — reflects the *peak* group, not the current one. Compaction relocates
+/// members from the highest u-node slots into the lowest empty slots of
+/// the legal window `(nk, d*nk + d]`, which lets emptied subtrees prune
+/// away and `nk` fall back toward the compact optimum.
+///
+/// Relocations are deliberately *tail-first* (highest occupied slot to
+/// lowest hole), which preserves Lemma 4.1 at every step. Unlike split
+/// moves, a compaction relocation moves a member *downward* in ID space
+/// and is therefore **not** re-derivable from `maxKID` via Theorem 4.2 —
+/// the server must tell the member its new ID explicitly (the USR wire
+/// format already carries `newUserID`); see [`MarkOutcome::relocations`].
+///
+/// The work is amortized: at most [`CompactionPolicy::max_moves_per_batch`]
+/// relocations per batch, each costing one vacate + one place + `O(log N)`
+/// pruning/revival, so a batch's cost stays `O((J + L + moves) log N)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Master switch; `false` makes [`KeyTree::process_batch_compacting_in`]
+    /// behave exactly like [`KeyTree::process_batch_in`].
+    pub enabled: bool,
+    /// Trigger slack: compact only once `nk` exceeds
+    /// `slack * ideal_nk + d`, where `ideal_nk ~ (U - 1) / (d - 1)` is the
+    /// maximum k-node ID of a compact tree holding the current `U` users.
+    /// Larger values tolerate more sparseness before paying relocations.
+    pub slack: u32,
+    /// Relocation budget per batch (amortization knob). Zero disables
+    /// compaction as thoroughly as `enabled: false`.
+    pub max_moves_per_batch: usize,
+}
+
+impl CompactionPolicy {
+    /// Compaction off — the default, so existing pipelines (and their
+    /// byte-identical baselines) are unaffected unless a caller opts in.
+    pub const DISABLED: CompactionPolicy = CompactionPolicy {
+        enabled: false,
+        slack: 2,
+        max_moves_per_batch: 0,
+    };
+
+    /// The recommended on-switch: trigger at 2x the compact tree size,
+    /// amortize at most 64 relocations per batch.
+    pub const DEFAULT_ON: CompactionPolicy = CompactionPolicy {
+        enabled: true,
+        slack: 2,
+        max_moves_per_batch: 64,
+    };
+
+    /// The maximum k-node ID a compact tree of `users` members needs: a
+    /// full degree-`d` tree with `U` leaves has `ceil((U - 1) / (d - 1))`
+    /// internal nodes, and BFS numbering packs them densely from 0.
+    fn ideal_nk(users: usize, d: u32) -> u64 {
+        if users == 0 {
+            return 0;
+        }
+        let d = u64::from(d.max(2));
+        (users as u64).saturating_sub(1).div_ceil(d - 1)
+    }
+
+    /// Whether the tree is sparse enough to start compacting.
+    fn should_compact(&self, nk: NodeId, users: usize, d: u32) -> bool {
+        self.enabled
+            && self.max_moves_per_batch > 0
+            && users > 0
+            && u64::from(nk) > u64::from(self.slack) * Self::ideal_nk(users, d) + u64::from(d)
+    }
+
+    /// Whether, mid-compaction, another relocation is still worth doing
+    /// (hysteresis: once triggered, compact down to `ideal_nk + d`, not
+    /// merely below the trigger line).
+    fn keep_compacting(nk: NodeId, users: usize, d: u32) -> bool {
+        u64::from(nk) > Self::ideal_nk(users, d) + u64::from(d)
+    }
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy::DISABLED
+    }
+}
+
 /// Everything the rekey-transport layer needs about one processed batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MarkOutcome {
@@ -229,6 +330,13 @@ pub struct MarkOutcome {
     pub encryptions: Vec<EncEdge>,
     /// Users whose u-node IDs changed due to splitting.
     pub moves: Vec<UserMove>,
+    /// Users relocated *downward* by tail compaction
+    /// ([`CompactionPolicy`]). Unlike [`MarkOutcome::moves`], these are
+    /// **not** re-derivable from `maxKID` (Theorem 4.2 only covers the
+    /// upward split direction), so the server must notify each relocated
+    /// member of its new ID explicitly — the USR packet's `newUserID`
+    /// field carries it on the wire. Empty unless compaction ran.
+    pub relocations: Vec<UserMove>,
     /// Members removed by this batch.
     pub departed: Vec<MemberId>,
     /// Members added by this batch.
@@ -323,6 +431,33 @@ impl KeyTree {
         keygen: &mut KeyGen,
         scratch: &mut MarkScratch,
     ) -> MarkOutcome {
+        self.process_batch_compacting_in(batch, keygen, scratch, &CompactionPolicy::DISABLED)
+    }
+
+    /// [`KeyTree::process_batch_in`] plus amortized tail compaction: after
+    /// the batch's own topology changes, if the tree has grown sparse
+    /// enough to trip `policy`, members are relocated from the highest
+    /// u-node slots into the lowest legal holes (at most
+    /// [`CompactionPolicy::max_moves_per_batch`] per call) and the
+    /// vacated tail prunes away, pulling `nk` — and with it tree depth and
+    /// per-member rekey cost — back toward the compact optimum. The
+    /// relocated members are reported in [`MarkOutcome::relocations`] and
+    /// rekeyed like joiners (their subtree edges are sealed under their
+    /// individual keys), so delivery and forward secrecy are unaffected.
+    ///
+    /// With [`CompactionPolicy::DISABLED`] this is byte-identical to
+    /// [`KeyTree::process_batch_in`].
+    ///
+    /// # Panics
+    ///
+    /// As [`KeyTree::process_batch`].
+    pub fn process_batch_compacting_in(
+        &mut self,
+        batch: Batch,
+        keygen: &mut KeyGen,
+        scratch: &mut MarkScratch,
+        policy: &CompactionPolicy,
+    ) -> MarkOutcome {
         let _span_batch = obs::span("keytree.mark_batch");
         if scratch.epoch > 0 {
             // A warm scratch means its node maps and work lists carry
@@ -331,7 +466,15 @@ impl KeyTree {
             obs::counter_add("keytree.scratch_reuse_hits", 1);
         }
         let mut moves: Vec<UserMove> = Vec::new();
-        self.mark_batch_in(&batch, keygen, scratch, &mut moves);
+        let mut relocations: Vec<UserMove> = Vec::new();
+        self.mark_batch_compacting_in(
+            &batch,
+            keygen,
+            scratch,
+            &mut moves,
+            &mut relocations,
+            policy,
+        );
 
         let d = self.degree();
         let span_mint = obs::span("stage.mint");
@@ -410,11 +553,19 @@ impl KeyTree {
 
         debug_assert_eq!(self.check_invariants(), Ok(()));
 
+        if policy.enabled {
+            // Reclaim storage the compacted (or mass-departed) tail no
+            // longer reaches. Gated on a 2x slack so steady-state batches
+            // never pay a reallocation; only a genuine contraction does.
+            self.shrink_storage_if_slack();
+        }
+
         let Batch { joins, leaves } = batch;
         MarkOutcome {
             updated_knodes: updated,
             encryptions,
             moves,
+            relocations,
             departed: leaves,
             joined: joins.into_iter().map(|(m, _)| m).collect(),
             nk: self.max_knode_id(),
@@ -447,10 +598,43 @@ impl KeyTree {
         scratch: &mut MarkScratch,
         moves: &mut Vec<UserMove>,
     ) {
+        // An empty `Vec` costs no allocation and compaction is off, so
+        // this wrapper preserves the zero-allocation contract.
+        let mut relocations = Vec::new();
+        self.mark_batch_compacting_in(
+            batch,
+            keygen,
+            scratch,
+            moves,
+            &mut relocations,
+            &CompactionPolicy::DISABLED,
+        );
+    }
+
+    /// [`KeyTree::mark_batch_in`] with the amortized tail-compaction step
+    /// of [`KeyTree::process_batch_compacting_in`] spliced in between the
+    /// batch's topology changes and the labelling pass. Relocated members
+    /// land in `relocations` (cleared first); with a warm scratch and warm
+    /// vectors this remains allocation-free in the steady state.
+    ///
+    /// # Panics
+    ///
+    /// As [`KeyTree::process_batch`].
+    // xcheck: no_alloc
+    pub fn mark_batch_compacting_in(
+        &mut self,
+        batch: &Batch,
+        keygen: &mut KeyGen,
+        scratch: &mut MarkScratch,
+        moves: &mut Vec<UserMove>,
+        relocations: &mut Vec<UserMove>,
+        policy: &CompactionPolicy,
+    ) {
         let span_mark = obs::span("stage.mark");
         let d = self.degree();
         scratch.begin(self.storage_len());
         moves.clear();
+        relocations.clear();
 
         // ---- Phase 1: update the key tree -------------------------------
         for m in &batch.leaves {
@@ -617,6 +801,16 @@ impl KeyTree {
             }
         }
 
+        // ---- Phase 1.5: amortized tail compaction -----------------------
+        // Only after split-free batches: a splitting batch means the tree
+        // is full (nothing to compact), and keeping the two relocation
+        // directions out of one batch keeps Theorem 4.2's oracle crisp —
+        // `moves` stays fully maxKID-rederivable, `relocations` fully
+        // explicit.
+        if moves.is_empty() {
+            self.compact_tail_in(keygen, scratch, relocations, policy);
+        }
+
         // ---- Phase 2: label the rekey subtree ---------------------------
         // Collect the k-nodes of the rekey subtree bottom-up: every
         // ancestor of a slot placed or vacated this batch, deduplicated
@@ -677,6 +871,139 @@ impl KeyTree {
         }
 
         drop(span_mark);
+    }
+
+    /// The tail-compaction loop: while the tree is sparser than `policy`
+    /// tolerates and budget remains, vacate the *highest* occupied u-node
+    /// and re-place its member (individual key unchanged) at the *lowest*
+    /// hole of the legal window `(nk, d*nk + d]` strictly below it.
+    ///
+    /// Order of operations per move keeps every invariant true at every
+    /// step:
+    ///
+    /// 1. pick source `s` (highest u-node) and hole `h` (lowest in-window
+    ///    n-slot with `h < s`) — if no such pair exists, the tail is
+    ///    already dense and compaction stops;
+    /// 2. vacate `s` (label Leave) and prune emptied ancestors exactly
+    ///    like a departure, possibly lowering `nk`;
+    /// 3. place the member at `h` (label Join — it bootstraps from its
+    ///    individual key like a joiner) and immediately revive any n-node
+    ///    ancestors of `h` to k-nodes, so `nk` again covers `h`'s parent
+    ///    before the next move picks its window.
+    ///
+    /// Tail-first order is what preserves Lemma 4.1: `h`'s parent has ID
+    /// `<= nk`, so no k-node ever lands above a u-node ID, and every
+    /// remaining member's ID stays inside the window Theorem 4.2 searches.
+    // xcheck: no_alloc
+    fn compact_tail_in(
+        &mut self,
+        keygen: &mut KeyGen,
+        scratch: &mut MarkScratch,
+        relocations: &mut Vec<UserMove>,
+        policy: &CompactionPolicy,
+    ) {
+        let d = self.degree();
+        let Some(nk0) = self.max_knode_id() else {
+            return;
+        };
+        if !policy.should_compact(nk0, self.user_count(), d) {
+            return;
+        }
+        let _span = obs::span("stage.compact");
+
+        for _ in 0..policy.max_moves_per_batch {
+            let Some(nk) = self.max_knode_id() else {
+                break;
+            };
+            if !CompactionPolicy::keep_compacting(nk, self.user_count(), d) {
+                break;
+            }
+            // Source: the highest occupied u-node slot. A slot stamped
+            // this batch (a joiner the fill phase placed, or the hole a
+            // previous compaction move just filled) is never a source:
+            // relocations must map *pre-batch* positions to final ones,
+            // one per member. A stamped tail slot also means every hole
+            // below it was already denser-packed — nothing left to gain.
+            let Some(src) = self.highest_unode_id() else {
+                break;
+            };
+            if scratch.label_of(src).is_some() {
+                break;
+            }
+            // Hole: the lowest empty in-window slot strictly below it.
+            // (Everything in the window below `src` is a u-node or a
+            // hole — k-node IDs stop at nk — so the first n-tag wins.)
+            let high = d as u64 * nk as u64 + d as u64;
+            let Ok(high) = NodeId::try_from(high) else {
+                break;
+            };
+            let mut hole: Option<NodeId> = None;
+            let mut cand = nk + 1;
+            while cand < src && cand <= high {
+                if self.is_n(cand) {
+                    hole = Some(cand);
+                    break;
+                }
+                cand += 1;
+            }
+            let Some(hole) = hole else {
+                // No hole below the tail: the occupied region is dense.
+                break;
+            };
+            let Some(member) = self.member_at(src) else {
+                unreachable!("highest_unode_id returned a non-u slot")
+            };
+            let Some(key) = self.key_of(src) else {
+                unreachable!("occupied slot {src} holds a key")
+            };
+
+            // Vacate the source exactly like a departure.
+            self.set_node(src, Node::N);
+            scratch.stamp(src, Label::Leave);
+            scratch.became_n.push(src);
+            let mut cur = src;
+            while let Some(p) = ident::parent(cur, d) {
+                let all_n = ident::children(p, d).all(|c| self.is_n(c));
+                if all_n && self.is_k(p) {
+                    self.set_node(p, Node::N);
+                    scratch.became_n.push(p);
+                    scratch.stamp(p, Label::Leave);
+                    cur = p;
+                } else {
+                    break;
+                }
+            }
+
+            // Re-place the member (same individual key) at the hole; it
+            // is "new" there, so its parent seals the fresh subtree keys
+            // under its individual key exactly as for a join.
+            self.set_node(hole, Node::U { member, key });
+            scratch.stamp(hole, Label::Join);
+            scratch.placed.push(hole);
+            // Revive n-node ancestors immediately (update rule 4), so
+            // `nk` covers the new slot's parent before the next move.
+            let mut cur = hole;
+            while let Some(p) = ident::parent(cur, d) {
+                if self.is_k(p) {
+                    break;
+                }
+                debug_assert!(self.is_n(p), "u-node above a compaction hole");
+                self.set_node(
+                    p,
+                    Node::K {
+                        key: keygen.next_key(),
+                    },
+                );
+                cur = p;
+            }
+
+            relocations.push(UserMove {
+                member,
+                old_id: src,
+                new_id: hole,
+            });
+        }
+        obs::counter_add("keytree.compaction_moves", relocations.len() as u64);
     }
 }
 
@@ -1114,5 +1441,314 @@ mod tests {
                 needs.len()
             );
         }
+    }
+
+    /// Satellite 1 regression: force the scratch epoch across its wrap
+    /// point mid-stream and check the outcomes match a never-wrapped run
+    /// batch for batch — no stale stamp from before the wrap may read as
+    /// valid afterwards.
+    #[test]
+    fn epoch_wrap_does_not_leak_stale_stamps() {
+        let run = |wrap: bool| -> Vec<MarkOutcome> {
+            let mut kg = keygen();
+            let mut tree = KeyTree::balanced(64, 4, &mut kg);
+            let mut scratch = MarkScratch::new();
+            let mut outcomes = Vec::new();
+            let mut next = 64u32;
+            for round in 0u32..8 {
+                if wrap && round == 4 {
+                    // The next `begin` increments past u64::MAX: every
+                    // slot stamped in rounds 0..4 carries an epoch that a
+                    // wrapped counter would re-reach.
+                    scratch.set_epoch_for_wrap_test(u64::MAX);
+                }
+                let leaves: Vec<MemberId> = tree
+                    .member_ids()
+                    .into_iter()
+                    .filter(|m| (m + round) % 3 == 0)
+                    .take(8)
+                    .collect();
+                let joins: Vec<_> = (0..(round % 6))
+                    .map(|_| {
+                        next += 1;
+                        join(&mut kg, next)
+                    })
+                    .collect();
+                outcomes.push(tree.process_batch_in(
+                    Batch::new(joins, leaves),
+                    &mut kg,
+                    &mut scratch,
+                ));
+            }
+            outcomes
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    /// A disabled policy routed through the compacting entry points must
+    /// be byte-identical to the plain path: same outcomes, no
+    /// relocations.
+    #[test]
+    fn disabled_policy_matches_plain_path() {
+        let run = |compacting: bool| -> Vec<MarkOutcome> {
+            let mut kg = keygen();
+            let mut tree = KeyTree::balanced(81, 3, &mut kg);
+            let mut scratch = MarkScratch::new();
+            let mut outcomes = Vec::new();
+            for round in 0u32..6 {
+                let leaves: Vec<MemberId> = tree
+                    .member_ids()
+                    .into_iter()
+                    .filter(|m| (m + round) % 4 == 0)
+                    .take(10)
+                    .collect();
+                let batch = Batch::new(vec![], leaves);
+                let outcome = if compacting {
+                    tree.process_batch_compacting_in(
+                        batch,
+                        &mut kg,
+                        &mut scratch,
+                        &CompactionPolicy::DISABLED,
+                    )
+                } else {
+                    tree.process_batch_in(batch, &mut kg, &mut scratch)
+                };
+                assert!(outcome.relocations.is_empty());
+                outcomes.push(outcome);
+            }
+            outcomes
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    /// Sustained mass departure with compaction on: tree depth and `nk`
+    /// must come back down to the small group's ideal shape instead of
+    /// staying at the historical peak, every batch must still deliver the
+    /// group key to every member, and relocated members keep their
+    /// individual keys.
+    #[test]
+    fn compaction_bounds_depth_after_mass_departure() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(1024, 4, &mut kg);
+        let mut scratch = MarkScratch::new();
+        let policy = CompactionPolicy::DEFAULT_ON;
+
+        // Keep every 32nd member: 32 survivors of 1024.
+        let leaves: Vec<MemberId> = (0..1024).filter(|m| m % 32 != 0).collect();
+        let before = tree.clone();
+        let outcome = tree.process_batch_compacting_in(
+            Batch::new(vec![], leaves),
+            &mut kg,
+            &mut scratch,
+            &policy,
+        );
+        assert_delivery(&before, &tree, &outcome);
+        let peak_height = before.height();
+
+        // Drain the relocation budget over follow-up empty batches.
+        let mut total_relocations = outcome.relocations.len();
+        let mut individual_keys: HashMap<MemberId, SymKey> = tree
+            .member_ids()
+            .into_iter()
+            .map(|m| (m, tree.key_of(tree.node_of_member(m).unwrap()).unwrap()))
+            .collect();
+        for _ in 0..32 {
+            let before = tree.clone();
+            let outcome =
+                tree.process_batch_compacting_in(Batch::default(), &mut kg, &mut scratch, &policy);
+            assert_delivery(&before, &tree, &outcome);
+            tree.check_invariants().unwrap();
+            for rl in &outcome.relocations {
+                // Downward, key-preserving, one per member per batch.
+                assert!(rl.new_id < rl.old_id);
+                assert_eq!(tree.node_of_member(rl.member), Some(rl.new_id));
+                assert_eq!(tree.key_of(rl.new_id), Some(individual_keys[&rl.member]));
+            }
+            total_relocations += outcome.relocations.len();
+            individual_keys = tree
+                .member_ids()
+                .into_iter()
+                .map(|m| (m, tree.key_of(tree.node_of_member(m).unwrap()).unwrap()))
+                .collect();
+            if outcome.relocations.is_empty() {
+                break;
+            }
+        }
+        assert!(total_relocations > 0, "compaction never ran");
+        assert_eq!(tree.user_count(), 32);
+        // 32 users at d=4 fit in height 3 (4^3 = 64 leaves); without
+        // compaction the survivors would sit at the old height 5.
+        assert!(
+            tree.height() <= 3,
+            "height {} did not come down from peak {peak_height}",
+            tree.height()
+        );
+        let nk = tree.max_knode_id().unwrap();
+        assert!(
+            u64::from(nk) <= 2 * CompactionPolicy::ideal_nk(32, 4) + 4,
+            "nk {nk} still at mass-departure scale"
+        );
+    }
+
+    /// Compaction must stay inert for trees already near their ideal
+    /// shape, and the per-batch move budget must cap the relocation work.
+    #[test]
+    fn compaction_respects_trigger_and_budget() {
+        let mut kg = keygen();
+        // Dense tree: nowhere near the slack trigger.
+        let mut tree = KeyTree::balanced(256, 4, &mut kg);
+        let mut scratch = MarkScratch::new();
+        let outcome = tree.process_batch_compacting_in(
+            Batch::default(),
+            &mut kg,
+            &mut scratch,
+            &CompactionPolicy::DEFAULT_ON,
+        );
+        assert!(outcome.relocations.is_empty(), "dense tree was compacted");
+
+        // Sparse tree with a tiny budget: at most `max_moves_per_batch`
+        // relocations per batch.
+        let mut tree = KeyTree::balanced(1024, 4, &mut kg);
+        let leaves: Vec<MemberId> = (0..1024).filter(|m| m % 16 != 0).collect();
+        tree.process_batch_in(Batch::new(vec![], leaves), &mut kg, &mut scratch);
+        let tiny = CompactionPolicy {
+            enabled: true,
+            slack: 2,
+            max_moves_per_batch: 3,
+        };
+        let outcome =
+            tree.process_batch_compacting_in(Batch::default(), &mut kg, &mut scratch, &tiny);
+        assert!(
+            outcome.relocations.len() <= 3,
+            "budget exceeded: {} moves",
+            outcome.relocations.len()
+        );
+        assert!(!outcome.relocations.is_empty(), "sparse tree not compacted");
+    }
+
+    /// Compaction alongside a same-batch join/leave mix: joiners placed
+    /// this batch are never relocation sources, so every relocation maps
+    /// a pre-batch slot to a final slot.
+    #[test]
+    fn compaction_composes_with_batch_churn() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(512, 4, &mut kg);
+        let mut scratch = MarkScratch::new();
+        let policy = CompactionPolicy::DEFAULT_ON;
+        // Mass departure to open the gap...
+        let leaves: Vec<MemberId> = (0..512).filter(|m| m % 8 != 0).collect();
+        tree.process_batch_in(Batch::new(vec![], leaves), &mut kg, &mut scratch);
+        // ...then churn batches with simultaneous joins and leaves.
+        let mut next = 1000u32;
+        for round in 0u32..12 {
+            let leaves: Vec<MemberId> = tree
+                .member_ids()
+                .into_iter()
+                .filter(|m| (m + round) % 7 == 0)
+                .take(4)
+                .collect();
+            let joins: Vec<_> = (0..(round % 4))
+                .map(|_| {
+                    next += 1;
+                    join(&mut kg, next)
+                })
+                .collect();
+            let before = tree.clone();
+            let outcome = tree.process_batch_compacting_in(
+                Batch::new(joins, leaves),
+                &mut kg,
+                &mut scratch,
+                &policy,
+            );
+            assert_delivery(&before, &tree, &outcome);
+            tree.check_invariants()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            for rl in &outcome.relocations {
+                assert_eq!(
+                    before.member_at(rl.old_id),
+                    Some(rl.member),
+                    "relocation source {} was not member {}'s pre-batch slot",
+                    rl.old_id,
+                    rl.member
+                );
+                assert!(!outcome.moves.iter().any(|mv| mv.member == rl.member));
+            }
+        }
+    }
+
+    /// Satellite 2 regression: a mass departure followed by compaction
+    /// must return `resident_bytes` near the small group's working set
+    /// instead of pinning the SoA columns and member index at their
+    /// historical peak forever.
+    #[test]
+    fn compaction_reclaims_resident_bytes_after_mass_departure() {
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(4096, 4, &mut kg);
+        let mut scratch = MarkScratch::new();
+        let policy = CompactionPolicy::DEFAULT_ON;
+        let peak = tree.resident_bytes();
+
+        let leaves: Vec<MemberId> = (64..4096).collect();
+        tree.process_batch_compacting_in(
+            Batch::new(vec![], leaves),
+            &mut kg,
+            &mut scratch,
+            &policy,
+        );
+        for _ in 0..64 {
+            let outcome =
+                tree.process_batch_compacting_in(Batch::default(), &mut kg, &mut scratch, &policy);
+            if outcome.relocations.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(tree.user_count(), 64);
+        tree.check_invariants().unwrap();
+        let settled = tree.resident_bytes();
+        // 64 survivors of 4096: the working set is ~1/64th of peak.
+        assert!(
+            settled * 8 <= peak,
+            "resident_bytes {settled} still near peak {peak}"
+        );
+        // And a reference tree built directly at the final size agrees on
+        // the order of magnitude (allow slack for allocator rounding and
+        // the not-perfectly-packed compacted shape).
+        let reference = KeyTree::balanced(64, 4, &mut kg).resident_bytes();
+        assert!(
+            settled <= reference * 8,
+            "resident_bytes {settled} far from reference {reference}"
+        );
+    }
+
+    /// Compaction is single-threaded by construction; the whole batch
+    /// pipeline must stay bit-identical across worker counts with it on.
+    #[test]
+    fn compaction_outcome_is_worker_count_invariant() {
+        let run = |workers: usize| -> (Vec<MarkOutcome>, Option<SymKey>) {
+            taskpool::with_workers(workers, || {
+                let mut kg = keygen();
+                let mut tree = KeyTree::balanced(1024, 4, &mut kg);
+                let mut scratch = MarkScratch::new();
+                let policy = CompactionPolicy::DEFAULT_ON;
+                let mut outcomes = Vec::new();
+                let leaves: Vec<MemberId> = (0..1024).filter(|m| m % 16 != 0).collect();
+                outcomes.push(tree.process_batch_compacting_in(
+                    Batch::new(vec![], leaves),
+                    &mut kg,
+                    &mut scratch,
+                    &policy,
+                ));
+                for _ in 0..8 {
+                    outcomes.push(tree.process_batch_compacting_in(
+                        Batch::default(),
+                        &mut kg,
+                        &mut scratch,
+                        &policy,
+                    ));
+                }
+                (outcomes, tree.group_key())
+            })
+        };
+        assert_eq!(run(1), run(4));
     }
 }

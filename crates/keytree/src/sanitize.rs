@@ -212,6 +212,55 @@ pub fn verify_marking(
         }
     }
 
+    // ---- compaction relocations: explicit, downward, key-preserving -
+    // Unlike `moves`, these are NOT re-derivable from maxKID (they go
+    // *down*, outside Theorem 4.2's upward split window), which is
+    // exactly why they travel in a separate field. Check each one moved
+    // a real member downward with its individual key intact, and that
+    // the rederivation identity holds at the destination so ENC
+    // processing still works for the relocated member.
+    for rl in &outcome.relocations {
+        if rl.new_id >= rl.old_id {
+            return Err(format!(
+                "relocation {} -> {} is not downward",
+                rl.old_id, rl.new_id
+            ));
+        }
+        if before.member_at(rl.old_id) != Some(rl.member) {
+            return Err(format!(
+                "relocated member {} was not at {} before the batch",
+                rl.member, rl.old_id
+            ));
+        }
+        if after.node_of_member(rl.member) != Some(rl.new_id) {
+            return Err(format!(
+                "relocated member {} is not at {} after the batch",
+                rl.member, rl.new_id
+            ));
+        }
+        if after.key_of(rl.new_id) != before.key_of(rl.old_id) {
+            return Err(format!(
+                "relocation {} -> {} did not preserve the individual key",
+                rl.old_id, rl.new_id
+            ));
+        }
+        let derived = outcome
+            .nk
+            .and_then(|nk| ident::derive_current_id(rl.new_id, nk, d));
+        if derived != Some(rl.new_id) {
+            return Err(format!(
+                "relocated slot {} is outside the maxKID window (derived {derived:?})",
+                rl.new_id
+            ));
+        }
+        if outcome.moves.iter().any(|mv| mv.member == rl.member) {
+            return Err(format!(
+                "member {} appears in both moves and relocations",
+                rl.member
+            ));
+        }
+    }
+
     Ok(())
 }
 
@@ -335,6 +384,53 @@ mod tests {
         let mut outcome = tree.process_batch(&batch, &mut kg);
         // Drop an edge: delivery must now fail for some member.
         outcome.encryptions.pop();
+        assert!(verify_marking(&before, &tree, &batch, &outcome).is_err());
+    }
+
+    #[test]
+    fn compaction_passes_cross_check_every_round() {
+        use crate::marking::{CompactionPolicy, MarkScratch};
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(512, 4, &mut kg);
+        let mut scratch = MarkScratch::new();
+        let policy = CompactionPolicy::DEFAULT_ON;
+        // Mass departure, then empty batches drain the relocation budget;
+        // every round must survive the full oracle, relocations included.
+        let leaves: Vec<u32> = (32..512).collect();
+        let mut batch = Batch::new(vec![], leaves);
+        let mut saw_relocations = false;
+        for _ in 0..24 {
+            let before = tree.clone();
+            let outcome =
+                tree.process_batch_compacting_in(batch.clone(), &mut kg, &mut scratch, &policy);
+            verify_marking(&before, &tree, &batch, &outcome).unwrap();
+            saw_relocations |= !outcome.relocations.is_empty();
+            if outcome.relocations.is_empty() && outcome.departed.is_empty() {
+                break;
+            }
+            batch = Batch::default();
+        }
+        assert!(saw_relocations, "compaction never produced relocations");
+    }
+
+    #[test]
+    fn cross_check_rejects_a_forged_relocation() {
+        use crate::marking::{CompactionPolicy, MarkScratch, UserMove};
+        let mut kg = keygen();
+        let mut tree = KeyTree::balanced(512, 4, &mut kg);
+        let mut scratch = MarkScratch::new();
+        let policy = CompactionPolicy::DEFAULT_ON;
+        let before = tree.clone();
+        let batch = Batch::new(vec![], (32..512).collect());
+        let mut outcome =
+            tree.process_batch_compacting_in(batch.clone(), &mut kg, &mut scratch, &policy);
+        // Claim a relocation that never happened: member 0 did not move.
+        let bogus_slot = tree.node_of_member(0).unwrap();
+        outcome.relocations.push(UserMove {
+            member: 0,
+            old_id: bogus_slot + 1000,
+            new_id: bogus_slot,
+        });
         assert!(verify_marking(&before, &tree, &batch, &outcome).is_err());
     }
 }

@@ -272,6 +272,30 @@ impl KeyTree {
             .unwrap_or(0)
     }
 
+    /// Mean level of the current u-nodes (0.0 for an empty group). The
+    /// per-member counterpart of [`KeyTree::height`]: sustained one-sided
+    /// churn skews this away from `log_d(N)` unless compaction runs.
+    pub fn mean_user_depth(&self) -> f64 {
+        if self.user_count == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .user_ids_iter()
+            .map(|id| u64::from(ident::level(id, self.degree)))
+            .sum();
+        total as f64 / self.user_count as f64
+    }
+
+    /// ID of the highest current u-node (the compaction source scan).
+    /// `None` when the group is empty. BFS numbering makes this the last
+    /// `U` tag in storage.
+    pub fn highest_unode_id(&self) -> Option<NodeId> {
+        self.tags
+            .iter()
+            .rposition(|&t| t == TAG_U)
+            .map(|i| i as NodeId)
+    }
+
     /// Length of the underlying node storage (the last allocated ID + 1).
     /// The denominator for the bench's bytes-per-node metric.
     pub fn storage_len(&self) -> usize {
@@ -362,6 +386,47 @@ impl KeyTree {
         match self.tags.get(id as usize) {
             Some(&TAG_K) | Some(&TAG_U) => self.keys[id as usize] = key,
             _ => panic!("cannot set key on an n-node (id {id})"),
+        }
+    }
+
+    /// Truncates the column arrays to the last live (non-`N`) slot and the
+    /// member index to the last registered member, returning the freed
+    /// capacity to the allocator. After a mass departure or a compaction
+    /// run the tail of every array is dead weight; without this,
+    /// `resident_bytes` stays at its historical peak forever.
+    pub(crate) fn shrink_storage(&mut self) {
+        let live = self
+            .tags
+            .iter()
+            .rposition(|&t| t != TAG_N)
+            .map_or(1, |i| i + 1);
+        self.tags.truncate(live);
+        self.keys.truncate(live);
+        self.occupants.truncate(live);
+        self.tags.shrink_to_fit();
+        self.keys.shrink_to_fit();
+        self.occupants.shrink_to_fit();
+        let members = self
+            .member_slot
+            .iter()
+            .rposition(|&id| id != NO_NODE)
+            .map_or(0, |m| m + 1);
+        self.member_slot.truncate(members);
+        self.member_slot.shrink_to_fit();
+    }
+
+    /// Calls [`KeyTree::shrink_storage`] only when the dead tail is worth
+    /// reclaiming: storage at least twice the live extent and at least 64
+    /// slots of slack. Steady-state batches therefore never pay a
+    /// reallocation; only a genuine contraction does.
+    pub(crate) fn shrink_storage_if_slack(&mut self) {
+        let live = self
+            .tags
+            .iter()
+            .rposition(|&t| t != TAG_N)
+            .map_or(1, |i| i + 1);
+        if self.tags.capacity() >= 2 * live && self.tags.capacity() - live >= 64 {
+            self.shrink_storage();
         }
     }
 

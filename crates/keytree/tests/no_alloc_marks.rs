@@ -1,10 +1,10 @@
 //! Dynamic half of the `// xcheck: no_alloc` contract for
-//! [`KeyTree::mark_batch_in`]: with a warm scratch, a warm moves buffer,
-//! and a replace-shaped batch (joins == leaves, so the tree's storage
-//! does not grow), phases 1–2 of batch processing must perform zero heap
-//! allocations.
+//! [`KeyTree::mark_batch_in`] and [`KeyTree::mark_batch_compacting_in`]:
+//! with a warm scratch, warm moves/relocations buffers, and batches that
+//! do not grow the tree's storage, phases 1–2 of batch processing — tail
+//! compaction included — must perform zero heap allocations.
 
-use keytree::{Batch, KeyTree, MarkScratch, UserMove};
+use keytree::{Batch, CompactionPolicy, KeyTree, MarkScratch, UserMove};
 use wirecrypto::KeyGen;
 
 #[global_allocator]
@@ -50,4 +50,69 @@ fn mark_batch_in_is_allocation_free_in_steady_state() {
         "untouched member survives"
     );
     assert!(tree.node_of_member(16).is_none(), "round-4 leave departed");
+}
+
+#[test]
+fn mark_batch_compacting_in_is_allocation_free_mid_compaction() {
+    xcheck_rt::assert_counting();
+
+    let mut kg = KeyGen::from_seed(43);
+    let mut tree = KeyTree::balanced(256, 4, &mut kg);
+    let mut scratch = MarkScratch::new();
+    let mut moves: Vec<UserMove> = Vec::new();
+    let mut relocations: Vec<UserMove> = Vec::new();
+    // A small per-batch budget spreads the compaction over several
+    // batches, so the measured round is still actively relocating.
+    let policy = CompactionPolicy {
+        enabled: true,
+        slack: 2,
+        max_moves_per_batch: 4,
+    };
+
+    // Warm-up: a mass departure leaves every eighth member stranded
+    // across the whole tree (warming the scratch's work lists at their
+    // largest, and leaving plenty of tail to compact), then two empty
+    // batches each compact a budget's worth of members, warming
+    // `relocations`.
+    let exodus = Batch::new(vec![], (0..256).filter(|m| m % 8 != 0).collect());
+    tree.mark_batch_compacting_in(
+        &exodus,
+        &mut kg,
+        &mut scratch,
+        &mut moves,
+        &mut relocations,
+        &policy,
+    );
+    for _ in 0..2 {
+        let idle = Batch::new(vec![], vec![]);
+        tree.mark_batch_compacting_in(
+            &idle,
+            &mut kg,
+            &mut scratch,
+            &mut moves,
+            &mut relocations,
+            &policy,
+        );
+        assert!(!relocations.is_empty(), "warm-up batches must compact");
+    }
+
+    // Steady state: the next compacting batch must not allocate.
+    let idle = Batch::new(vec![], vec![]);
+    xcheck_rt::assert_zero_alloc("KeyTree::mark_batch_compacting_in", || {
+        tree.mark_batch_compacting_in(
+            &idle,
+            &mut kg,
+            &mut scratch,
+            &mut moves,
+            &mut relocations,
+            &policy,
+        )
+    });
+
+    // The measured round really compacted: the budget's worth of members
+    // moved, and the tree is intact.
+    assert_eq!(relocations.len(), policy.max_moves_per_batch);
+    assert_eq!(tree.user_count(), 32);
+    tree.check_invariants()
+        .expect("tree intact after compaction");
 }

@@ -95,3 +95,98 @@ fn hundred_intervals_of_churn() {
     // 100 intervals means the 6-bit wire message ID wrapped at least once.
     assert!(group.server.msg_seq() >= 100);
 }
+
+mod scenario_soak {
+    //! Long-horizon scenario soak: every adversarial trace family run for
+    //! thousands of batches on a small group, with compaction on, the tree
+    //! invariants checked every interval, and the whole rekey stream
+    //! replayed under different worker counts and adversarial schedules —
+    //! any divergence or invariant break fails by digest mismatch or
+    //! panic. Under `--features sanitize` every one of those batches also
+    //! passes the secrecy/delivery oracles and the Theorem 4.2 / explicit-
+    //! relocation re-derivations inside `KeyServer::rekey`.
+
+    use grouprekey::scenario::{ScenarioConfig, ScenarioEngine, ScenarioKind};
+    use grouprekey::ServerOptions;
+    use keytree::CompactionPolicy;
+
+    const INTERVALS: usize = 2000;
+    const WORKERS: [usize; 2] = [1, 4];
+    const SCHED_SEEDS: [u64; 2] = [0x50AC, 0xCA05];
+
+    fn config(kind: ScenarioKind) -> ScenarioConfig {
+        ScenarioConfig {
+            kind,
+            seed: 0x50A6_0000 ^ kind.name().len() as u64,
+            initial_users: 96,
+            intervals: INTERVALS,
+            options: ServerOptions {
+                compaction: CompactionPolicy::DEFAULT_ON,
+                ..ServerOptions::default()
+            },
+        }
+    }
+
+    /// Steps the whole trace, checking tree invariants as it goes, and
+    /// returns the run digest.
+    fn soak(kind: ScenarioKind) -> u64 {
+        let mut engine = ScenarioEngine::new(config(kind));
+        for interval in 0..INTERVALS {
+            let stats = engine.step();
+            engine
+                .server()
+                .tree()
+                .check_invariants()
+                .unwrap_or_else(|e| panic!("{} interval {interval}: {e}", kind.name()));
+            assert_eq!(
+                stats.users,
+                engine.server().tree().user_count(),
+                "{} interval {interval}: stats drifted from the tree",
+                kind.name()
+            );
+        }
+        engine.digest()
+    }
+
+    /// One test per trace family so failures name the trace and the
+    /// suite parallelizes across them.
+    macro_rules! soak_test {
+        ($name:ident, $kind:expr) => {
+            #[test]
+            fn $name() {
+                let baseline = soak($kind);
+                // Bit-identity gates: same digest at every worker count
+                // and under adversarial schedule perturbation.
+                for workers in WORKERS {
+                    let replay = taskpool::with_workers(workers, || soak($kind));
+                    assert_eq!(
+                        replay,
+                        baseline,
+                        "{} diverged at {workers} workers",
+                        $kind.name()
+                    );
+                    for seed in SCHED_SEEDS {
+                        let perturbed = taskpool::with_workers(workers, || {
+                            taskpool::with_schedule(seed, || soak($kind))
+                        });
+                        assert_eq!(
+                            perturbed,
+                            baseline,
+                            "{} diverged at {workers} workers, schedule seed {seed:#x}",
+                            $kind.name()
+                        );
+                    }
+                }
+            }
+        };
+    }
+
+    soak_test!(flash_crowd_thousands_of_batches, ScenarioKind::FlashCrowd);
+    soak_test!(diurnal_thousands_of_batches, ScenarioKind::Diurnal);
+    soak_test!(
+        mass_departure_thousands_of_batches,
+        ScenarioKind::MassDeparture
+    );
+    soak_test!(oscillation_thousands_of_batches, ScenarioKind::Oscillation);
+    soak_test!(storm_thousands_of_batches, ScenarioKind::Storm);
+}

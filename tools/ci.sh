@@ -125,6 +125,24 @@ if ! grep -q '"mode": "full"' BENCH_scale.json; then
     exit 1
 fi
 
+stage "churn bench smoke run (target/BENCH_churn.smoke.json)"
+# The sanitize feature routes every scenario batch through the deep
+# secrecy/delivery oracles and the Theorem 4.2 / explicit-relocation
+# re-derivations, so the smoke sweep is also an end-to-end compaction
+# correctness gate.
+cargo run --release -p bench --features sanitize --bin bench_churn -- \
+    --smoke --out target/BENCH_churn.smoke.json
+if [ ! -s target/BENCH_churn.smoke.json ]; then
+    echo "ci.sh: target/BENCH_churn.smoke.json missing or empty" >&2
+    exit 1
+fi
+cargo run --release -p bench --bin bench_churn -- --check target/BENCH_churn.smoke.json
+cargo run --release -p bench --bin bench_churn -- --check BENCH_churn.json
+if ! grep -q '"mode": "full"' BENCH_churn.json; then
+    echo "ci.sh: committed BENCH_churn.json is not a full-mode run" >&2
+    exit 1
+fi
+
 stage "obs gate: build + test with --features obs"
 cargo build -q --workspace --features obs
 cargo test -q --workspace --features obs
