@@ -9,8 +9,11 @@
 //! * `seal_enc_per_sec` — raw sealing throughput over the batch's
 //!   encryption edges (`SealedKey::seal` under the child key with the
 //!   message-bound context), the cryptographic core of message build;
-//! * `message_build_ms` — full `UkaAssignment::build` wall time where the
-//!   16-bit wire IDs permit a real message (N = 2^14), `null` beyond;
+//! * `message_build_ms` — message build wall time at every N: the full
+//!   `UkaAssignment::build` where the 16-bit wire IDs permit a real
+//!   message (N = 2^14), the wide build (`plan_and_seal`: UKA plans plus
+//!   every sealed encryption, all of the message except the 16-bit
+//!   packet serialization) beyond;
 //! * `resident_bytes_per_node` — SoA heap bytes over storage slots, next
 //!   to the AoS-equivalent bytes the pre-rewrite `Vec<Node>` + member
 //!   `HashMap` layout would hold.
@@ -19,6 +22,14 @@
 //! under 1 and 4 workers and requires bit-identical marking outcomes and
 //! sealed bytes — the gate is identity, not speedup, so it holds on a
 //! single-core container.
+//!
+//! The `pipeline` section runs the same acceptance cell through the
+//! streaming build (`rekeymsg::stream`) at 1, 2 and 4 workers against the
+//! one-worker barrier baseline, recording per-stage busy time and the
+//! measured stage overlap (`overlap_pct`: how much of the wall two or
+//! more stages were concurrently in flight). Identity of the sealed
+//! bytes is asserted per row; `overlapped` flags a workers ≥ 2 row whose
+//! overlap is positive.
 //!
 //! Flags: `--smoke` shrinks the grid (same JSON shape); `--check <path>`
 //! validates an existing report; `--out <path>` overrides the output
@@ -123,8 +134,9 @@ struct CellReport {
     marking_ms: f64,
     encryptions: usize,
     seal_enc_per_sec: f64,
-    /// `None` where 16-bit wire IDs rule out a real message.
-    message_build_ms: Option<f64>,
+    /// Full `UkaAssignment::build` where the wire permits, the wide
+    /// `plan_and_seal` build beyond — populated at every N.
+    message_build_ms: f64,
     resident_bytes_per_node: f64,
     aos_bytes_per_node: f64,
     /// Sum of every timed segment (marking, sealing, message build)
@@ -146,7 +158,7 @@ fn bench_cell(cell: Cell, reps: usize) -> CellReport {
 
     let mut marking_ms = f64::INFINITY;
     let mut seal_rate = 0.0f64;
-    let mut message_build_ms: Option<f64> = None;
+    let mut message_build_ms = f64::INFINITY;
     let mut encryptions = 0usize;
     let mut measured_wall_ms = 0.0f64;
     let mut tree = base.clone();
@@ -177,15 +189,21 @@ fn bench_cell(cell: Cell, reps: usize) -> CellReport {
             seal_rate = seal_rate.max(encryptions as f64 / seal_secs);
         }
 
+        let start = Instant::now();
         if wire_permits_full_message(&tree) {
-            let start = Instant::now();
             let assignment = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT)
                 .unwrap_or_else(|e| unreachable!("wire-size precheck passed: {e}"));
-            let wall = start.elapsed().as_secs_f64() * 1000.0;
-            measured_wall_ms += wall;
             black_box(&assignment);
-            message_build_ms = Some(message_build_ms.map_or(wall, |b: f64| b.min(wall)));
+        } else {
+            // Wide build: the same plans and sealed bytes, minus the
+            // 16-bit packet serialization the wire rules out at this N.
+            let wide = rekeymsg::plan_and_seal(&tree, &outcome, 1, &Layout::DEFAULT)
+                .unwrap_or_else(|e| unreachable!("wide build has no wire cap: {e}"));
+            black_box(&wide);
         }
+        let wall = start.elapsed().as_secs_f64() * 1000.0;
+        measured_wall_ms += wall;
+        message_build_ms = message_build_ms.min(wall);
     }
 
     let nodes = tree.storage_len().max(1) as f64;
@@ -235,12 +253,17 @@ impl ObsCellReport {
     }
 
     /// The `obs_scale/v1` wrapper: cell coordinates, wall/coverage
-    /// numbers, and the full `obs/v1` snapshot embedded verbatim.
-    fn to_json(&self) -> String {
+    /// numbers, the full `obs/v1` snapshot embedded verbatim, and — when
+    /// the pipeline comparison ran under obs — a second snapshot covering
+    /// exactly that run (the `pipeline.*` gauges and histograms).
+    fn to_json(&self, pipeline_obs: Option<&obs::Snapshot>) -> String {
+        let pipeline_field = pipeline_obs.map_or(String::new(), |snap| {
+            format!(", \"pipeline_obs\": {}", snap.to_json().trim_end())
+        });
         format!(
             "{{\"schema\": \"obs_scale/v1\", \"cell\": {{\"n\": {}, \"d\": {}, \"joins\": {}, \
              \"leaves\": {}}}, \"measured_wall_ms\": {}, \"stage_total_ms\": {}, \
-             \"coverage_pct\": {}, \"obs\": {}}}\n",
+             \"coverage_pct\": {}, \"obs\": {}{}}}\n",
             self.cell.n,
             self.cell.d,
             self.cell.joins,
@@ -249,6 +272,7 @@ impl ObsCellReport {
             fmt_f(self.stage_total_ms),
             fmt_f(self.coverage_pct),
             self.snap.to_json().trim_end(),
+            pipeline_field,
         )
     }
 
@@ -285,6 +309,120 @@ struct IdentityReport {
     matches_sequential: bool,
 }
 
+/// One worker-count row of the streaming-pipeline comparison.
+struct PipelineRow {
+    workers: usize,
+    streamed_ms: f64,
+    /// Streamed wall as a percentage of the barrier baseline (100 =
+    /// equal; the workers=1 acceptance bound is ≤ 105).
+    vs_barrier_pct: f64,
+    stats: rekeymsg::StreamStats,
+    /// Streamed sealed bytes equal the barrier's.
+    identical: bool,
+}
+
+struct PipelineReport {
+    cell: Cell,
+    tuning: rekeymsg::StreamTuning,
+    barrier_ms: f64,
+    rows: Vec<PipelineRow>,
+}
+
+/// The tuning the pipeline comparison runs under: barrier-sized chunks,
+/// but a channel deep enough that the producer never stalls behind the
+/// consumer's (monolithic, dominant) planning pass — the root-edge
+/// dependency means the consumer drains only after planning, so a
+/// shallow channel would serialize minting behind it and erase the very
+/// overlap being measured. Identity is unaffected by either knob.
+const PIPE_TUNING: rekeymsg::StreamTuning = rekeymsg::StreamTuning {
+    chunk_edges: rekeymsg::SEAL_CHUNK,
+    channel_capacity: 512,
+};
+
+/// Runs the acceptance cell through the wide message build twice per
+/// worker count — legacy barrier vs streaming pipeline — comparing walls
+/// and sealed bytes. Both sides time the whole batch datapath (marking +
+/// mint + plan + seal), since streaming moves minting inside the build.
+fn bench_pipeline(cell: Cell, reps: usize) -> PipelineReport {
+    use keytree::CompactionPolicy;
+    let mut keygen = KeyGen::from_seed(0x0071_7E11_u64);
+    let base = KeyTree::balanced(cell.n, cell.d, &mut keygen);
+    let mut scratch = MarkScratch::new();
+    let mut tree = base.clone();
+
+    let mut barrier_ms = f64::INFINITY;
+    let mut barrier_sealed: Vec<SealedKey> = Vec::new();
+    for _ in 0..reps {
+        tree.clone_from(&base);
+        let mut kg = keygen.clone();
+        let batch = make_batch(cell, &mut kg);
+        let start = Instant::now();
+        let outcome = tree.process_batch_in(batch, &mut kg, &mut scratch);
+        let (plans, sealed) = rekeymsg::plan_and_seal(&tree, &outcome, 1, &Layout::DEFAULT)
+            .unwrap_or_else(|e| unreachable!("wide build has no wire cap: {e}"));
+        barrier_ms = barrier_ms.min(start.elapsed().as_secs_f64() * 1000.0);
+        black_box(&plans);
+        barrier_sealed = sealed;
+    }
+
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let (streamed_ms, stats, identical) = taskpool::with_workers(workers, || {
+            let mut best = f64::INFINITY;
+            let mut best_stats = rekeymsg::StreamStats::default();
+            let mut identical = true;
+            for _ in 0..reps {
+                tree.clone_from(&base);
+                let mut kg = keygen.clone();
+                let batch = make_batch(cell, &mut kg);
+                let start = Instant::now();
+                let (outcome, pending) = tree.process_batch_deferred_in(
+                    batch,
+                    &mut kg,
+                    &mut scratch,
+                    &CompactionPolicy::DISABLED,
+                );
+                let (derived, built) = rekeymsg::stream::plan_and_seal_streamed(
+                    &tree,
+                    &outcome,
+                    &pending,
+                    1,
+                    &Layout::DEFAULT,
+                    PIPE_TUNING,
+                );
+                tree.install_minted(&outcome.updated_knodes, &derived);
+                let (plans, sealed, stats) =
+                    built.unwrap_or_else(|e| unreachable!("wide build has no wire cap: {e}"));
+                let wall = start.elapsed().as_secs_f64() * 1000.0;
+                black_box(&plans);
+                identical &= sealed == barrier_sealed;
+                if wall < best {
+                    best = wall;
+                    best_stats = stats;
+                }
+            }
+            (best, best_stats, identical)
+        });
+        rows.push(PipelineRow {
+            workers,
+            streamed_ms,
+            vs_barrier_pct: if barrier_ms > 0.0 {
+                100.0 * streamed_ms / barrier_ms
+            } else {
+                0.0
+            },
+            stats,
+            identical,
+        });
+    }
+    PipelineReport {
+        cell,
+        tuning: PIPE_TUNING,
+        barrier_ms,
+        rows,
+    }
+}
+
 /// Replays one cell at each worker count and demands bit-identical marking
 /// outcomes (keys included, via the sealed bytes) across all of them.
 fn bench_identity(cell: Cell) -> IdentityReport {
@@ -319,11 +457,16 @@ fn fmt_f(v: f64) -> String {
     }
 }
 
-fn render_json(mode: &str, cells: &[CellReport], identity: &IdentityReport) -> String {
+fn render_json(
+    mode: &str,
+    cells: &[CellReport],
+    identity: &IdentityReport,
+    pipeline: &PipelineReport,
+) -> String {
     let rows: Vec<String> = cells
         .iter()
         .map(|r| {
-            let msg = r.message_build_ms.map_or("null".to_string(), fmt_f);
+            let msg = fmt_f(r.message_build_ms);
             let reduction = if r.aos_bytes_per_node > 0.0 {
                 100.0 * (1.0 - r.resident_bytes_per_node / r.aos_bytes_per_node)
             } else {
@@ -348,10 +491,33 @@ fn render_json(mode: &str, cells: &[CellReport], identity: &IdentityReport) -> S
             )
         })
         .collect();
+    let pipe_rows: Vec<String> = pipeline
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"workers\": {}, \"streamed_ms\": {}, \"vs_barrier_pct\": {}, \
+                 \"overlap_pct\": {}, \"mint_busy_ms\": {}, \"seal_busy_ms\": {}, \
+                 \"plan_busy_ms\": {}, \"identical\": {}, \"overlapped\": {}}}",
+                r.workers,
+                fmt_f(r.streamed_ms),
+                fmt_f(r.vs_barrier_pct),
+                fmt_f(r.stats.overlap_pct()),
+                fmt_f(r.stats.mint_busy_ns as f64 / 1e6),
+                fmt_f(r.stats.seal_busy_ns as f64 / 1e6),
+                fmt_f(r.stats.plan_busy_ns as f64 / 1e6),
+                r.identical,
+                r.workers >= 2 && r.stats.overlap_pct() > 0.0,
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"mode\": \"{mode}\",\n  \"identity\": {{\n    \
          \"n\": {}, \"d\": {}, \"joins\": {}, \"leaves\": {},\n    \"workers\": [{}, {}],\n    \
-         \"matches_sequential\": {}\n  }},\n  \"scale\": [\n{}\n  ]\n}}\n",
+         \"matches_sequential\": {}\n  }},\n  \"pipeline\": {{\n    \
+         \"n\": {}, \"d\": {}, \"joins\": {}, \"leaves\": {},\n    \
+         \"tuning\": {{\"chunk_edges\": {}, \"channel_capacity\": {}}},\n    \
+         \"barrier_ms\": {},\n    \"rows\": [\n{}\n    ]\n  }},\n  \"scale\": [\n{}\n  ]\n}}\n",
         identity.cell.n,
         identity.cell.d,
         identity.cell.joins,
@@ -359,6 +525,14 @@ fn render_json(mode: &str, cells: &[CellReport], identity: &IdentityReport) -> S
         IDENTITY_WORKERS[0],
         IDENTITY_WORKERS[1],
         identity.matches_sequential,
+        pipeline.cell.n,
+        pipeline.cell.d,
+        pipeline.cell.joins,
+        pipeline.cell.leaves,
+        pipeline.tuning.chunk_edges,
+        pipeline.tuning.channel_capacity,
+        fmt_f(pipeline.barrier_ms),
+        pipe_rows.join(",\n"),
         rows.join(",\n")
     )
 }
@@ -411,10 +585,12 @@ fn check_report(text: &str) -> Vec<String> {
         "\"schema\"",
         SCHEMA,
         "\"identity\"",
+        "\"pipeline\"",
         "\"scale\"",
         "\"marking_ms\"",
         "\"seal_enc_per_sec\"",
         "\"resident_bytes_per_node\"",
+        "\"overlap_pct\"",
     ] {
         if !text.contains(key) {
             problems.push(format!("missing {key}"));
@@ -423,11 +599,21 @@ fn check_report(text: &str) -> Vec<String> {
     if !text.contains("\"matches_sequential\": true") {
         problems.push("parallel marking did not match sequential".to_string());
     }
-    // The acceptance row must be present in a full-mode report.
+    if text.contains("\"message_build_ms\": null") {
+        problems.push("message_build_ms is null in some row".to_string());
+    }
+    if text.contains("\"identical\": false") {
+        problems.push("streamed sealed bytes differ from the barrier's".to_string());
+    }
+    // The acceptance row must be present in a full-mode report, and at
+    // least one workers ≥ 2 pipeline row must show measured overlap.
     if text.contains("\"mode\": \"full\"") {
         let row = format!("\"n\": {}, \"d\": 8, \"joins\": 64", 1u32 << 20);
         if !text.contains(&row) {
             problems.push("full-mode report is missing the N=2^20, d=8, J=L=64 row".to_string());
+        }
+        if !text.contains("\"overlapped\": true") {
+            problems.push("no workers >= 2 pipeline row shows stage overlap".to_string());
         }
     }
     problems
@@ -439,6 +625,7 @@ fn main() {
     let mut out_path = "BENCH_scale.json".to_string();
     let mut check_path: Option<String> = None;
     let mut obs_out: Option<String> = None;
+    let mut pipeline_only = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -446,10 +633,11 @@ fn main() {
             "--out" => out_path = it.next().expect("--out needs a path"),
             "--check" => check_path = Some(it.next().expect("--check needs a path")),
             "--obs-out" => obs_out = Some(it.next().expect("--obs-out needs a path")),
+            "--pipeline-only" => pipeline_only = true,
             other => {
                 eprintln!(
                     "unknown flag {other}; use [--smoke] [--out PATH] [--check PATH] \
-                     [--obs-out PATH]"
+                     [--obs-out PATH] [--pipeline-only]"
                 );
                 std::process::exit(2);
             }
@@ -481,6 +669,30 @@ fn main() {
 
     let mode = if smoke { "smoke" } else { "full" };
     let reps = if smoke { 1 } else { 3 };
+
+    if pipeline_only {
+        // Iteration aid: just the streamed-vs-barrier comparison at the
+        // acceptance cell, no JSON emitted.
+        let cell = identity_cell(smoke);
+        let pipeline = bench_pipeline(cell, reps);
+        for row in &pipeline.rows {
+            eprintln!(
+                "  workers={} streamed {:>8.3} ms ({:>5.1}% of barrier {:.3} ms), \
+                 overlap {:>5.1}%, identical={}",
+                row.workers,
+                row.streamed_ms,
+                row.vs_barrier_pct,
+                pipeline.barrier_ms,
+                row.stats.overlap_pct(),
+                row.identical,
+            );
+        }
+        if pipeline.rows.iter().any(|r| !r.identical) {
+            eprintln!("FAILED: streamed sealed bytes differ from the barrier's");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let cells = grid(smoke);
     eprintln!("scale: {} cells ({mode})", cells.len());
@@ -531,7 +743,32 @@ fn main() {
     let identity = bench_identity(id_cell);
     eprintln!("  matches_sequential={}", identity.matches_sequential);
 
-    let json = render_json(mode, &reports, &identity);
+    eprintln!(
+        "pipeline: N=2^{} d={} streamed vs barrier",
+        id_cell.n.trailing_zeros(),
+        id_cell.d
+    );
+    // A fresh registry window over the pipeline comparison, so the
+    // `pipeline.*` metrics snapshot covers exactly that run.
+    if obs_sink.active() {
+        obs::reset();
+    }
+    let pipeline = bench_pipeline(id_cell, reps);
+    let pipeline_snap = obs_sink.active().then(obs::snapshot);
+    for row in &pipeline.rows {
+        eprintln!(
+            "  workers={} streamed {:>8.3} ms ({:>5.1}% of barrier {:.3} ms), \
+             overlap {:>5.1}%, identical={}",
+            row.workers,
+            row.streamed_ms,
+            row.vs_barrier_pct,
+            pipeline.barrier_ms,
+            row.stats.overlap_pct(),
+            row.identical,
+        );
+    }
+
+    let json = render_json(mode, &reports, &identity, &pipeline);
     std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
     println!("wrote {out_path}");
 
@@ -541,13 +778,18 @@ fn main() {
             .render_stderr(&mut std::io::stderr().lock())
             .expect("write obs tables");
         if let Some(path) = &obs_sink.path {
-            std::fs::write(path, report.to_json()).expect("write obs snapshot");
+            std::fs::write(path, report.to_json(pipeline_snap.as_ref()))
+                .expect("write obs snapshot");
             eprintln!("wrote obs snapshot to {path}");
         }
     }
 
     if !identity.matches_sequential {
         eprintln!("FAILED: parallel marking differs from sequential");
+        std::process::exit(1);
+    }
+    if pipeline.rows.iter().any(|r| !r.identical) {
+        eprintln!("FAILED: streamed sealed bytes differ from the barrier's");
         std::process::exit(1);
     }
 }

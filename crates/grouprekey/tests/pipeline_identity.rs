@@ -1,0 +1,159 @@
+//! Streaming-vs-barrier bit-identity gate: with the pipeline enabled,
+//! [`KeyServer::rekey`] must produce byte-identical artifacts — marking
+//! outcome, sealed ENC packets, FEC blocks and parity bytes, USR packets
+//! and group key — at any worker count, chunk size, channel capacity, and
+//! seeded adversarial `taskpool` schedule. The barrier path at one worker
+//! is the reference; everything else must collapse onto it.
+
+use grouprekey::{KeyServer, PipelinePolicy, ServerOptions};
+use keytree::{Batch, MemberId};
+use proptest::prelude::*;
+use rekeymsg::UsrPacket;
+use wirecrypto::SymKey;
+
+/// Everything observable about one rekey message, including the FEC
+/// block contents and two minted parity packets per block (which prove
+/// the bodies handed to the Reed–Solomon encoders match byte for byte).
+#[derive(Debug, PartialEq)]
+struct MessageFingerprint {
+    outcome: keytree::MarkOutcome,
+    packets: Vec<rekeymsg::EncPacket>,
+    block_packets: Vec<Vec<rekeymsg::EncPacket>>,
+    parities: Vec<Vec<rekeymsg::ParityPacket>>,
+    usr: Vec<Option<UsrPacket>>,
+    group_key: Option<SymKey>,
+}
+
+/// Bootstrap `n` users, run a leave-heavy then a join-heavy batch
+/// (forcing splits), fingerprinting each message.
+fn run_stream(
+    workers: usize,
+    sched_seed: Option<u64>,
+    n: u32,
+    pipeline: PipelinePolicy,
+) -> Vec<MessageFingerprint> {
+    let body = || {
+        let options = ServerOptions {
+            pipeline,
+            ..ServerOptions::default()
+        };
+        let mut server = KeyServer::bootstrap(n, options);
+        let batches = vec![
+            Batch::new(vec![], (0..n / 4).map(|i| i * 3 % n).collect()),
+            Batch::new(
+                (0..n / 2)
+                    .map(|i| (n + i, server.mint_individual_key()))
+                    .collect(),
+                vec![1, 2],
+            ),
+        ];
+        batches
+            .into_iter()
+            .map(|batch| {
+                let artifacts = server.rekey(batch);
+                let members: Vec<MemberId> = server.tree().member_ids();
+                let usr = server.usr_packets_bulk(&members);
+                let blocks = artifacts.session.blocks();
+                let block_packets: Vec<Vec<rekeymsg::EncPacket>> = (0..blocks.block_count())
+                    .map(|b| blocks.block(b).unwrap().packets.clone())
+                    .collect();
+                // Minting advances encoder state, so work on a clone: the
+                // session itself stays pristine.
+                let parities = blocks
+                    .clone()
+                    .mint_parities_many(&vec![2; block_packets.len()])
+                    .unwrap();
+                MessageFingerprint {
+                    outcome: (*artifacts.outcome).clone(),
+                    packets: artifacts.assignment.packets.clone(),
+                    block_packets,
+                    parities,
+                    usr,
+                    group_key: server.tree().group_key(),
+                }
+            })
+            .collect()
+    };
+    taskpool::with_workers(workers, || match sched_seed {
+        Some(seed) => taskpool::with_schedule(seed, body),
+        None => body(),
+    })
+}
+
+#[test]
+fn streamed_rekey_matches_barrier_under_perturbation() {
+    let n = 256;
+    let baseline = run_stream(1, None, n, PipelinePolicy::DISABLED);
+    for seed in 0..8u64 {
+        for workers in [1, 2, 4] {
+            let streamed = run_stream(workers, Some(seed), n, PipelinePolicy::DEFAULT_ON);
+            assert_eq!(baseline, streamed, "seed={seed}, workers={workers}");
+            // The barrier path itself must also be schedule-invariant
+            // with the new deferred plumbing available (spot checks; the
+            // full sweep lives in sched_perturb.rs).
+            if seed < 2 {
+                let barrier = run_stream(workers, Some(seed), n, PipelinePolicy::DISABLED);
+                assert_eq!(baseline, barrier, "barrier seed={seed}, workers={workers}");
+            }
+        }
+    }
+}
+
+#[test]
+fn workers_one_streamed_is_identical_too() {
+    // The degenerate sequential pipeline (no threads spawned) must also
+    // be exactly the barrier bytes.
+    let baseline = run_stream(1, None, 128, PipelinePolicy::DISABLED);
+    let streamed = run_stream(1, None, 128, PipelinePolicy::DEFAULT_ON);
+    assert_eq!(baseline, streamed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random group shapes × random churn × random pipeline tuning: the
+    /// streamed fingerprints equal the barrier fingerprints.
+    #[test]
+    fn streamed_identity_over_random_tunings(
+        n in 4u32..200,
+        d in prop::sample::select(vec![2u32, 3, 4, 8]),
+        joins in 0usize..40,
+        leave_stride in 2u32..9,
+        chunk_edges in 1usize..130,
+        channel_capacity in 1usize..6,
+        workers in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let run = |pipeline: PipelinePolicy, w: usize| {
+            taskpool::with_workers(w, || taskpool::with_schedule(seed, || {
+                let options = ServerOptions {
+                    degree: d,
+                    pipeline,
+                    ..ServerOptions::default()
+                };
+                let mut server = KeyServer::bootstrap(n, options);
+                let leaves: Vec<MemberId> =
+                    (0..n).filter(|m| m % leave_stride == 0).collect();
+                let joins: Vec<(MemberId, SymKey)> = (0..joins as u32)
+                    .map(|i| (n + i, server.mint_individual_key()))
+                    .collect();
+                let artifacts = server.rekey(Batch::new(joins, leaves));
+                (
+                    (*artifacts.outcome).clone(),
+                    artifacts.assignment.packets.clone(),
+                    server.tree().group_key(),
+                )
+            }))
+        };
+        let barrier = run(PipelinePolicy::DISABLED, 1);
+        let streamed = run(
+            PipelinePolicy {
+                enabled: true,
+                chunk_edges,
+                channel_capacity,
+            },
+            workers,
+        );
+        prop_assert_eq!(barrier, streamed);
+    }
+}

@@ -127,6 +127,71 @@ fn close_plan(outcome: &MarkOutcome, users: &mut Vec<NodeId>, list: &mut Vec<usi
     }
 }
 
+/// Encryption edges per parallel seal chunk. Constant (not worker-count
+/// derived) so chunk boundaries — and thus the work units and the
+/// first-error-wins order — are identical at any `REKEY_THREADS`. The
+/// streaming pipeline defaults its `chunk_edges` to this so both paths
+/// cut the edge list on the same lines.
+pub const SEAL_CHUNK: usize = 64;
+
+/// Plans the UKA packing and seals the full edge list, without
+/// assembling wire packets.
+///
+/// This is [`UkaAssignment::build`] minus the 16-bit wire stage: no
+/// `maxKID`/ID range checks and no `EncPacket` assembly, so it stays
+/// total for populations whose node IDs overflow the `u16` wire space
+/// (N > 2^14 at degree 4). The bench harness uses it to measure the
+/// *cryptographic* cost of message build at every N; `sealed[i]` is the
+/// seal of `outcome.encryptions[i]`, bit-identical to what `build`
+/// produces wherever both are defined.
+///
+/// # Errors
+///
+/// Fails when an encryption edge refers to a key absent from the tree.
+pub fn plan_and_seal(
+    tree: &KeyTree,
+    outcome: &MarkOutcome,
+    msg_seq: u64,
+    layout: &Layout,
+) -> Result<(Vec<PacketPlan>, Vec<SealedKey>), AssignError> {
+    let _span_build = obs::span("uka.build");
+    let plans = plan(tree, outcome, layout);
+    let span_seal = obs::span("stage.seal");
+    let chunks: Vec<&[EncEdge]> = outcome.encryptions.chunks(SEAL_CHUNK).collect();
+    let sealed_chunks: Vec<Result<Vec<SealedKey>, AssignError>> =
+        taskpool::map(&chunks, |_, edges| {
+            edges
+                .iter()
+                .map(|edge| {
+                    let (Some(kek), Some(plain)) =
+                        (tree.key_of(edge.child), tree.key_of(edge.parent))
+                    else {
+                        return Err(AssignError::MissingKey {
+                            child: edge.child,
+                            parent: edge.parent,
+                        });
+                    };
+                    Ok(SealedKey::seal(
+                        &kek,
+                        &plain,
+                        seal_context(msg_seq, edge.child),
+                    ))
+                })
+                .collect()
+        });
+    let mut sealed: Vec<SealedKey> = Vec::with_capacity(outcome.encryptions.len());
+    for chunk in sealed_chunks {
+        sealed.extend(chunk?);
+    }
+    drop(span_seal);
+    obs::counter_add("uka.keys_sealed", sealed.len() as u64);
+    obs::counter_add(
+        "uka.bytes_sealed",
+        (sealed.len() * wirecrypto::SEALED_KEY_LEN) as u64,
+    );
+    Ok((plans, sealed))
+}
+
 /// Why sealing an assignment failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AssignError {
@@ -287,7 +352,6 @@ impl UkaAssignment {
         // are worker-count independent and results return in input order,
         // so the sealed vector — and the first failing edge — are
         // identical at any worker count.
-        const SEAL_CHUNK: usize = 64;
         let span_seal = obs::span("stage.seal");
         let chunks: Vec<&[EncEdge]> = outcome.encryptions.chunks(SEAL_CHUNK).collect();
         let sealed_chunks: Vec<Result<Vec<SealedKey>, AssignError>> =

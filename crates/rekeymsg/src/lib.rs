@@ -50,14 +50,17 @@ mod layout;
 /// (tests / `--features sanitize`).
 #[cfg(any(test, feature = "sanitize"))]
 pub mod sanitize;
+pub mod stream;
 pub mod view;
 pub mod wire;
 
 pub use assign::{
-    naive_plan_stats, AssignError, AssignmentStats, NaiveAssignmentStats, UkaAssignment,
+    naive_plan_stats, plan_and_seal, AssignError, AssignmentStats, NaiveAssignmentStats,
+    UkaAssignment, SEAL_CHUNK,
 };
-pub use blocks::{BlockSet, SendItem, SendOrder};
+pub use blocks::{BlockSet, BlockSetBuilder, SendItem, SendOrder};
 pub use layout::Layout;
+pub use stream::{StreamStats, StreamTuning};
 pub use view::{EncView, ParityView};
 pub use wire::{EncPacket, NackPacket, NackRequest, Packet, ParityPacket, UsrPacket, WireError};
 

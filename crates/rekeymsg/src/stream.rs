@@ -1,0 +1,805 @@
+//! The streaming rekey message build: mint ∥ seal ∥ plan, then
+//! assemble ∥ encode.
+//!
+//! The barrier path ([`UkaAssignment::build`] after
+//! `process_batch_compacting_in`) runs mint → seal → assemble → encode
+//! strictly in sequence; at N = 2^20 those stages sum to essentially the
+//! whole batch wall. This module restructures the same work as two
+//! chained [`taskpool::pipeline`]s so independent stages overlap:
+//!
+//! 1. **Mint ∥ seal ∥ plan** — the producer derives updated-k-node keys
+//!    chunk by chunk ([`keytree::DERIVE_CHUNK`] boundaries, same as the
+//!    barrier path) from the deferred [`PendingMint`] seed and resolves
+//!    each completed chunk's encryption edges into seal jobs, flushed at
+//!    fixed `chunk_edges` boundaries over the global edge index. Seal
+//!    workers encrypt chunks as they arrive. The consumer computes the
+//!    (key-free) UKA plans concurrently, then drains sealed chunks in
+//!    production order.
+//! 2. **Assemble ∥ encode** — the producer assembles ENC packets plan by
+//!    plan and emits stamped FEC blocks of `k`; workers serialize each
+//!    block's FEC bodies while later blocks are still being assembled;
+//!    the consumer folds them into a [`BlockSet`] via
+//!    [`BlockSetBuilder`].
+//!
+//! The phases chain rather than overlap because of a structural fact of
+//! the message: the root is rekeyed by every non-empty batch and its
+//! parent group is the *last* region of `MarkOutcome::encryptions`
+//! (updated k-nodes are emitted deepest-first), so every user's plan
+//! needs a seal from the final chunk — no packet can be assembled before
+//! the last seal lands. Overlap therefore comes from mint ∥ seal (the
+//! two dominant cryptographic stages), plan ∥ both, and assemble ∥
+//! encode within the tail.
+//!
+//! **Identity.** Every chunk boundary is index-aligned and constant
+//! (`DERIVE_CHUNK` for minting, `chunk_edges` for sealing, `k` for
+//! blocks), every stage's per-item work is a pure function of the item,
+//! and reassembly is strictly in production order — so the artifacts are
+//! bit-identical to the barrier path at any worker count, channel
+//! capacity, and schedule-perturbation seed. The resolver takes a child
+//! edge's KEK from the in-flight derived keys exactly when the child is
+//! itself an updated k-node: `updated_knodes` is descending and children
+//! have larger IDs than parents, so an updated child always sits at a
+//! smaller index than its parent and its key is already minted when the
+//! parent's chunk completes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use keytree::{KeyTree, MarkOutcome, NodeId, PendingMint, DERIVE_CHUNK};
+use rse::BlockEncoder;
+use wirecrypto::{SealedKey, SymKey};
+
+use crate::assign::{plan, AssignError, AssignmentStats, PacketPlan, UkaAssignment, SEAL_CHUNK};
+use crate::blocks::{fec_bodies, stamp_block, BlockSet, BlockSetBuilder};
+use crate::layout::Layout;
+use crate::seal_context;
+use crate::wire::EncPacket;
+use std::collections::HashMap;
+
+/// Tuning of one streamed build. The values change wall-clock behaviour
+/// only, never output — the identity tests sweep them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamTuning {
+    /// Encryption edges per seal chunk. Boundaries are fixed multiples of
+    /// this over the global edge index, independent of worker count.
+    pub chunk_edges: usize,
+    /// Bounded-channel capacity (chunks in flight per stage boundary).
+    pub channel_capacity: usize,
+}
+
+impl StreamTuning {
+    /// Seal chunks the size the barrier path uses, four in flight.
+    pub const DEFAULT: StreamTuning = StreamTuning {
+        chunk_edges: SEAL_CHUNK,
+        channel_capacity: 4,
+    };
+
+    /// At least one edge per chunk, one slot per channel.
+    fn clamped(self) -> StreamTuning {
+        StreamTuning {
+            chunk_edges: self.chunk_edges.max(1),
+            channel_capacity: self.channel_capacity.max(1),
+        }
+    }
+}
+
+impl Default for StreamTuning {
+    fn default() -> Self {
+        StreamTuning::DEFAULT
+    }
+}
+
+/// Per-stage busy time and overlap accounting of one streamed build.
+///
+/// `overlap_ns` is measured directly from per-stage activity windows —
+/// the wall-clock interval from a stage's first to last unit of work —
+/// as the total time at least two stages were concurrently in flight
+/// (inclusion–exclusion over the window intersections). The sequential
+/// one-worker path runs its stages strictly back to back, so its windows
+/// are disjoint and the overlap is exactly zero; any positive value
+/// certifies genuinely concurrent stage activity. Recorded in the
+/// `pipeline.overlap_pct` obs gauge and reported by the scale bench.
+///
+/// Windows, not busy sums: at the paper's scales UKA planning dominates
+/// the wide build by two orders of magnitude, so `Σ busy − wall` would
+/// drown the real (milliseconds-sized) mint ∥ plan concurrency in
+/// scheduling noise. Interval intersection resolves it exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamStats {
+    /// Producer time spent deriving updated-k-node keys.
+    pub mint_busy_ns: u64,
+    /// Worker time spent sealing edge chunks (summed across workers).
+    pub seal_busy_ns: u64,
+    /// Consumer time spent planning and draining (phase 1).
+    pub plan_busy_ns: u64,
+    /// Producer time spent assembling ENC packets (phase 2).
+    pub assemble_busy_ns: u64,
+    /// Worker time spent serializing FEC bodies (summed across workers).
+    pub encode_busy_ns: u64,
+    /// Measured time with ≥ 2 stages concurrently in flight (see type
+    /// docs).
+    pub overlap_ns: u64,
+    /// Wall time of the whole streamed build.
+    pub wall_ns: u64,
+}
+
+/// Length of the intersection of two `[start, end)` offset windows.
+fn window_isect(a: (u64, u64), b: (u64, u64)) -> u64 {
+    a.1.min(b.1).saturating_sub(a.0.max(b.0))
+}
+
+/// Time covered by at least two of three windows (inclusion–exclusion).
+fn windows_overlap(a: (u64, u64), b: (u64, u64), c: (u64, u64)) -> u64 {
+    let triple = window_isect((a.0.max(b.0), a.1.min(b.1)), c);
+    (window_isect(a, b) + window_isect(a, c) + window_isect(b, c)).saturating_sub(2 * triple)
+}
+
+impl StreamStats {
+    /// Total busy time across all stages.
+    pub fn busy_ns(&self) -> u64 {
+        self.mint_busy_ns
+            + self.seal_busy_ns
+            + self.plan_busy_ns
+            + self.assemble_busy_ns
+            + self.encode_busy_ns
+    }
+
+    /// Share of the wall with ≥ 2 stages concurrently in flight (see
+    /// type docs).
+    pub fn overlap_pct(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        100.0 * self.overlap_ns.min(self.wall_ns) as f64 / self.wall_ns as f64
+    }
+
+    fn publish(&self) {
+        obs::gauge_set("pipeline.overlap_pct", self.overlap_pct().round() as u64);
+        obs::observe("pipeline.busy_ns", self.busy_ns());
+        obs::observe("pipeline.wall_ns", self.wall_ns);
+    }
+}
+
+/// One resolved encryption edge, ready to seal: the resolver has already
+/// picked the KEK (fresh key for an updated child, tree key otherwise)
+/// and the parent's fresh key, so sealing is a pure function of the job.
+struct SealJob {
+    child: NodeId,
+    kek: SymKey,
+    plain: SymKey,
+}
+
+/// Everything phase 1 leaves behind.
+struct MintSealOut {
+    /// Fresh keys of `updated_knodes`, in that order — complete even on
+    /// error, so callers can always install and keep tree state identical
+    /// to the barrier path.
+    derived: Vec<SymKey>,
+    plans: Vec<PacketPlan>,
+    sealed: Vec<SealedKey>,
+    err: Option<AssignError>,
+    mint_busy_ns: u64,
+    seal_busy_ns: u64,
+    plan_busy_ns: u64,
+    /// Time ≥ 2 of {mint/resolve, seal, plan} were in flight at once.
+    overlap_ns: u64,
+}
+
+/// Position of `id` in the descending `updated` list, if present.
+fn updated_pos(updated: &[NodeId], id: NodeId) -> Option<usize> {
+    updated
+        .binary_search_by(|&probe| probe.cmp(&id).reverse())
+        .ok()
+}
+
+/// Phase 1: mint ∥ seal ∥ plan. `check_wire` adds the barrier path's
+/// 16-bit child-ID range check; the wide (bench) path skips it.
+fn mint_seal_plan(
+    tree: &KeyTree,
+    outcome: &MarkOutcome,
+    pending: &PendingMint,
+    msg_seq: u64,
+    layout: &Layout,
+    tuning: StreamTuning,
+    check_wire: bool,
+) -> MintSealOut {
+    let updated = &outcome.updated_knodes[..];
+    let edges = &outcome.encryptions[..];
+    let seal_busy = AtomicU64::new(0);
+    // Stage activity windows as offsets from this epoch, for the overlap
+    // accounting. On the sequential one-worker path the stages run back
+    // to back, so the windows come out disjoint and overlap is zero.
+    let epoch = Instant::now();
+    let seal_w0 = AtomicU64::new(u64::MAX);
+    let seal_w1 = AtomicU64::new(0);
+
+    let (produced, consumed) = taskpool::pipeline(
+        tuning.channel_capacity,
+        |tx| {
+            let prod_w0 = epoch.elapsed().as_nanos() as u64;
+            let mut mint_busy_ns = 0u64;
+            let mut derived: Vec<SymKey> = Vec::with_capacity(updated.len());
+            let mut err: Option<AssignError> = None;
+            // True once a send fails: the pipeline is shutting down under
+            // a stage panic. Minting continues (the caller installs the
+            // complete key set either way) but resolving stops.
+            let mut shut = false;
+            let mut edge_ptr = 0usize;
+            let mut jobs: Vec<SealJob> = Vec::with_capacity(tuning.chunk_edges);
+            let mut chunk_start = 0usize;
+            while chunk_start < updated.len() {
+                let chunk_end = (chunk_start + DERIVE_CHUNK).min(updated.len());
+                // The seed exists whenever `updated` is non-empty.
+                let Some(seed) = pending.seed() else { break };
+                let seg = Instant::now();
+                {
+                    let _span_mint = obs::span("stage.mint");
+                    for &id in &updated[chunk_start..chunk_end] {
+                        derived.push(keytree::derive_updated_key(seed, id));
+                    }
+                }
+                // Resolve every edge whose parent's key is now minted.
+                // Edges are grouped by parent in `updated` order, so this
+                // is a single advancing pointer.
+                while err.is_none() && !shut && edge_ptr < edges.len() {
+                    let edge = &edges[edge_ptr];
+                    let Some(ppos) = updated_pos(updated, edge.parent) else {
+                        err = Some(AssignError::MissingKey {
+                            child: edge.child,
+                            parent: edge.parent,
+                        });
+                        break;
+                    };
+                    if ppos >= chunk_end {
+                        break;
+                    }
+                    if check_wire && edge.child > u16::MAX as NodeId {
+                        err = Some(AssignError::IdOutOfRange(edge.child));
+                        break;
+                    }
+                    let kek = match updated_pos(updated, edge.child) {
+                        // IDs descend in `updated` and a child's ID is
+                        // larger than its parent's, so an updated child
+                        // sits at a smaller index — already minted.
+                        Some(cpos) => derived[cpos],
+                        None => match tree.key_of(edge.child) {
+                            Some(key) => key,
+                            None => {
+                                err = Some(AssignError::MissingKey {
+                                    child: edge.child,
+                                    parent: edge.parent,
+                                });
+                                break;
+                            }
+                        },
+                    };
+                    jobs.push(SealJob {
+                        child: edge.child,
+                        kek,
+                        plain: derived[ppos],
+                    });
+                    edge_ptr += 1;
+                    if jobs.len() == tuning.chunk_edges {
+                        let full =
+                            std::mem::replace(&mut jobs, Vec::with_capacity(tuning.chunk_edges));
+                        // Busy time excludes the (possibly blocking) send,
+                        // so overlap accounting measures active minting
+                        // and resolving, not back-pressure waits. The
+                        // add/sub pair may dip negative transiently, hence
+                        // the wrapping arithmetic; the final segment add
+                        // restores a true (positive) total.
+                        mint_busy_ns = mint_busy_ns.wrapping_add(seg.elapsed().as_nanos() as u64);
+                        shut = tx.send(full).is_err();
+                        mint_busy_ns = mint_busy_ns.wrapping_sub(seg.elapsed().as_nanos() as u64);
+                    }
+                }
+                mint_busy_ns = mint_busy_ns.wrapping_add(seg.elapsed().as_nanos() as u64);
+                chunk_start = chunk_end;
+            }
+            if err.is_none() && !shut && !jobs.is_empty() {
+                let _ = tx.send(jobs);
+            }
+            (
+                derived,
+                err,
+                mint_busy_ns,
+                (prod_w0, epoch.elapsed().as_nanos() as u64),
+            )
+        },
+        |_, jobs: Vec<SealJob>| {
+            let w0 = epoch.elapsed().as_nanos() as u64;
+            let t0 = Instant::now();
+            let _span_seal = obs::span("stage.seal");
+            let out: Vec<SealedKey> = jobs
+                .iter()
+                .map(|job| SealedKey::seal(&job.kek, &job.plain, seal_context(msg_seq, job.child)))
+                .collect();
+            // xcheck-ordering: monotonic busy-time accumulator read once after the scope joins; no other memory is published through it
+            seal_busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            // xcheck-ordering: min/max window bounds read once after the scope joins; no other memory is published through them
+            seal_w0.fetch_min(w0, Ordering::Relaxed);
+            // xcheck-ordering: as above — post-join window bound
+            seal_w1.fetch_max(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            out
+        },
+        |rx| {
+            let _span_build = obs::span("uka.build");
+            // Plans are key-free, so they compute while the producer is
+            // still minting — the plan ∥ mint overlap. Busy time covers
+            // the planning only, not the recv waits.
+            let plan_w0 = epoch.elapsed().as_nanos() as u64;
+            let t0 = Instant::now();
+            let plans = plan(tree, outcome, layout);
+            let plan_busy_ns = t0.elapsed().as_nanos() as u64;
+            let plan_w1 = epoch.elapsed().as_nanos() as u64;
+            let mut sealed: Vec<SealedKey> = Vec::with_capacity(edges.len());
+            while let Some(chunk) = rx.recv() {
+                sealed.extend(chunk);
+            }
+            (plans, sealed, plan_busy_ns, (plan_w0, plan_w1))
+        },
+    );
+
+    let (derived, err, mint_busy_ns, prod_window) = produced;
+    let (plans, sealed, plan_busy_ns, plan_window) = consumed;
+    let seal_window = (
+        seal_w0.load(Ordering::Relaxed), // xcheck-ordering: scope already joined every worker; single post-join read of the window bound
+        seal_w1.load(Ordering::Relaxed), // xcheck-ordering: scope already joined every worker; single post-join read of the window bound
+    );
+    let overlap_ns = windows_overlap(prod_window, seal_window, plan_window);
+    obs::counter_add("uka.keys_sealed", sealed.len() as u64);
+    obs::counter_add(
+        "uka.bytes_sealed",
+        (sealed.len() * wirecrypto::SEALED_KEY_LEN) as u64,
+    );
+    MintSealOut {
+        derived,
+        plans,
+        sealed,
+        err,
+        mint_busy_ns,
+        // xcheck-ordering: scope already joined every worker; this is the single post-join read of the accumulator
+        seal_busy_ns: seal_busy.load(Ordering::Relaxed),
+        plan_busy_ns,
+        overlap_ns,
+    }
+}
+
+/// The streamed equivalent of [`UkaAssignment::build`] +
+/// [`BlockSet::with_encoder`], fed by a deferred mint.
+///
+/// Returns the assignment, the FEC block set, the derived fresh keys
+/// (install with [`KeyTree::install_minted`] — the tree still holds the
+/// previous keys), and the overlap accounting. The assignment, block
+/// set, and derived keys are bit-identical to the barrier path's at any
+/// worker count, tuning, and schedule seed.
+///
+/// # Errors
+///
+/// Exactly [`UkaAssignment::build`]'s errors, decided in the same input
+/// order. The derived keys are complete even on error, so installing
+/// them keeps tree state identical to the barrier path (which installs
+/// before building).
+#[allow(clippy::type_complexity)]
+pub fn build_streamed(
+    tree: &KeyTree,
+    outcome: &MarkOutcome,
+    pending: &PendingMint,
+    msg_seq: u64,
+    layout: &Layout,
+    proto_encoder: &BlockEncoder,
+    tuning: StreamTuning,
+) -> (
+    Vec<SymKey>,
+    Result<(UkaAssignment, BlockSet, StreamStats), AssignError>,
+) {
+    let tuning = tuning.clamped();
+    let wall0 = Instant::now();
+    let msg_id = (msg_seq & 0x3f) as u8;
+    let max_kid = outcome.nk.unwrap_or(0);
+    if max_kid > u16::MAX as NodeId {
+        // The barrier path fails here before minting; mint anyway so the
+        // caller can still install and keep tree state consistent.
+        let derived = derive_all(outcome, pending);
+        return (derived, Err(AssignError::IdOutOfRange(max_kid)));
+    }
+
+    let phase1 = mint_seal_plan(tree, outcome, pending, msg_seq, layout, tuning, true);
+    let MintSealOut {
+        derived,
+        plans,
+        sealed,
+        err,
+        mint_busy_ns,
+        seal_busy_ns,
+        plan_busy_ns,
+        overlap_ns: phase1_overlap_ns,
+    } = phase1;
+    if let Some(err) = err {
+        return (derived, Err(err));
+    }
+    debug_assert_eq!(sealed.len(), outcome.encryptions.len());
+
+    // ---- Phase 2: assemble ∥ encode ------------------------------------
+    let k = proto_encoder.k();
+    let encode_busy = AtomicU64::new(0);
+    let epoch = Instant::now();
+    let enc_w0 = AtomicU64::new(u64::MAX);
+    let enc_w1 = AtomicU64::new(0);
+    let (produced, consumed) = taskpool::pipeline(
+        tuning.channel_capacity,
+        |tx| {
+            let asm_w0 = epoch.elapsed().as_nanos() as u64;
+            let mut assemble_busy_ns = 0u64;
+            let mut packets: Vec<EncPacket> = Vec::with_capacity(plans.len());
+            let mut packet_of_user: HashMap<NodeId, usize> = HashMap::new();
+            let mut entries_emitted = 0usize;
+            let mut err: Option<AssignError> = None;
+            let mut block_index = 0usize;
+            let seg = Instant::now();
+            for (pi, plan) in plans.iter().enumerate() {
+                if plan.frm_id > u16::MAX as NodeId || plan.to_id > u16::MAX as NodeId {
+                    err = Some(AssignError::IdOutOfRange(plan.frm_id.max(plan.to_id)));
+                    break;
+                }
+                let mut entries: Vec<(u16, SealedKey)> = Vec::with_capacity(plan.enc_indices.len());
+                for &i in &plan.enc_indices {
+                    let child = outcome.encryptions[i].child;
+                    entries.push((child as u16, sealed[i]));
+                }
+                entries_emitted += entries.len();
+                for &u in &plan.users {
+                    packet_of_user.insert(u, pi);
+                }
+                packets.push(EncPacket {
+                    msg_id,
+                    block_id: 0,
+                    seq: 0,
+                    duplicate: false,
+                    max_kid: max_kid as u16,
+                    frm_id: plan.frm_id as u16,
+                    to_id: plan.to_id as u16,
+                    entries,
+                });
+                // A completed block of k: stamp and stream it to the
+                // encoders while later packets are still being assembled.
+                // Busy time excludes the (possibly blocking) send.
+                if packets.len() == (block_index + 1) * k {
+                    let stamped = stamp_block(&packets[block_index * k..], block_index, k);
+                    assemble_busy_ns =
+                        assemble_busy_ns.wrapping_add(seg.elapsed().as_nanos() as u64);
+                    let sent = tx.send(stamped);
+                    assemble_busy_ns =
+                        assemble_busy_ns.wrapping_sub(seg.elapsed().as_nanos() as u64);
+                    if sent.is_err() {
+                        break;
+                    }
+                    block_index += 1;
+                }
+            }
+            if err.is_none() {
+                let tail = &packets[block_index * k..];
+                if !tail.is_empty() {
+                    let _ = tx.send(stamp_block(tail, block_index, k));
+                }
+            }
+            assemble_busy_ns = assemble_busy_ns.wrapping_add(seg.elapsed().as_nanos() as u64);
+            (
+                packets,
+                packet_of_user,
+                entries_emitted,
+                err,
+                assemble_busy_ns,
+                (asm_w0, epoch.elapsed().as_nanos() as u64),
+            )
+        },
+        |_, stamped: Vec<EncPacket>| {
+            let w0 = epoch.elapsed().as_nanos() as u64;
+            let t0 = Instant::now();
+            let _span_block = obs::span("fec.block_build");
+            let bodies = fec_bodies(&stamped, layout);
+            // xcheck-ordering: monotonic busy-time accumulator read once after the scope joins; no other memory is published through it
+            encode_busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            // xcheck-ordering: min/max window bounds read once after the scope joins; no other memory is published through them
+            enc_w0.fetch_min(w0, Ordering::Relaxed);
+            // xcheck-ordering: as above — post-join window bound
+            enc_w1.fetch_max(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            (stamped, bodies)
+        },
+        |rx| {
+            // The fold window opens at the first received block, not at
+            // thread start — before that the consumer is waiting, not in
+            // flight.
+            let mut fold_w0 = u64::MAX;
+            let mut builder = BlockSetBuilder::new(proto_encoder.clone(), *layout);
+            while let Some((stamped, bodies)) = rx.recv() {
+                fold_w0 = fold_w0.min(epoch.elapsed().as_nanos() as u64);
+                builder.push_block(stamped, bodies);
+            }
+            let fold_w1 = epoch.elapsed().as_nanos() as u64;
+            (builder, (fold_w0.min(fold_w1), fold_w1))
+        },
+    );
+    let (builder, fold_window) = consumed;
+    let (packets, packet_of_user, entries_emitted, err, assemble_busy_ns, asm_window) = produced;
+    if let Some(err) = err {
+        // The partially-fed builder is dropped; the caller never observes
+        // a half-built block set.
+        return (derived, Err(err));
+    }
+    obs::counter_add("uka.enc_packets", packets.len() as u64);
+    let stats = AssignmentStats {
+        packets: plans.len(),
+        entries_emitted,
+        distinct_encryptions: outcome.encryptions.len(),
+    };
+    let assignment = UkaAssignment {
+        packets,
+        plans,
+        packet_of_user,
+        stats,
+    };
+    let blocks = builder.finish();
+
+    let enc_window = (
+        enc_w0.load(Ordering::Relaxed), // xcheck-ordering: scope already joined every worker; single post-join read of the window bound
+        enc_w1.load(Ordering::Relaxed), // xcheck-ordering: scope already joined every worker; single post-join read of the window bound
+    );
+    let stream_stats = StreamStats {
+        mint_busy_ns,
+        seal_busy_ns,
+        plan_busy_ns,
+        assemble_busy_ns,
+        // xcheck-ordering: scope already joined every worker; this is the single post-join read of the accumulator
+        encode_busy_ns: encode_busy.load(Ordering::Relaxed),
+        overlap_ns: phase1_overlap_ns + windows_overlap(asm_window, enc_window, fold_window),
+        wall_ns: wall0.elapsed().as_nanos() as u64,
+    };
+    stream_stats.publish();
+    (derived, Ok((assignment, blocks, stream_stats)))
+}
+
+/// The streamed equivalent of [`crate::assign::plan_and_seal`]: the wide
+/// (no 16-bit wire stage) build, for measuring mint ∥ seal overlap at
+/// populations beyond the `u16` ID space. Key and seal bytes are
+/// bit-identical to the barrier wide path.
+///
+/// # Errors
+///
+/// As [`crate::assign::plan_and_seal`]; the derived keys are complete
+/// even on error.
+#[allow(clippy::type_complexity)]
+pub fn plan_and_seal_streamed(
+    tree: &KeyTree,
+    outcome: &MarkOutcome,
+    pending: &PendingMint,
+    msg_seq: u64,
+    layout: &Layout,
+    tuning: StreamTuning,
+) -> (
+    Vec<SymKey>,
+    Result<(Vec<PacketPlan>, Vec<SealedKey>, StreamStats), AssignError>,
+) {
+    let tuning = tuning.clamped();
+    let wall0 = Instant::now();
+    let phase1 = mint_seal_plan(tree, outcome, pending, msg_seq, layout, tuning, false);
+    let MintSealOut {
+        derived,
+        plans,
+        sealed,
+        err,
+        mint_busy_ns,
+        seal_busy_ns,
+        plan_busy_ns,
+        overlap_ns,
+    } = phase1;
+    if let Some(err) = err {
+        return (derived, Err(err));
+    }
+    let stats = StreamStats {
+        mint_busy_ns,
+        seal_busy_ns,
+        plan_busy_ns,
+        assemble_busy_ns: 0,
+        encode_busy_ns: 0,
+        overlap_ns,
+        wall_ns: wall0.elapsed().as_nanos() as u64,
+    };
+    stats.publish();
+    (derived, Ok((plans, sealed, stats)))
+}
+
+/// Derives every pending key without streaming — the error path's way of
+/// keeping tree state identical to the barrier path.
+fn derive_all(outcome: &MarkOutcome, pending: &PendingMint) -> Vec<SymKey> {
+    let Some(seed) = pending.seed() else {
+        return Vec::new();
+    };
+    outcome
+        .updated_knodes
+        .iter()
+        .map(|&id| keytree::derive_updated_key(seed, id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keytree::{Batch, CompactionPolicy, MarkScratch};
+    use wirecrypto::KeyGen;
+
+    const SEED: u64 = 0xC0FF_EE00;
+
+    fn make_batch(n: u32) -> Batch {
+        // Joins and scattered leaves: exercises replacements, fresh joins
+        // and a multi-level rekey subtree.
+        let joins = (0..5u64)
+            .map(|i| {
+                (
+                    (1000 + i) as keytree::MemberId,
+                    KeyGen::from_seed(77 + i).next_key(),
+                )
+            })
+            .collect();
+        let leaves = (0..n / 7).map(|i| (i * 7) as keytree::MemberId).collect();
+        Batch::new(joins, leaves)
+    }
+
+    /// The barrier reference: process + mint inline, then build + blocks.
+    fn barrier_build(n: u32, d: u32, k: usize) -> (KeyTree, UkaAssignment, BlockSet) {
+        let mut kg = KeyGen::from_seed(SEED);
+        let mut tree = KeyTree::balanced(n, d, &mut kg);
+        let mut scratch = MarkScratch::default();
+        let outcome = tree.process_batch_compacting_in(
+            make_batch(n),
+            &mut kg,
+            &mut scratch,
+            &CompactionPolicy::DISABLED,
+        );
+        let asn = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT).unwrap();
+        let enc = BlockEncoder::new(k).unwrap();
+        let blocks = BlockSet::with_encoder(asn.packets.clone(), enc, Layout::DEFAULT);
+        (tree, asn, blocks)
+    }
+
+    /// The streamed path under one (workers, sched-seed, tuning) point.
+    fn streamed_build(
+        n: u32,
+        d: u32,
+        k: usize,
+        tuning: StreamTuning,
+    ) -> (KeyTree, UkaAssignment, BlockSet, StreamStats) {
+        let mut kg = KeyGen::from_seed(SEED);
+        let mut tree = KeyTree::balanced(n, d, &mut kg);
+        let mut scratch = MarkScratch::default();
+        let (outcome, pending) = tree.process_batch_deferred_in(
+            make_batch(n),
+            &mut kg,
+            &mut scratch,
+            &CompactionPolicy::DISABLED,
+        );
+        let enc = BlockEncoder::new(k).unwrap();
+        let (derived, built) =
+            build_streamed(&tree, &outcome, &pending, 1, &Layout::DEFAULT, &enc, tuning);
+        tree.install_minted(&outcome.updated_knodes, &derived);
+        let (asn, blocks, stats) = built.unwrap();
+        (tree, asn, blocks, stats)
+    }
+
+    fn assert_blocks_eq(a: &mut BlockSet, b: &mut BlockSet) {
+        assert_eq!(a.k(), b.k());
+        assert_eq!(a.block_count(), b.block_count());
+        assert_eq!(a.real_packet_count(), b.real_packet_count());
+        assert_eq!(a.duplicated_count(), b.duplicated_count());
+        for id in 0..a.block_count() {
+            assert_eq!(a.block(id).unwrap().packets, b.block(id).unwrap().packets);
+            // Parity bytes prove the FEC bodies fed to the encoders match.
+            assert_eq!(
+                a.mint_parities(id, 2).unwrap(),
+                b.mint_parities(id, 2).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_matches_barrier_across_workers_and_tunings() {
+        let (n, d, k) = (256, 4, 5);
+        let (bar_tree, bar_asn, bar_blocks) = barrier_build(n, d, k);
+        for workers in [1, 2, 4] {
+            for tuning in [
+                StreamTuning::DEFAULT,
+                StreamTuning {
+                    chunk_edges: 1,
+                    channel_capacity: 1,
+                },
+                StreamTuning {
+                    chunk_edges: 7,
+                    channel_capacity: 2,
+                },
+            ] {
+                let (tree, asn, mut blocks, _) = taskpool::with_workers(workers, || {
+                    taskpool::with_schedule(workers as u64 * 31 + 7, || {
+                        streamed_build(n, d, k, tuning)
+                    })
+                });
+                assert_eq!(asn.packets, bar_asn.packets, "workers={workers} {tuning:?}");
+                assert_eq!(asn.packet_of_user, bar_asn.packet_of_user);
+                assert_eq!(asn.stats, bar_asn.stats);
+                assert_eq!(tree.group_key(), bar_tree.group_key());
+                // Fresh clone per comparison: minting parities advances
+                // per-block sequence state.
+                assert_blocks_eq(&mut blocks, &mut bar_blocks.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_wide_path_matches_plan_and_seal() {
+        let (n, d) = (243, 3);
+        let mut kg = KeyGen::from_seed(SEED);
+        let mut tree = KeyTree::balanced(n, d, &mut kg);
+        let mut scratch = MarkScratch::default();
+        let outcome = tree.process_batch_compacting_in(
+            make_batch(n),
+            &mut kg,
+            &mut scratch,
+            &CompactionPolicy::DISABLED,
+        );
+        let (bar_plans, bar_sealed) =
+            crate::assign::plan_and_seal(&tree, &outcome, 9, &Layout::DEFAULT).unwrap();
+
+        let mut kg = KeyGen::from_seed(SEED);
+        let mut tree = KeyTree::balanced(n, d, &mut kg);
+        let mut scratch = MarkScratch::default();
+        let (outcome, pending) = tree.process_batch_deferred_in(
+            make_batch(n),
+            &mut kg,
+            &mut scratch,
+            &CompactionPolicy::DISABLED,
+        );
+        let (derived, built) = taskpool::with_workers(2, || {
+            plan_and_seal_streamed(&tree, &outcome, &pending, 9, &Layout::DEFAULT, {
+                StreamTuning {
+                    chunk_edges: 3,
+                    channel_capacity: 1,
+                }
+            })
+        });
+        tree.install_minted(&outcome.updated_knodes, &derived);
+        let (plans, sealed, _) = built.unwrap();
+        assert_eq!(plans.len(), bar_plans.len());
+        assert_eq!(sealed, bar_sealed);
+        for (a, b) in plans.iter().zip(&bar_plans) {
+            assert_eq!(a.enc_indices, b.enc_indices);
+            assert_eq!((a.frm_id, a.to_id), (b.frm_id, b.to_id));
+            assert_eq!(a.users, b.users);
+        }
+    }
+
+    #[test]
+    fn empty_batch_streams_to_empty_message() {
+        let mut kg = KeyGen::from_seed(3);
+        let mut tree = KeyTree::balanced(16, 4, &mut kg);
+        let mut scratch = MarkScratch::default();
+        let (outcome, pending) = tree.process_batch_deferred_in(
+            Batch::new(vec![], vec![]),
+            &mut kg,
+            &mut scratch,
+            &CompactionPolicy::DISABLED,
+        );
+        let enc = BlockEncoder::new(4).unwrap();
+        let (derived, built) = build_streamed(
+            &tree,
+            &outcome,
+            &pending,
+            1,
+            &Layout::DEFAULT,
+            &enc,
+            StreamTuning::DEFAULT,
+        );
+        assert!(derived.is_empty());
+        let (asn, blocks, _) = built.unwrap();
+        assert!(asn.packets.is_empty());
+        assert_eq!(blocks.block_count(), 0);
+    }
+}

@@ -43,6 +43,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod pipe;
+
+pub use pipe::{pipeline, Chan, Closed, OrderedRx, Sender};
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

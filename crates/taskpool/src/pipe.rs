@@ -1,0 +1,552 @@
+//! A bounded index-stamped channel and a streaming stage pipeline.
+//!
+//! [`map`](crate::map) covers the batch-barrier shape: every input exists
+//! up front, workers fan out, the caller blocks until the whole output
+//! vector is ready. The rekey datapath also has a *streaming* shape —
+//! key-mint chunks become sealable edge chunks become encodable packet
+//! blocks — where downstream stages can start the moment the first chunk
+//! exists. [`pipeline`] gives that shape the same determinism contract as
+//! the maps: items are stamped with their production index, flow through
+//! a fixed-capacity channel in any order the scheduler likes, and are
+//! reassembled strictly in input order before the consumer sees them, so
+//! the observable output is bit-identical at every worker count and under
+//! every [`with_schedule`](crate::with_schedule) perturbation seed.
+//!
+//! The channel is a preallocated ring (a `VecDeque` sized once at
+//! construction, never grown), so the steady-state send/recv hot path
+//! performs zero allocations — pinned by the `// xcheck: no_alloc` marks
+//! and the counting-allocator tests in `tests/no_alloc_marks.rs`. All
+//! cross-thread hand-off is mutex-and-condvar; the only atomics are
+//! advisory (a depth gauge and the live-worker countdown), each with its
+//! ordering justified in place.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::{lock_ignoring_poison, max_workers, maybe_yield, schedule_seed, with_schedule_opt};
+
+/// The error returned by [`Sender::send`] once the channel has been
+/// closed: the item could not be enqueued and is handed back to the
+/// caller. In a [`pipeline`] this only happens while a stage panic is
+/// already propagating, so producers treat it as "stop feeding".
+#[derive(Debug, PartialEq, Eq)]
+pub struct Closed<T>(pub T);
+
+/// Interior state of a [`Chan`]: the preallocated ring plus the closed
+/// flag, both guarded by one mutex so "is there room / is there data /
+/// are we done" is always a consistent view.
+struct ChanState<T> {
+    /// Index-stamped items in arrival order. Allocated once to `capacity`
+    /// and never grown: `send` blocks instead of reallocating.
+    ring: VecDeque<(usize, T)>,
+    /// Once set, sends fail and receives drain the remaining items.
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer channel of index-stamped
+/// items.
+///
+/// Capacity is fixed at construction; senders block while the ring is
+/// full, receivers block while it is empty, and [`Chan::close`] wakes
+/// everyone. The steady-state send/recv path never allocates.
+pub struct Chan<T> {
+    state: Mutex<ChanState<T>>,
+    /// Signalled when an item is taken or the channel closes.
+    not_full: Condvar,
+    /// Signalled when an item arrives or the channel closes.
+    not_empty: Condvar,
+    /// Advisory occupancy mirror for the `pipeline.queue_depth`
+    /// histogram; the authoritative depth is `ring.len()` under the lock.
+    depth: AtomicUsize,
+    capacity: usize,
+}
+
+impl<T> Chan<T> {
+    /// Creates a channel whose ring holds `capacity` items (at least 1).
+    ///
+    /// This is the only allocation the channel ever performs.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Chan {
+            state: Mutex::new(ChanState {
+                ring: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            depth: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    /// The fixed ring capacity this channel was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks until there is room, then enqueues `(idx, item)`.
+    ///
+    /// Returns the item back inside [`Closed`] if the channel was closed
+    /// before room appeared. Steady state allocates nothing: the ring was
+    /// sized at construction and `push_back` below never grows it.
+    // xcheck: no_alloc
+    pub fn send(&self, idx: usize, item: T) -> Result<(), Closed<T>> {
+        let mut state = lock_ignoring_poison(&self.state);
+        while state.ring.len() >= self.capacity && !state.closed {
+            state = wait_ignoring_poison(&self.not_full, state);
+        }
+        if state.closed {
+            return Err(Closed(item));
+        }
+        state.ring.push_back((idx, item));
+        // xcheck-ordering: advisory occupancy mirror for the obs histogram; the true depth is ring.len() under the mutex
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        obs::observe("pipeline.queue_depth", depth as u64);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available, returning it with its stamp;
+    /// `None` once the channel is closed and drained.
+    // xcheck: no_alloc
+    pub fn recv(&self) -> Option<(usize, T)> {
+        let mut state = lock_ignoring_poison(&self.state);
+        loop {
+            if let Some(pair) = state.ring.pop_front() {
+                // xcheck-ordering: advisory occupancy mirror for the obs histogram; the true depth is ring.len() under the mutex
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                drop(state);
+                self.not_full.notify_one();
+                return Some(pair);
+            }
+            if state.closed {
+                return None;
+            }
+            state = wait_ignoring_poison(&self.not_empty, state);
+        }
+    }
+
+    /// Closes the channel: senders start failing, receivers drain what
+    /// remains and then see `None`. Idempotent.
+    pub fn close(&self) {
+        let mut state = lock_ignoring_poison(&self.state);
+        state.closed = true;
+        drop(state);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// Waits on a condvar, proceeding through poisoning for the same reason
+/// as [`lock_ignoring_poison`]: a poisoned lock means a sibling worker
+/// panicked, and that panic is already propagating through the scope
+/// join.
+fn wait_ignoring_poison<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match condvar.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The producer's handle onto a [`pipeline`]'s input channel: stamps each
+/// item with a monotonically increasing production index, which is the
+/// order the consumer will observe regardless of scheduling.
+pub struct Sender<'a, T> {
+    sink: SenderSink<'a, T>,
+    next_idx: usize,
+}
+
+/// Where a [`Sender`] puts items: the live channel in the threaded
+/// pipeline, or a plain vector in the sequential degenerate case (where
+/// capacity back-pressure would deadlock with no consumer running yet).
+enum SenderSink<'a, T> {
+    Chan(&'a Chan<T>),
+    Buffer(&'a mut Vec<(usize, T)>),
+}
+
+impl<T> Sender<'_, T> {
+    /// Enqueues `item` under the next production index.
+    ///
+    /// `Err` means the pipeline is shutting down because a downstream
+    /// stage panicked; the producer should stop feeding and return — the
+    /// original panic resurfaces when the pipeline scope joins.
+    pub fn send(&mut self, item: T) -> Result<(), Closed<T>> {
+        let idx = self.next_idx;
+        match &mut self.sink {
+            SenderSink::Chan(chan) => chan.send(idx, item)?,
+            SenderSink::Buffer(buf) => buf.push((idx, item)),
+        }
+        self.next_idx += 1;
+        obs::counter_add("pipeline.chunks", 1);
+        Ok(())
+    }
+
+    /// How many items have been successfully sent so far.
+    pub fn sent(&self) -> usize {
+        self.next_idx
+    }
+}
+
+/// The consumer's handle onto a [`pipeline`]'s output: delivers
+/// transformed items strictly in production-index order, holding
+/// out-of-order arrivals in a reorder buffer until their turn.
+pub struct OrderedRx<'a, T> {
+    source: RxSource<'a, T>,
+    /// Arrived-early items keyed by production index.
+    pending: BTreeMap<usize, T>,
+    /// The next production index to release.
+    next_idx: usize,
+}
+
+/// Where an [`OrderedRx`] pulls from: the live channel, or the pre-filled
+/// buffer of the sequential degenerate case.
+enum RxSource<'a, T> {
+    Chan(&'a Chan<T>),
+    Buffer(std::vec::IntoIter<(usize, T)>),
+}
+
+impl<T> OrderedRx<'_, T> {
+    /// Blocks until the next item *in production order* is available.
+    ///
+    /// Returns `None` once every producer-side item has been delivered
+    /// and the channel is closed. (If a stage panicked, `None` may arrive
+    /// early with a gap outstanding; the panic resurfaces at scope join,
+    /// so the consumer's partial output is never observed.)
+    pub fn recv(&mut self) -> Option<T> {
+        loop {
+            if let Some(item) = self.pending.remove(&self.next_idx) {
+                self.next_idx += 1;
+                return Some(item);
+            }
+            let (idx, item) = match &mut self.source {
+                RxSource::Chan(chan) => chan.recv()?,
+                RxSource::Buffer(iter) => iter.next()?,
+            };
+            if idx == self.next_idx {
+                self.next_idx += 1;
+                return Some(item);
+            }
+            self.pending.insert(idx, item);
+        }
+    }
+
+    /// How many items have been released in order so far.
+    pub fn delivered(&self) -> usize {
+        self.next_idx
+    }
+}
+
+/// Closes both pipeline channels when dropped. Transform workers hold one
+/// so that a panicking stage unblocks the producer (whose `send` starts
+/// failing) and the consumer (whose `recv` drains and ends) instead of
+/// deadlocking the scope; the panic itself propagates through the scope
+/// join.
+struct PanicCloser<'a, I, M> {
+    input: &'a Chan<I>,
+    output: &'a Chan<M>,
+    /// Disarmed on orderly exit, where the worker-countdown protocol
+    /// closes the output instead.
+    armed: bool,
+}
+
+impl<I, M> Drop for PanicCloser<'_, I, M> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.input.close();
+            self.output.close();
+        }
+    }
+}
+
+/// Runs a three-stage streaming pipeline: `produce` on the calling
+/// thread, `transform` on a pool of workers, `consume` on its own thread,
+/// all connected by bounded index-stamped channels of `capacity` items.
+///
+/// The producer stamps items `0, 1, 2, …` in the order it sends them;
+/// the consumer's [`OrderedRx`] releases transformed items in exactly
+/// that order. For a pure `transform`, the consumer therefore observes
+/// `transform(0, i0), transform(1, i1), …` — the same sequence a
+/// sequential loop would produce — at every worker count and under every
+/// [`with_schedule`](crate::with_schedule) seed, which is the pipeline's
+/// determinism contract.
+///
+/// Worker-count resolution matches [`map`](crate::map): the
+/// [`with_workers`](crate::with_workers) override, then `REKEY_THREADS`,
+/// then available parallelism. With one worker the pipeline degenerates
+/// to a strictly sequential produce-then-transform-then-consume loop on
+/// the calling thread — no threads, no channel, byte-identical output.
+///
+/// Returns the producer's and consumer's results.
+///
+/// # Panics
+///
+/// Propagates a panic from any stage after the scope joins its threads.
+pub fn pipeline<I, M, RP, RC>(
+    capacity: usize,
+    produce: impl FnOnce(&mut Sender<'_, I>) -> RP,
+    transform: impl Fn(usize, I) -> M + Sync,
+    consume: impl FnOnce(&mut OrderedRx<'_, M>) -> RC + Send,
+) -> (RP, RC)
+where
+    I: Send,
+    M: Send,
+    RC: Send,
+{
+    let sched = schedule_seed();
+    let workers = max_workers();
+    if workers <= 1 {
+        // Sequential degenerate case: run the stages as the classic
+        // barrier loop. Into a buffer (no consumer is running, so channel
+        // back-pressure would deadlock), transform in production order,
+        // then let the consumer drain the pre-filled OrderedRx.
+        let mut buffer: Vec<(usize, I)> = Vec::new();
+        let rp = produce(&mut Sender {
+            sink: SenderSink::Buffer(&mut buffer),
+            next_idx: 0,
+        });
+        let transformed: Vec<(usize, M)> = buffer
+            .into_iter()
+            .map(|(idx, item)| {
+                if let Some(seed) = sched {
+                    maybe_yield(seed, idx);
+                }
+                (idx, transform(idx, item))
+            })
+            .collect();
+        let mut rx = OrderedRx {
+            source: RxSource::Buffer(transformed.into_iter()),
+            pending: BTreeMap::new(),
+            next_idx: 0,
+        };
+        let rc = consume(&mut rx);
+        return (rp, rc);
+    }
+
+    obs::gauge_set("pipeline.workers", workers as u64);
+    let input: Chan<I> = Chan::with_capacity(capacity);
+    let output: Chan<M> = Chan::with_capacity(capacity);
+    let live = AtomicUsize::new(workers);
+    std::thread::scope(|scope| {
+        let consumer = scope.spawn(|| {
+            with_schedule_opt(sched, || {
+                let mut rx = OrderedRx {
+                    source: RxSource::Chan(&output),
+                    pending: BTreeMap::new(),
+                    next_idx: 0,
+                };
+                consume(&mut rx)
+            })
+        });
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Workers inherit the caller's perturbation seed so maps
+                // nested inside `transform` are perturbed too.
+                with_schedule_opt(sched, || {
+                    let mut closer = PanicCloser {
+                        input: &input,
+                        output: &output,
+                        armed: true,
+                    };
+                    while let Some((idx, item)) = input.recv() {
+                        if let Some(seed) = sched {
+                            maybe_yield(seed, idx);
+                        }
+                        if output.send(idx, transform(idx, item)).is_err() {
+                            break;
+                        }
+                    }
+                    closer.armed = false;
+                    // xcheck-ordering: AcqRel so the last worker's close() observes every sibling's final send before releasing the consumer
+                    if live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        output.close();
+                    }
+                });
+            });
+        }
+        let rp = produce(&mut Sender {
+            sink: SenderSink::Chan(&input),
+            next_idx: 0,
+        });
+        input.close();
+        let rc = match consumer.join() {
+            Ok(rc) => rc,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (rp, rc)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{with_schedule, with_workers};
+
+    #[test]
+    fn pipeline_output_matches_sequential_loop() {
+        let expect: Vec<u64> = (0..257u64).map(|v| v * 3 + 1).collect();
+        for workers in [1, 2, 4] {
+            let (sent, got) = with_workers(workers, || {
+                pipeline(
+                    4,
+                    |tx| {
+                        for v in 0..257u64 {
+                            if tx.send(v).is_err() {
+                                break;
+                            }
+                        }
+                        tx.sent()
+                    },
+                    |_, v| v * 3 + 1,
+                    |rx| {
+                        let mut out = Vec::new();
+                        while let Some(v) = rx.recv() {
+                            out.push(v);
+                        }
+                        out
+                    },
+                )
+            });
+            assert_eq!(sent, 257, "workers = {workers}");
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn pipeline_is_bit_identical_under_schedule_perturbation() {
+        let expect: Vec<u64> = (0..97u64).map(|v| v ^ 0xabcd).collect();
+        for workers in [1, 2, 4] {
+            for seed in 0..8u64 {
+                let (_, got) = with_workers(workers, || {
+                    with_schedule(seed, || {
+                        pipeline(
+                            3,
+                            |tx| {
+                                for v in 0..97u64 {
+                                    if tx.send(v).is_err() {
+                                        break;
+                                    }
+                                }
+                            },
+                            |_, v| v ^ 0xabcd,
+                            |rx| {
+                                let mut out = Vec::new();
+                                while let Some(v) = rx.recv() {
+                                    out.push(v);
+                                }
+                                out
+                            },
+                        )
+                    })
+                });
+                assert_eq!(got, expect, "workers = {workers}, seed = {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_handles_empty_production() {
+        let (_, count) = with_workers(4, || {
+            pipeline(
+                2,
+                |_tx: &mut Sender<'_, u8>| {},
+                |_, v| v,
+                |rx| {
+                    let mut n = 0;
+                    while rx.recv().is_some() {
+                        n += 1;
+                    }
+                    n
+                },
+            )
+        });
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn channel_send_recv_round_trips_in_any_order() {
+        let chan: Chan<u32> = Chan::with_capacity(8);
+        assert_eq!(chan.capacity(), 8);
+        for (idx, v) in [(2usize, 20u32), (0, 0), (1, 10)] {
+            assert!(chan.send(idx, v).is_ok());
+        }
+        chan.close();
+        assert_eq!(chan.recv(), Some((2, 20)));
+        assert_eq!(chan.recv(), Some((0, 0)));
+        assert_eq!(chan.recv(), Some((1, 10)));
+        assert_eq!(chan.recv(), None);
+        assert_eq!(chan.send(3, 30), Err(Closed(30)));
+    }
+
+    #[test]
+    fn ordered_rx_reorders_across_the_channel() {
+        let chan: Chan<u32> = Chan::with_capacity(8);
+        for (idx, v) in [(1usize, 10u32), (2, 20), (0, 0)] {
+            assert!(chan.send(idx, v).is_ok());
+        }
+        chan.close();
+        let mut rx = OrderedRx {
+            source: RxSource::Chan(&chan),
+            pending: BTreeMap::new(),
+            next_idx: 0,
+        };
+        assert_eq!(rx.recv(), Some(0));
+        assert_eq!(rx.delivered(), 1);
+        assert_eq!(rx.recv(), Some(10));
+        assert_eq!(rx.recv(), Some(20));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        // A capacity-1 channel forces strict producer/worker alternation;
+        // the pipeline must still complete and stay in order.
+        let (_, got) = with_workers(4, || {
+            pipeline(
+                1,
+                |tx| {
+                    for v in 0..64u32 {
+                        if tx.send(v).is_err() {
+                            break;
+                        }
+                    }
+                },
+                |idx, v| (idx as u32) * 1000 + v,
+                |rx| {
+                    let mut out = Vec::new();
+                    while let Some(v) = rx.recv() {
+                        out.push(v);
+                    }
+                    out
+                },
+            )
+        });
+        let expect: Vec<u32> = (0..64u32).map(|v| v * 1000 + v).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn transform_panic_propagates_without_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            with_workers(2, || {
+                pipeline(
+                    2,
+                    |tx| {
+                        for v in 0..1000u32 {
+                            if tx.send(v).is_err() {
+                                break;
+                            }
+                        }
+                    },
+                    |_, v| {
+                        assert!(v != 7, "boom");
+                        v
+                    },
+                    |rx| while rx.recv().is_some() {},
+                )
+            })
+        });
+        assert!(result.is_err(), "the stage panic must propagate");
+    }
+}

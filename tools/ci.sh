@@ -62,6 +62,7 @@ cargo test -q -p keytree --test no_alloc_marks
 cargo test -q -p rse --test no_alloc_marks
 cargo test -q -p netsim --test no_alloc_marks
 cargo test -q -p grouprekey --test no_alloc_marks
+cargo test -q -p taskpool --test no_alloc_marks
 cargo test -q -p obs --test no_alloc_off
 cargo test -q -p obs --features enabled --test no_alloc_off
 
@@ -69,6 +70,15 @@ stage "schedule-perturbation bit-identity gates"
 cargo test -q -p taskpool
 cargo test -q -p grouprekey --test sched_perturb
 cargo test -q -p bench --test sched_perturb
+
+stage "streaming pipeline gates (identity + sanitize smoke)"
+# Byte-identity of the streamed datapath against the barrier build with
+# the deep sanitizer live: workers {1,2,4} x 8 adversarial schedules x
+# pipeline on/off, plus the proptest sweep over random tunings.
+cargo test -q -p grouprekey --features sanitize --test pipeline_identity
+# The bench binary's own streamed-vs-barrier comparison exits non-zero
+# if any sealed byte differs (smoke cell, one rep).
+cargo run -q --release -p bench --bin bench_scale -- --smoke --pipeline-only
 
 stage "committed BENCH_*.json parse as JSON"
 python3 - <<'EOF'
@@ -155,7 +165,8 @@ if [ ! -s target/obs.smoke.json ]; then
     exit 1
 fi
 for key in '"schema": "obs_scale/v1"' '"schema": "obs/v1"' '"coverage_pct"' \
-    'stage.mark' 'stage.mint' 'stage.seal' 'keytree.mark_batch' 'uka.build'; do
+    'stage.mark' 'stage.mint' 'stage.seal' 'keytree.mark_batch' 'uka.build' \
+    '"pipeline_obs"' 'pipeline.overlap_pct'; do
     if ! grep -q "$key" target/obs.smoke.json; then
         echo "ci.sh: obs snapshot is missing $key" >&2
         exit 1
@@ -171,6 +182,20 @@ assert snap["obs"]["enabled"] is True
 names = {s["name"] for s in snap["obs"]["spans"]}
 for expected in ("stage.mark", "stage.mint", "stage.seal", "keytree.mark_batch", "uka.build"):
     assert expected in names, f"missing span {expected}: {sorted(names)}"
+# The streamed-pipeline run captures its own snapshot: every pipeline.*
+# instrument must land in the section matching its metric kind.
+pipe = snap["pipeline_obs"]
+assert pipe["schema"] == "obs/v1", pipe["schema"]
+sections = {
+    "gauges": {"pipeline.overlap_pct", "pipeline.workers"},
+    "counters": {"pipeline.chunks"},
+    "values": {"pipeline.queue_depth", "pipeline.busy_ns", "pipeline.wall_ns"},
+    "spans": {"stage.mint", "stage.seal"},
+}
+for section, expected in sections.items():
+    got = {m["name"] for m in pipe[section]}
+    missing = expected - got
+    assert not missing, f"pipeline_obs {section} missing {sorted(missing)}: {sorted(got)}"
 EOF
 
 stage_end
