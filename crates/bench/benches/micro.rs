@@ -154,7 +154,7 @@ fn bench_uka() {
     let leaves: Vec<u32> = (0..1024u32).map(|i| i * 4).collect();
     let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
     bench_simple("uka_plan/N4096_L1024", None, || {
-        assign::plan(&tree, &outcome, &Layout::DEFAULT)
+        assign::plan(&tree, &outcome, &Layout::DEFAULT).unwrap()
     });
 }
 

@@ -154,7 +154,7 @@ pub fn ablation_uka(mode: Mode, out: &mut dyn Write) -> io::Result<()> {
         let leaves: Vec<u32> = (0..l as u32).map(|i| (i * 4) % n).collect();
         let outcome = tree.process_batch(&Batch::new(vec![], leaves), &mut kg);
         let naive = assign::naive_plan_stats(&tree, &outcome, &layout);
-        let uka_plans = assign::plan(&tree, &outcome, &layout);
+        let uka_plans = assign::plan(&tree, &outcome, &layout).expect("DEFAULT layout fits");
         UkaCell {
             uka_packets: uka.enc_packets.max(uka_plans.len() as f64),
             naive,

@@ -243,7 +243,7 @@ mod tests {
         for member in [0u32, 10, 63] {
             let mut agent = agent_for(&before, member, 4);
             let uid = after.node_of_member(member).unwrap();
-            let pi = assignment.packet_of_user[&uid];
+            let pi = assignment.packet_of_user(uid).expect("served user");
             agent
                 .apply_enc(&assignment.packets[pi], 1)
                 .unwrap_or_else(|e| panic!("member {member}: {e}"));
@@ -258,7 +258,7 @@ mod tests {
         let uid = after.node_of_member(member).unwrap();
 
         let mut via_enc = agent_for(&before, member, 4);
-        let pi = assignment.packet_of_user[&uid];
+        let pi = assignment.packet_of_user(uid).expect("served user");
         via_enc.apply_enc(&assignment.packets[pi], 1).unwrap();
 
         let mut via_usr = agent_for(&before, member, 4);
@@ -277,7 +277,7 @@ mod tests {
         let uid = after.node_of_member(member).unwrap();
         let individual = after.key_of(uid).unwrap();
         let mut agent = UserAgent::new(member, uid, individual, 4);
-        let pi = assignment.packet_of_user[&uid];
+        let pi = assignment.packet_of_user(uid).expect("served user");
         agent.apply_enc(&assignment.packets[pi], 1).unwrap();
         assert_eq!(agent.group_key(), after.group_key());
     }
@@ -297,7 +297,7 @@ mod tests {
         let mut agent = agent_for(&before, moved, 4);
         assert_eq!(agent.node_id(), 5);
         let uid = tree.node_of_member(moved).unwrap();
-        let pi = assignment.packet_of_user[&uid];
+        let pi = assignment.packet_of_user(uid).expect("served user");
         agent.apply_enc(&assignment.packets[pi], 2).unwrap();
         assert_eq!(agent.node_id(), 21);
         assert_eq!(agent.group_key(), tree.group_key());
@@ -322,7 +322,7 @@ mod tests {
         let (before, after, _outcome, assignment) = scenario(64, vec![3], 0);
         let mut agent = agent_for(&before, 0, 4);
         let uid = after.node_of_member(0).unwrap();
-        let pi = assignment.packet_of_user[&uid];
+        let pi = assignment.packet_of_user(uid).expect("served user");
         let err = agent.apply_enc(&assignment.packets[pi], 99).unwrap_err();
         assert!(matches!(err, ApplyError::BadSeal { .. }));
     }
@@ -332,7 +332,7 @@ mod tests {
         let (before, after, _outcome, assignment) = scenario(64, vec![3], 0);
         let mut agent = agent_for(&before, 0, 4);
         let uid = after.node_of_member(0).unwrap();
-        let pi = assignment.packet_of_user[&uid];
+        let pi = assignment.packet_of_user(uid).expect("served user");
         agent.apply_enc(&assignment.packets[pi], 1).unwrap();
         // Height-3 tree: path holds 4 keys (leaf + 2 aux + root).
         assert_eq!(agent.keys_held(), 4);

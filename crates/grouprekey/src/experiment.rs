@@ -82,7 +82,10 @@ pub fn workload_stats(
     for run in 0..runs {
         let mut kg = KeyGen::from_seed(seed ^ (run as u64).wrapping_mul(0x9E37_79B9));
         let (tree, outcome) = one_batch(n, degree, j, l, &mut kg, &mut rng);
-        let plans = assign::plan(&tree, &outcome, layout);
+        // Workload grids stay within DEFAULT layout capacity; an
+        // impossible layout would surface as zero packets here, and loudly
+        // in the sealed paths.
+        let plans = assign::plan(&tree, &outcome, layout).unwrap_or_default();
         let emitted: usize = plans.iter().map(|p| p.enc_indices.len()).sum();
         let distinct = outcome.encryptions.len();
         acc.enc_packets += plans.len() as f64;
@@ -298,10 +301,7 @@ impl ExperimentRun {
                 let Some(uid) = tree.node_of_member(m) else {
                     unreachable!("member {m} listed by its own tree");
                 };
-                let true_block = assignment
-                    .packet_of_user
-                    .get(&uid)
-                    .map(|&pi| (pi / k) as u8);
+                let true_block = assignment.packet_of_user(uid).map(|pi| (pi / k) as u8);
                 SimUser::new(idx, uid, k, p.degree, true_block)
             }));
 

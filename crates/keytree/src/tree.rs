@@ -216,6 +216,42 @@ impl KeyTree {
         self.user_ids_iter().collect()
     }
 
+    /// First u-node ID in the inclusive slot range `lo..=hi`, if any. A
+    /// forward tag scan, no allocation — the run-aggregated UKA planner
+    /// uses it to trim and emptiness-test frontier ID windows, so its
+    /// cost is the vacant prefix of the window, not the window.
+    pub fn first_user_in(&self, lo: NodeId, hi: NodeId) -> Option<NodeId> {
+        let end = (hi as usize + 1).min(self.tags.len());
+        let start = (lo as usize).min(end);
+        self.tags[start..end]
+            .iter()
+            .position(|&t| t == TAG_U)
+            .map(|off| (start + off) as NodeId)
+    }
+
+    /// Last u-node ID in the inclusive slot range `lo..=hi`, if any. A
+    /// backward tag scan, no allocation (see [`KeyTree::first_user_in`]).
+    pub fn last_user_in(&self, lo: NodeId, hi: NodeId) -> Option<NodeId> {
+        let end = (hi as usize + 1).min(self.tags.len());
+        let start = (lo as usize).min(end);
+        self.tags[start..end]
+            .iter()
+            .rposition(|&t| t == TAG_U)
+            .map(|off| (start + off) as NodeId)
+    }
+
+    /// Number of u-nodes in the inclusive slot range `lo..=hi`. A tag
+    /// scan, no allocation — the run-aggregated baseline statistics
+    /// weight each need-set by the users sharing it.
+    pub fn count_users_in(&self, lo: NodeId, hi: NodeId) -> usize {
+        let end = (hi as usize + 1).min(self.tags.len());
+        let start = (lo as usize).min(end);
+        self.tags[start..end]
+            .iter()
+            .filter(|&&t| t == TAG_U)
+            .count()
+    }
+
     /// Iterator over all members currently in the group, ascending by
     /// member ID. No allocation.
     pub fn member_ids_iter(&self) -> impl Iterator<Item = MemberId> + '_ {

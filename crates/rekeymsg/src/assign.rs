@@ -9,19 +9,48 @@
 //! Ranges never overlap and strictly increase, which block-ID estimation
 //! relies on.
 //!
-//! The price is duplication: users in different packets that share path
-//! encryptions receive copies. [`AssignmentStats::duplication_overhead`]
+//! **Run aggregation.** The packing never needs to visit users one by
+//! one: a user's need-set is exactly the encryption edges on its
+//! leaf-to-root path, and that set is constant across every user under
+//! the same *frontier* node — an encryption-bearing child of the rekey
+//! subtree that is not itself an updated k-node. Updated k-nodes form a
+//! root-connected subtree, so frontier subtrees are disjoint and every
+//! served user lies in exactly one. Under BFS numbering a frontier
+//! node's descendants at each level form a contiguous ID interval, and
+//! all per-level intervals across frontier nodes are pairwise disjoint —
+//! so the planner enumerates those intervals in ascending ID order
+//! (*runs*) and packs whole runs: within a run the marginal cost of
+//! every user after the first is zero, hence the greedy split points are
+//! identical to the user-by-user walk, packet by packet, field by field.
+//! Cost: O(E·h) for E encryption edges instead of O(N·h) for N users
+//! (plus tag scans that touch only vacant window prefixes/suffixes). The
+//! user-by-user walk survives as the test oracle
+//! ([`crate::sanitize::reference_plan`]).
+//!
+//! The price of UKA is duplication: users in different packets that share
+//! path encryptions receive copies. [`AssignmentStats::duplication_overhead`]
 //! measures that cost exactly as the paper does (duplicated encryptions
 //! over total encryptions in the rekey subtree).
 
-use std::collections::{HashMap, HashSet};
-
-use keytree::{EncEdge, KeyTree, MarkOutcome, NodeId};
+use keytree::{ident, EncEdge, KeyTree, MarkOutcome, NodeId};
 use wirecrypto::SealedKey;
 
 use crate::layout::Layout;
 use crate::seal_context;
 use crate::wire::EncPacket;
+
+/// An inclusive interval of node IDs served by one ENC packet, all lying
+/// inside one frontier subtree. `lo` is always a genuine u-node; `hi` may
+/// overshoot the last user of the interval (only u-slots in between are
+/// users — vacant and out-of-range slots carry nothing). Every u-node in
+/// `lo..=hi` shares the packet's need-set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserRun {
+    /// First served user ID of the run.
+    pub lo: NodeId,
+    /// Last slot ID of the run (inclusive; u-slots only are users).
+    pub hi: NodeId,
+}
 
 /// One planned ENC packet: which users it serves and which encryptions it
 /// carries. No cryptography yet — experiment drivers that only need counts
@@ -34,8 +63,36 @@ pub struct PacketPlan {
     pub to_id: NodeId,
     /// Indices into `MarkOutcome::encryptions`, ascending by encryption ID.
     pub enc_indices: Vec<usize>,
-    /// The u-node IDs of the users served.
-    pub users: Vec<NodeId>,
+    /// The served users as a sorted, disjoint run list — O(runs), not
+    /// O(users). Enumerate with [`PacketPlan::users_iter`].
+    pub user_runs: Vec<UserRun>,
+}
+
+impl PacketPlan {
+    /// Iterator over the u-node IDs this packet serves, ascending. Takes
+    /// the tree the plan was built against (runs are ID intervals; the
+    /// tag array says which slots inside them hold users).
+    pub fn users_iter<'a>(&'a self, tree: &'a KeyTree) -> impl Iterator<Item = NodeId> + 'a {
+        self.user_runs
+            .iter()
+            .flat_map(move |r| (r.lo..=r.hi).filter(move |&id| tree.is_u(id)))
+    }
+
+    /// True when `uid` — which must be a current u-node ID — is served by
+    /// this packet. O(log runs).
+    pub fn covers_user(&self, uid: NodeId) -> bool {
+        self.user_runs
+            .binary_search_by(|r| {
+                if r.hi < uid {
+                    core::cmp::Ordering::Less
+                } else if r.lo > uid {
+                    core::cmp::Ordering::Greater
+                } else {
+                    core::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
 }
 
 /// Counting statistics of one assignment.
@@ -63,68 +120,330 @@ impl AssignmentStats {
     }
 }
 
-/// Plans the UKA packing without sealing anything.
+/// Position of `id` in the descending `updated` list, if present.
+pub(crate) fn updated_pos(updated: &[NodeId], id: NodeId) -> Option<usize> {
+    updated
+        .binary_search_by(|&probe| probe.cmp(&id).reverse())
+        .ok()
+}
+
+/// One clipped per-level frontier window awaiting packing: the IDs
+/// `lo..=hi` are the descendants of one frontier node at one level,
+/// intersected with the tree's user zone.
+#[derive(Debug, Clone, Copy)]
+struct RunWindow {
+    lo: NodeId,
+    hi: NodeId,
+    /// Index into `MarkOutcome::encryptions` of the frontier edge.
+    edge: u32,
+}
+
+/// Packed representation of one planned packet inside [`PlanScratch`]:
+/// arena segment ends (starts are the previous meta's ends).
+#[derive(Debug, Clone, Copy)]
+struct PacketMeta {
+    frm: NodeId,
+    to: NodeId,
+    enc_end: u32,
+    run_end: u32,
+}
+
+/// Reusable scratch for the run-aggregated UKA planner: epoch-stamped
+/// packet membership plus arena buffers for ancestor need-chains, sorted
+/// frontier windows, and the packed plan output. With a warm scratch
+/// (same batch shape as a previous call) [`PlanScratch::compute`]
+/// performs zero heap allocations — the dynamic
+/// `tests/no_alloc_marks.rs` harness pins that.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    /// Current packet stamp; bumped per packet and per `compute` call, so
+    /// `in_packet[e] == stamp` means encryption `e` is in the open packet.
+    stamp: u64,
+    /// Per encryption index: stamp of the packet that last took it.
+    in_packet: Vec<u64>,
+    /// Per updated-k-node position: offset/len of its ancestor need-chain
+    /// (encryption indices on the node→root path) in `chain_arena`.
+    chain_off: Vec<u32>,
+    chain_len: Vec<u32>,
+    chain_arena: Vec<u32>,
+    /// Clipped frontier windows, sorted ascending by `lo`.
+    windows: Vec<RunWindow>,
+    /// Packed output: one meta per packet over the two arenas.
+    packets: Vec<PacketMeta>,
+    enc_arena: Vec<u32>,
+    run_arena: Vec<UserRun>,
+}
+
+impl PlanScratch {
+    /// Fresh, cold scratch (first `compute` call sizes the buffers).
+    pub fn new() -> PlanScratch {
+        PlanScratch::default()
+    }
+
+    /// Derives the per-updated-node ancestor need-chains and the sorted
+    /// frontier run windows for `outcome`. Returns false when there is
+    /// nothing to plan (no encryptions, or no users / k-nodes).
+    // xcheck: no_alloc
+    fn prepare(&mut self, tree: &KeyTree, outcome: &MarkOutcome) -> bool {
+        self.chain_arena.clear();
+        self.chain_off.clear();
+        self.chain_len.clear();
+        self.windows.clear();
+        if outcome.encryptions.is_empty() {
+            return false;
+        }
+        let (Some(maxk), Some(maxu)) = (tree.max_knode_id(), tree.highest_unode_id()) else {
+            return false;
+        };
+        let degree = tree.degree();
+        let updated = &outcome.updated_knodes[..];
+
+        // Ancestor chains: chain(p) = own edge (if any) ++ chain(parent).
+        // `updated` is descending and parents have smaller IDs than
+        // children, so walking positions high→low (IDs low→high) finds
+        // every parent chain already built.
+        self.chain_off.resize(updated.len(), 0);
+        self.chain_len.resize(updated.len(), 0);
+        for pos in (0..updated.len()).rev() {
+            let p = updated[pos];
+            let off = self.chain_arena.len() as u32;
+            if let Some(i) = outcome.encryption_by_child(p) {
+                self.chain_arena.push(i as u32);
+            }
+            if let Some(par) = ident::parent(p, degree) {
+                if let Some(ppos) = updated_pos(updated, par) {
+                    let poff = self.chain_off[ppos] as usize;
+                    let plen = self.chain_len[ppos] as usize;
+                    self.chain_arena.extend_from_within(poff..poff + plen);
+                }
+            }
+            self.chain_off[pos] = off;
+            self.chain_len[pos] = self.chain_arena.len() as u32 - off;
+        }
+
+        // Frontier windows: for every edge whose child is NOT an updated
+        // k-node, the child's descendants at each level form one
+        // contiguous ID interval; clip each to the user zone
+        // (maxk, maxu] — Lemma 4.1 puts every u-node there — and keep the
+        // non-empty clips. Frontier subtrees are disjoint and BFS levels
+        // are disjoint ID bands, so the windows never overlap.
+        let (maxk, maxu) = (maxk as u64, maxu as u64);
+        let d = degree.max(2) as u64;
+        for (i, edge) in outcome.encryptions.iter().enumerate() {
+            if updated_pos(updated, edge.child).is_some() {
+                continue;
+            }
+            let (mut lo, mut hi) = (edge.child as u64, edge.child as u64);
+            while lo <= maxu {
+                if hi > maxk {
+                    let clo = lo.max(maxk + 1);
+                    let chi = hi.min(maxu);
+                    if clo <= chi {
+                        self.windows.push(RunWindow {
+                            lo: clo as NodeId,
+                            hi: chi as NodeId,
+                            edge: i as u32,
+                        });
+                    }
+                }
+                lo = d * lo + 1;
+                hi = d * hi + d;
+            }
+        }
+        self.windows.sort_unstable_by_key(|w| w.lo);
+        true
+    }
+
+    /// Runs the greedy UKA packing over the prepared run windows, filling
+    /// the packed-plan arenas. Returns the packet count. Bit-identical to
+    /// the user-by-user reference walk: within a run every user after the
+    /// first adds zero marginal cost, so the greedy split decisions — and
+    /// therefore `frm_id`/`to_id`/`enc_indices` — land on the same
+    /// boundaries.
+    ///
+    /// # Errors
+    ///
+    /// [`AssignError::PacketCapacity`] when one user's whole-path
+    /// need-set alone exceeds the layout's packet capacity (UKA's
+    /// one-packet-per-user guarantee would be unsatisfiable).
+    // xcheck: no_alloc
+    pub fn compute(
+        &mut self,
+        tree: &KeyTree,
+        outcome: &MarkOutcome,
+        layout: &Layout,
+    ) -> Result<usize, AssignError> {
+        self.packets.clear();
+        self.enc_arena.clear();
+        self.run_arena.clear();
+        if !self.prepare(tree, outcome) {
+            return Ok(0);
+        }
+        let capacity = layout.encryptions_per_packet();
+        let updated = &outcome.updated_knodes[..];
+        self.in_packet.resize(outcome.encryptions.len(), 0);
+        self.stamp += 1;
+
+        let mut enc_start = 0usize;
+        let mut run_start = 0usize;
+        let mut frm: NodeId = 0;
+        let mut open = false;
+        for wi in 0..self.windows.len() {
+            let w = self.windows[wi];
+            // Vacant windows (every slot an empty or relocated-away
+            // u-slot) serve nobody and must not influence the packing.
+            let Some(first) = tree.first_user_in(w.lo, w.hi) else {
+                continue;
+            };
+            let parent = outcome.encryptions[w.edge as usize].parent;
+            let (coff, clen) = match updated_pos(updated, parent) {
+                Some(ppos) => (self.chain_off[ppos] as usize, self.chain_len[ppos] as usize),
+                // Unreachable for outcomes the marking produces (edge
+                // parents are always updated k-nodes); stay total.
+                None => (0, 0),
+            };
+            let need_len = 1 + clen;
+            if need_len > capacity {
+                return Err(AssignError::PacketCapacity {
+                    user: first,
+                    needed: need_len,
+                    capacity,
+                });
+            }
+            let mut extra = usize::from(self.in_packet[w.edge as usize] != self.stamp);
+            for k in 0..clen {
+                let e = self.chain_arena[coff + k] as usize;
+                extra += usize::from(self.in_packet[e] != self.stamp);
+            }
+            if open && (self.enc_arena.len() - enc_start) + extra > capacity {
+                self.close_packet(tree, outcome, frm, enc_start);
+                enc_start = self.enc_arena.len();
+                run_start = self.run_arena.len();
+                self.stamp += 1;
+                open = false;
+            }
+            if !open {
+                frm = first;
+                open = true;
+            }
+            if self.in_packet[w.edge as usize] != self.stamp {
+                self.in_packet[w.edge as usize] = self.stamp;
+                self.enc_arena.push(w.edge);
+            }
+            for k in 0..clen {
+                let e = self.chain_arena[coff + k] as usize;
+                if self.in_packet[e] != self.stamp {
+                    self.in_packet[e] = self.stamp;
+                    self.enc_arena.push(e as u32);
+                }
+            }
+            // Adjacent windows (same frontier node across levels, or
+            // abutting siblings) merge into one stored run.
+            let merged = self.run_arena.len() > run_start
+                && self
+                    .run_arena
+                    .last()
+                    .is_some_and(|last| last.hi + 1 == w.lo);
+            match self.run_arena.last_mut() {
+                Some(last) if merged => last.hi = w.hi,
+                _ => self.run_arena.push(UserRun {
+                    lo: first,
+                    hi: w.hi,
+                }),
+            }
+        }
+        if open {
+            self.close_packet(tree, outcome, frm, enc_start);
+        }
+        Ok(self.packets.len())
+    }
+
+    /// Seals the open packet: trims the final run to its last real user
+    /// (the packet's `to_id`), sorts the packet's encryption segment by
+    /// encryption (child) ID, and records the packet meta.
+    // xcheck: no_alloc
+    fn close_packet(
+        &mut self,
+        tree: &KeyTree,
+        outcome: &MarkOutcome,
+        frm: NodeId,
+        enc_start: usize,
+    ) {
+        let to = match self.run_arena.last_mut() {
+            Some(last) => {
+                // The final run is non-vacant by construction; fall back
+                // to its first user to stay total.
+                let to = tree.last_user_in(last.lo, last.hi).unwrap_or(last.lo);
+                last.hi = to;
+                to
+            }
+            None => frm,
+        };
+        self.enc_arena[enc_start..]
+            .sort_unstable_by_key(|&i| outcome.encryptions[i as usize].child);
+        self.packets.push(PacketMeta {
+            frm,
+            to,
+            enc_end: self.enc_arena.len() as u32,
+            run_end: self.run_arena.len() as u32,
+        });
+    }
+
+    /// Materializes the packed plans of the last [`PlanScratch::compute`]
+    /// call (allocates the output vectors).
+    fn emit(&self) -> Vec<PacketPlan> {
+        let mut plans = Vec::with_capacity(self.packets.len());
+        let (mut e0, mut r0) = (0usize, 0usize);
+        for m in &self.packets {
+            plans.push(PacketPlan {
+                frm_id: m.frm,
+                to_id: m.to,
+                enc_indices: self.enc_arena[e0..m.enc_end as usize]
+                    .iter()
+                    .map(|&i| i as usize)
+                    .collect(),
+                user_runs: self.run_arena[r0..m.run_end as usize].to_vec(),
+            });
+            e0 = m.enc_end as usize;
+            r0 = m.run_end as usize;
+        }
+        plans
+    }
+}
+
+/// Plans the UKA packing without sealing anything (fresh scratch; steady
+/// -state callers reuse one via [`plan_in`]).
 ///
 /// Users that need no encryptions (their whole path is unchanged) are
 /// skipped — they are vacuously satisfied by the rekey message.
-pub fn plan(tree: &KeyTree, outcome: &MarkOutcome, layout: &Layout) -> Vec<PacketPlan> {
-    let capacity = layout.encryptions_per_packet();
-    let degree = tree.degree();
-    let mut plans: Vec<PacketPlan> = Vec::new();
-
-    let mut current_users: Vec<NodeId> = Vec::new();
-    let mut current_set: HashSet<usize> = HashSet::new();
-    let mut current_list: Vec<usize> = Vec::new();
-    let mut needs: Vec<usize> = Vec::new();
-
-    for uid in tree.user_ids_iter() {
-        outcome.encryptions_for_user_into(uid, degree, &mut needs);
-        if needs.is_empty() {
-            continue;
-        }
-        // UKA's defining guarantee — one packet per user — requires the
-        // packet to hold a whole path's worth of encryptions (h+1 <<
-        // capacity for any sane layout; 46 vs ~8 in the paper's).
-        assert!(
-            needs.len() <= capacity,
-            "user {uid} needs {} encryptions but packets hold {capacity}: \
-             layout too small for this tree height",
-            needs.len()
-        );
-        let extra = needs.iter().filter(|i| !current_set.contains(*i)).count();
-        if !current_users.is_empty() && current_set.len() + extra > capacity {
-            plans.push(close_plan(outcome, &mut current_users, &mut current_list));
-            current_set.clear();
-        }
-        for &i in &needs {
-            if current_set.insert(i) {
-                current_list.push(i);
-            }
-        }
-        current_users.push(uid);
-    }
-    if !current_users.is_empty() {
-        plans.push(close_plan(outcome, &mut current_users, &mut current_list));
-    }
-    plans
+///
+/// # Errors
+///
+/// [`AssignError::PacketCapacity`] when a user's whole-path need-set
+/// exceeds one packet (layout too small for this tree height).
+pub fn plan(
+    tree: &KeyTree,
+    outcome: &MarkOutcome,
+    layout: &Layout,
+) -> Result<Vec<PacketPlan>, AssignError> {
+    let mut scratch = PlanScratch::default();
+    plan_in(tree, outcome, layout, &mut scratch)
 }
 
-fn close_plan(outcome: &MarkOutcome, users: &mut Vec<NodeId>, list: &mut Vec<usize>) -> PacketPlan {
-    let mut enc_indices = std::mem::take(list);
-    enc_indices.sort_by_key(|&i| outcome.encryptions[i].child);
-    let users_taken = std::mem::take(users);
-    // Both call sites guard on a non-empty user list; fall back to 0 so
-    // this stays total.
-    let (frm_id, to_id) = match (users_taken.first(), users_taken.last()) {
-        (Some(&first), Some(&last)) => (first, last),
-        _ => (0, 0),
-    };
-    PacketPlan {
-        frm_id,
-        to_id,
-        enc_indices,
-        users: users_taken,
-    }
+/// [`plan`] with a caller-owned scratch: with a warm scratch the planning
+/// core allocates nothing; only the returned plan vectors are fresh.
+///
+/// # Errors
+///
+/// As [`plan`].
+pub fn plan_in(
+    tree: &KeyTree,
+    outcome: &MarkOutcome,
+    layout: &Layout,
+    scratch: &mut PlanScratch,
+) -> Result<Vec<PacketPlan>, AssignError> {
+    scratch.compute(tree, outcome, layout)?;
+    Ok(scratch.emit())
 }
 
 /// Encryption edges per parallel seal chunk. Constant (not worker-count
@@ -147,7 +466,8 @@ pub const SEAL_CHUNK: usize = 64;
 ///
 /// # Errors
 ///
-/// Fails when an encryption edge refers to a key absent from the tree.
+/// Fails when an encryption edge refers to a key absent from the tree or
+/// when a need-set exceeds the packet capacity.
 pub fn plan_and_seal(
     tree: &KeyTree,
     outcome: &MarkOutcome,
@@ -155,7 +475,7 @@ pub fn plan_and_seal(
     layout: &Layout,
 ) -> Result<(Vec<PacketPlan>, Vec<SealedKey>), AssignError> {
     let _span_build = obs::span("uka.build");
-    let plans = plan(tree, outcome, layout);
+    let plans = plan(tree, outcome, layout)?;
     let span_seal = obs::span("stage.seal");
     let chunks: Vec<&[EncEdge]> = outcome.encryptions.chunks(SEAL_CHUNK).collect();
     let sealed_chunks: Vec<Result<Vec<SealedKey>, AssignError>> =
@@ -192,7 +512,7 @@ pub fn plan_and_seal(
     Ok((plans, sealed))
 }
 
-/// Why sealing an assignment failed.
+/// Why building an assignment failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AssignError {
     /// An encryption edge refers to a key the tree no longer holds.
@@ -204,6 +524,17 @@ pub enum AssignError {
     },
     /// A node ID does not fit the 16-bit wire representation.
     IdOutOfRange(NodeId),
+    /// A user's whole-path need-set exceeds one packet's capacity: the
+    /// layout is too small for this tree height, so UKA's
+    /// one-packet-per-user guarantee is unsatisfiable.
+    PacketCapacity {
+        /// The first (lowest-ID) user whose need-set does not fit.
+        user: NodeId,
+        /// Encryptions that user needs.
+        needed: usize,
+        /// Encryptions one packet holds under the layout.
+        capacity: usize,
+    },
 }
 
 impl core::fmt::Display for AssignError {
@@ -217,6 +548,17 @@ impl core::fmt::Display for AssignError {
             }
             AssignError::IdOutOfRange(id) => {
                 write!(f, "node ID {id} exceeds the 16-bit wire range")
+            }
+            AssignError::PacketCapacity {
+                user,
+                needed,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "user {user} needs {needed} encryptions but packets hold {capacity}: \
+                     layout too small for this tree height"
+                )
             }
         }
     }
@@ -247,6 +589,10 @@ pub struct NaiveAssignmentStats {
 /// pack. Encryptions are taken in `MarkOutcome::encryptions` order
 /// (bottom-up rekey-subtree traversal) and cut greedily into packets of
 /// `layout.encryptions_per_packet()`.
+///
+/// Run-aggregated like [`plan`]: per-user packet spread is constant
+/// across a frontier run, so each run is evaluated once and weighted by
+/// its user count.
 pub fn naive_plan_stats(
     tree: &KeyTree,
     outcome: &MarkOutcome,
@@ -254,38 +600,51 @@ pub fn naive_plan_stats(
 ) -> NaiveAssignmentStats {
     let capacity = layout.encryptions_per_packet();
     let total = outcome.encryptions.len();
+    let empty = NaiveAssignmentStats {
+        packets: 0,
+        avg_packets_per_user: 0.0,
+        max_packets_per_user: 0,
+        single_packet_fraction: 1.0,
+    };
     if total == 0 {
-        return NaiveAssignmentStats {
-            packets: 0,
-            avg_packets_per_user: 0.0,
-            max_packets_per_user: 0,
-            single_packet_fraction: 1.0,
-        };
+        return empty;
+    }
+    let mut scratch = PlanScratch::default();
+    if !scratch.prepare(tree, outcome) {
+        return empty;
     }
     let packets = total.div_ceil(capacity);
-    let packet_of_enc = |i: usize| i / capacity;
 
-    let degree = tree.degree();
+    let updated = &outcome.updated_knodes[..];
     let mut sum = 0usize;
     let mut max = 0usize;
     let mut single = 0usize;
     let mut users = 0usize;
-    let mut needs: Vec<usize> = Vec::new();
     let mut pkts: Vec<usize> = Vec::new();
-    for uid in tree.user_ids_iter() {
-        outcome.encryptions_for_user_into(uid, degree, &mut needs);
-        if needs.is_empty() {
+    for w in &scratch.windows {
+        let count = tree.count_users_in(w.lo, w.hi);
+        if count == 0 {
             continue;
         }
-        users += 1;
         pkts.clear();
-        pkts.extend(needs.iter().map(|&i| packet_of_enc(i)));
+        pkts.push(w.edge as usize / capacity);
+        let parent = outcome.encryptions[w.edge as usize].parent;
+        if let Some(ppos) = updated_pos(updated, parent) {
+            let off = scratch.chain_off[ppos] as usize;
+            let len = scratch.chain_len[ppos] as usize;
+            pkts.extend(
+                scratch.chain_arena[off..off + len]
+                    .iter()
+                    .map(|&e| e as usize / capacity),
+            );
+        }
         pkts.sort_unstable();
         pkts.dedup();
-        sum += pkts.len();
+        users += count;
+        sum += pkts.len() * count;
         max = max.max(pkts.len());
         if pkts.len() == 1 {
-            single += 1;
+            single += count;
         }
     }
     NaiveAssignmentStats {
@@ -312,21 +671,43 @@ pub struct UkaAssignment {
     pub packets: Vec<EncPacket>,
     /// Plans aligned with `packets`.
     pub plans: Vec<PacketPlan>,
-    /// Which packet (index) serves each user ID.
-    pub packet_of_user: HashMap<NodeId, usize>,
     /// Counting statistics.
     pub stats: AssignmentStats,
 }
 
 impl UkaAssignment {
+    /// Which packet (index) serves user `uid`, or `None` when the user
+    /// needs nothing from this message. `uid` must be a current u-node ID
+    /// (as from [`KeyTree::node_of_member`] — non-user slot IDs inside a
+    /// packet's range are not distinguished). O(log packets + log runs)
+    /// by binary search over the strictly increasing packet ranges.
+    pub fn packet_of_user(&self, uid: NodeId) -> Option<usize> {
+        let pi = self.plans.partition_point(|p| p.to_id < uid);
+        let p = self.plans.get(pi)?;
+        p.covers_user(uid).then_some(pi)
+    }
+
+    /// Iterator over `(user ID, packet index)` for every served user,
+    /// ascending by packet then user ID.
+    pub fn served_users<'a>(
+        &'a self,
+        tree: &'a KeyTree,
+    ) -> impl Iterator<Item = (NodeId, usize)> + 'a {
+        self.plans
+            .iter()
+            .enumerate()
+            .flat_map(move |(pi, p)| p.users_iter(tree).map(move |u| (u, pi)))
+    }
+
     /// Runs UKA and seals every encryption (each distinct encryption is
     /// sealed once and copied wherever duplicated).
     ///
     /// # Errors
     ///
-    /// Fails when an encryption edge refers to a key absent from the tree
-    /// or when a node ID exceeds the 16-bit wire range — both indicate a
-    /// tree/marking mismatch upstream.
+    /// Fails when an encryption edge refers to a key absent from the tree,
+    /// when a node ID exceeds the 16-bit wire range, or when a need-set
+    /// exceeds the packet capacity — all indicate a tree/marking/layout
+    /// mismatch upstream.
     pub fn build(
         tree: &KeyTree,
         outcome: &MarkOutcome,
@@ -334,12 +715,15 @@ impl UkaAssignment {
         layout: &Layout,
     ) -> Result<UkaAssignment, AssignError> {
         let _span_build = obs::span("uka.build");
-        let plans = plan(tree, outcome, layout);
         let msg_id = (msg_seq & 0x3f) as u8;
+        // The range check precedes planning so the barrier and streamed
+        // paths surface errors in the same order (the streamed path
+        // checks `max_kid` before phase 1 starts).
         let max_kid = outcome.nk.unwrap_or(0);
         if max_kid > u16::MAX as NodeId {
             return Err(AssignError::IdOutOfRange(max_kid));
         }
+        let plans = plan(tree, outcome, layout)?;
 
         // Seal every encryption of the rekey subtree once, index-aligned
         // with `MarkOutcome::encryptions`. Every edge is on some live
@@ -390,18 +774,14 @@ impl UkaAssignment {
         );
 
         let mut packets = Vec::with_capacity(plans.len());
-        let mut packet_of_user = HashMap::new();
         let mut entries_emitted = 0;
-        for (pi, plan) in plans.iter().enumerate() {
+        for plan in plans.iter() {
             let mut entries: Vec<(u16, SealedKey)> = Vec::with_capacity(plan.enc_indices.len());
             for &i in &plan.enc_indices {
                 let child = outcome.encryptions[i].child;
                 entries.push((child as u16, sealed[i]));
             }
             entries_emitted += entries.len();
-            for &u in &plan.users {
-                packet_of_user.insert(u, pi);
-            }
             if plan.frm_id > u16::MAX as NodeId || plan.to_id > u16::MAX as NodeId {
                 return Err(AssignError::IdOutOfRange(plan.frm_id.max(plan.to_id)));
             }
@@ -426,7 +806,6 @@ impl UkaAssignment {
         Ok(UkaAssignment {
             packets,
             plans,
-            packet_of_user,
             stats,
         })
     }
@@ -436,6 +815,7 @@ impl UkaAssignment {
 mod tests {
     use super::*;
     use keytree::Batch;
+    use std::collections::HashSet;
     use wirecrypto::KeyGen;
 
     fn setup(n: u32, leaves: u32) -> (KeyTree, MarkOutcome) {
@@ -452,10 +832,10 @@ mod tests {
     #[test]
     fn every_user_covered_by_exactly_one_packet() {
         let (tree, outcome) = setup(256, 64);
-        let plans = plan(&tree, &outcome, &Layout::DEFAULT);
+        let plans = plan(&tree, &outcome, &Layout::DEFAULT).unwrap();
         let mut covered = HashSet::new();
         for p in &plans {
-            for &u in &p.users {
+            for u in p.users_iter(&tree) {
                 assert!(covered.insert(u), "user {u} in two packets");
             }
         }
@@ -473,10 +853,10 @@ mod tests {
     #[test]
     fn all_of_a_users_encryptions_in_its_packet() {
         let (tree, outcome) = setup(256, 64);
-        let plans = plan(&tree, &outcome, &Layout::DEFAULT);
+        let plans = plan(&tree, &outcome, &Layout::DEFAULT).unwrap();
         for p in &plans {
             let have: HashSet<usize> = p.enc_indices.iter().copied().collect();
-            for &u in &p.users {
+            for u in p.users_iter(&tree) {
                 for i in outcome.encryptions_for_user(u, 4) {
                     assert!(have.contains(&i), "user {u} missing encryption {i}");
                 }
@@ -487,7 +867,7 @@ mod tests {
     #[test]
     fn ranges_strictly_increase() {
         let (tree, outcome) = setup(1024, 256);
-        let plans = plan(&tree, &outcome, &Layout::DEFAULT);
+        let plans = plan(&tree, &outcome, &Layout::DEFAULT).unwrap();
         assert!(plans.len() > 1, "want multiple packets for this test");
         for w in plans.windows(2) {
             assert!(w[0].to_id < w[1].frm_id);
@@ -501,7 +881,7 @@ mod tests {
     fn capacity_respected() {
         let (tree, outcome) = setup(1024, 256);
         let layout = Layout::DEFAULT;
-        for p in plan(&tree, &outcome, &layout) {
+        for p in plan(&tree, &outcome, &layout).unwrap() {
             assert!(p.enc_indices.len() <= layout.encryptions_per_packet());
         }
     }
@@ -509,9 +889,9 @@ mod tests {
     #[test]
     fn small_packets_force_more_duplication() {
         let (tree, outcome) = setup(256, 64);
-        let big = plan(&tree, &outcome, &Layout::DEFAULT);
+        let big = plan(&tree, &outcome, &Layout::DEFAULT).unwrap();
         let small_layout = Layout::new(3 + 6 + 22 * 12); // 12 encryptions/packet
-        let small = plan(&tree, &outcome, &small_layout);
+        let small = plan(&tree, &outcome, &small_layout).unwrap();
         assert!(small.len() > big.len());
 
         let emitted =
@@ -520,11 +900,63 @@ mod tests {
     }
 
     #[test]
+    fn too_small_layout_is_a_typed_error() {
+        let (tree, outcome) = setup(1024, 256);
+        // 3 encryptions per packet < path length on a depth-5 tree.
+        let tiny = Layout::new(3 + 6 + 22 * 3);
+        match plan(&tree, &outcome, &tiny) {
+            Err(AssignError::PacketCapacity {
+                user,
+                needed,
+                capacity,
+            }) => {
+                assert_eq!(capacity, 3);
+                assert!(needed > capacity);
+                assert!(tree.is_u(user), "reported user {user} is a u-node");
+                // The reported user is the first (lowest-ID) violator.
+                let first_violator = tree
+                    .user_ids_iter()
+                    .find(|&u| outcome.encryptions_for_user(u, 4).len() > capacity)
+                    .expect("a violator exists");
+                assert_eq!(user, first_violator);
+            }
+            other => panic!("want PacketCapacity, got {other:?}"),
+        }
+        // The sealed builders surface the same error.
+        let err = UkaAssignment::build(&tree, &outcome, 0, &tiny).unwrap_err();
+        assert!(matches!(err, AssignError::PacketCapacity { .. }));
+        let err = plan_and_seal(&tree, &outcome, 0, &tiny).unwrap_err();
+        assert!(matches!(err, AssignError::PacketCapacity { .. }));
+    }
+
+    #[test]
+    fn matches_reference_plan_across_layouts() {
+        for (n, l) in [(64u32, 16u32), (256, 64), (1024, 256), (300, 77)] {
+            let (tree, outcome) = setup(n, l);
+            for cap in [5usize, 8, 12, 46] {
+                let layout = Layout::new(3 + 6 + 22 * cap);
+                match plan(&tree, &outcome, &layout) {
+                    Ok(plans) => {
+                        crate::sanitize::check_plan_identity(&tree, &outcome, &plans, &layout)
+                            .unwrap_or_else(|e| panic!("n={n} l={l} cap={cap}: {e}"))
+                    }
+                    Err(AssignError::PacketCapacity { user, .. }) => {
+                        let reference = crate::sanitize::reference_plan(&tree, &outcome, &layout);
+                        let err = reference.expect_err("reference must also overflow");
+                        assert!(err.contains(&format!("user {user} ")), "{err}");
+                    }
+                    Err(other) => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
     fn empty_outcome_produces_no_packets() {
         let mut kg = KeyGen::from_seed(1);
         let mut tree = KeyTree::balanced(64, 4, &mut kg);
         let outcome = tree.process_batch(&Batch::default(), &mut kg);
-        assert!(plan(&tree, &outcome, &Layout::DEFAULT).is_empty());
+        assert!(plan(&tree, &outcome, &Layout::DEFAULT).unwrap().is_empty());
         let built = UkaAssignment::build(&tree, &outcome, 0, &Layout::DEFAULT).unwrap();
         assert_eq!(built.stats.packets, 0);
         assert_eq!(built.stats.duplication_overhead(), 0.0);
@@ -568,7 +1000,7 @@ mod tests {
         let (tree, outcome) = setup(1024, 256);
         let layout = Layout::DEFAULT;
         let naive = naive_plan_stats(&tree, &outcome, &layout);
-        let uka = plan(&tree, &outcome, &layout);
+        let uka = plan(&tree, &outcome, &layout).unwrap();
         // Naive never duplicates, so it uses at most as many packets...
         assert!(naive.packets <= uka.len());
         // ...but scatters users across packets, which UKA never does.
@@ -579,6 +1011,47 @@ mod tests {
         );
         assert!(naive.max_packets_per_user >= 2);
         assert!(naive.single_packet_fraction < 0.9);
+    }
+
+    #[test]
+    fn naive_baseline_matches_per_user_walk() {
+        // The run-aggregated statistics equal the user-by-user
+        // recomputation exactly (same per-user values, same weights).
+        for (n, l) in [(64u32, 16u32), (256, 64), (1024, 256), (300, 77)] {
+            let (tree, outcome) = setup(n, l);
+            for cap in [5usize, 12, 46] {
+                let layout = Layout::new(3 + 6 + 22 * cap);
+                let fast = naive_plan_stats(&tree, &outcome, &layout);
+                let capacity = layout.encryptions_per_packet();
+                let (mut sum, mut max, mut single, mut users) = (0usize, 0usize, 0usize, 0usize);
+                for uid in tree.user_ids_iter() {
+                    let needs = outcome.encryptions_for_user(uid, tree.degree());
+                    if needs.is_empty() {
+                        continue;
+                    }
+                    let mut pkts: Vec<usize> = needs.iter().map(|&i| i / capacity).collect();
+                    pkts.sort_unstable();
+                    pkts.dedup();
+                    users += 1;
+                    sum += pkts.len();
+                    max = max.max(pkts.len());
+                    single += usize::from(pkts.len() == 1);
+                }
+                assert_eq!(fast.max_packets_per_user, max);
+                let avg = if users == 0 {
+                    0.0
+                } else {
+                    sum as f64 / users as f64
+                };
+                assert!((fast.avg_packets_per_user - avg).abs() < 1e-12);
+                let frac = if users == 0 {
+                    1.0
+                } else {
+                    single as f64 / users as f64
+                };
+                assert!((fast.single_packet_fraction - frac).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]
@@ -595,8 +1068,35 @@ mod tests {
     fn packet_of_user_agrees_with_ranges() {
         let (tree, outcome) = setup(256, 64);
         let built = UkaAssignment::build(&tree, &outcome, 0, &Layout::DEFAULT).unwrap();
-        for (&u, &pi) in &built.packet_of_user {
-            assert!(built.packets[pi].serves(u as u16));
+        let mut served = 0usize;
+        for uid in tree.user_ids_iter() {
+            let needs = outcome.encryptions_for_user(uid, tree.degree());
+            match built.packet_of_user(uid) {
+                Some(pi) => {
+                    served += 1;
+                    assert!(built.packets[pi].serves(uid as u16));
+                    assert!(!needs.is_empty());
+                }
+                None => assert!(needs.is_empty(), "unserved user {uid} has needs"),
+            }
+        }
+        assert!(served > 0);
+        // served_users enumerates exactly the same mapping.
+        let listed: Vec<(NodeId, usize)> = built.served_users(&tree).collect();
+        assert_eq!(listed.len(), served);
+        for (uid, pi) in listed {
+            assert_eq!(built.packet_of_user(uid), Some(pi));
+        }
+    }
+
+    #[test]
+    fn warm_scratch_replans_identically() {
+        let mut scratch = PlanScratch::new();
+        for round in 0..3u32 {
+            let (tree, outcome) = setup(512, 64 + round);
+            let cold = plan(&tree, &outcome, &Layout::DEFAULT).unwrap();
+            let warm = plan_in(&tree, &outcome, &Layout::DEFAULT, &mut scratch).unwrap();
+            assert_eq!(cold, warm, "round {round}");
         }
     }
 }

@@ -34,7 +34,7 @@
 //!
 //! let msg = UkaAssignment::build(&tree, &outcome, 1, &Layout::DEFAULT).unwrap();
 //! // Every remaining user's encryptions sit in exactly one packet.
-//! for (&user, &pkt) in &msg.packet_of_user {
+//! for (user, pkt) in msg.served_users(&tree) {
 //!     assert!(msg.packets[pkt].serves(user as u16));
 //! }
 //! ```
@@ -55,8 +55,8 @@ pub mod view;
 pub mod wire;
 
 pub use assign::{
-    naive_plan_stats, plan_and_seal, AssignError, AssignmentStats, NaiveAssignmentStats,
-    UkaAssignment, SEAL_CHUNK,
+    naive_plan_stats, plan, plan_and_seal, plan_in, AssignError, AssignmentStats,
+    NaiveAssignmentStats, PacketPlan, PlanScratch, UkaAssignment, UserRun, SEAL_CHUNK,
 };
 pub use blocks::{BlockSet, BlockSetBuilder, SendItem, SendOrder};
 pub use layout::Layout;

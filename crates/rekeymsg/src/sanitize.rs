@@ -13,12 +13,150 @@
 //!   exactly, and the FEC-body path ([`EncPacket::from_fec_body`]) agrees
 //!   with the header path.
 
+use std::collections::HashSet;
+
 use keytree::{KeyTree, MarkOutcome, NodeId};
 
-use crate::assign::UkaAssignment;
+use crate::assign::{PacketPlan, UkaAssignment};
 use crate::layout::Layout;
 use crate::seal_context;
 use crate::wire::{EncPacket, Packet};
+
+/// One packet of the reference (user-by-user) UKA plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReferencePlan {
+    /// First served user ID.
+    pub frm_id: NodeId,
+    /// Last served user ID.
+    pub to_id: NodeId,
+    /// Indices into `MarkOutcome::encryptions`, ascending by encryption ID.
+    pub enc_indices: Vec<usize>,
+    /// Every served user, ascending — materialized, O(N) total.
+    pub users: Vec<NodeId>,
+}
+
+/// The original user-by-user UKA planner, kept verbatim as the oracle for
+/// the run-aggregated production planner: walk the sorted user IDs,
+/// greedily extend the open packet while the union of need-sets fits, and
+/// split exactly when the next user would overflow it. O(N·h) — fine for
+/// an oracle, the reason the production planner aggregates runs.
+///
+/// # Errors
+///
+/// Returns the same condition [`crate::assign::AssignError::PacketCapacity`]
+/// reports — a user whose whole need-set exceeds one packet — as text,
+/// naming the same (first violating) user.
+pub fn reference_plan(
+    tree: &KeyTree,
+    outcome: &MarkOutcome,
+    layout: &Layout,
+) -> Result<Vec<ReferencePlan>, String> {
+    let capacity = layout.encryptions_per_packet();
+    let degree = tree.degree();
+    let mut plans: Vec<ReferencePlan> = Vec::new();
+    let mut current_users: Vec<NodeId> = Vec::new();
+    let mut current_set: HashSet<usize> = HashSet::new();
+    let mut current_list: Vec<usize> = Vec::new();
+    let mut needs: Vec<usize> = Vec::new();
+    let close = |users: &mut Vec<NodeId>, list: &mut Vec<usize>| {
+        let mut enc_indices = std::mem::take(list);
+        enc_indices.sort_by_key(|&i| outcome.encryptions[i].child);
+        let users = std::mem::take(users);
+        ReferencePlan {
+            frm_id: users.first().copied().unwrap_or(0),
+            to_id: users.last().copied().unwrap_or(0),
+            enc_indices,
+            users,
+        }
+    };
+    for uid in tree.user_ids_iter() {
+        outcome.encryptions_for_user_into(uid, degree, &mut needs);
+        if needs.is_empty() {
+            continue;
+        }
+        if needs.len() > capacity {
+            return Err(format!(
+                "user {uid} needs {} encryptions but packets hold {capacity}: \
+                 layout too small for this tree height",
+                needs.len()
+            ));
+        }
+        let extra = needs.iter().filter(|i| !current_set.contains(*i)).count();
+        if !current_users.is_empty() && current_set.len() + extra > capacity {
+            plans.push(close(&mut current_users, &mut current_list));
+            current_set.clear();
+        }
+        for &i in &needs {
+            if current_set.insert(i) {
+                current_list.push(i);
+            }
+        }
+        current_users.push(uid);
+    }
+    if !current_users.is_empty() {
+        plans.push(close(&mut current_users, &mut current_list));
+    }
+    Ok(plans)
+}
+
+/// Checks that `plans` (from the run-aggregated planner) are bit-identical
+/// to the reference user-by-user plan: same packet count, and per packet
+/// the same `frm_id`/`to_id`, the same sorted `enc_indices`, and the same
+/// enumerated users. Returns the first divergence as text.
+pub fn check_plan_identity(
+    tree: &KeyTree,
+    outcome: &MarkOutcome,
+    plans: &[PacketPlan],
+    layout: &Layout,
+) -> Result<(), String> {
+    let reference = reference_plan(tree, outcome, layout)?;
+    if plans.len() != reference.len() {
+        return Err(format!(
+            "planner emitted {} packets, reference {}",
+            plans.len(),
+            reference.len()
+        ));
+    }
+    for (pi, (got, want)) in plans.iter().zip(reference.iter()).enumerate() {
+        if (got.frm_id, got.to_id) != (want.frm_id, want.to_id) {
+            return Err(format!(
+                "packet {pi} range <{}, {}> != reference <{}, {}>",
+                got.frm_id, got.to_id, want.frm_id, want.to_id
+            ));
+        }
+        if got.enc_indices != want.enc_indices {
+            return Err(format!(
+                "packet {pi} enc_indices {:?} != reference {:?}",
+                got.enc_indices, want.enc_indices
+            ));
+        }
+        let mut got_users = got.users_iter(tree);
+        let mut n = 0usize;
+        for &want_u in &want.users {
+            match got_users.next() {
+                Some(u) if u == want_u => n += 1,
+                Some(u) => {
+                    return Err(format!(
+                        "packet {pi} user #{n} is {u}, reference has {want_u}"
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "packet {pi} enumerates {n} users, reference {}",
+                        want.users.len()
+                    ));
+                }
+            }
+        }
+        if let Some(u) = got_users.next() {
+            return Err(format!(
+                "packet {pi} enumerates extra user {u} beyond the reference's {}",
+                want.users.len()
+            ));
+        }
+    }
+    Ok(())
+}
 
 /// Verifies one assignment end to end. Returns the first violation as
 /// text.
@@ -47,10 +185,13 @@ pub fn verify_message(
         }
     }
 
+    // ---- plans are bit-identical to the user-by-user oracle --------
+    check_plan_identity(tree, outcome, &assignment.plans, layout)?;
+
     // ---- coverage: one packet per user, carrying its whole path ----
     for uid in tree.user_ids() {
         let needs = outcome.encryptions_for_user(uid, tree.degree());
-        match assignment.packet_of_user.get(&uid) {
+        match assignment.packet_of_user(uid) {
             None => {
                 if !needs.is_empty() {
                     return Err(format!(
@@ -59,7 +200,7 @@ pub fn verify_message(
                     ));
                 }
             }
-            Some(&pi) => {
+            Some(pi) => {
                 let pkt = assignment
                     .packets
                     .get(pi)

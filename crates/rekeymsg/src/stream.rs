@@ -49,12 +49,13 @@ use keytree::{KeyTree, MarkOutcome, NodeId, PendingMint, DERIVE_CHUNK};
 use rse::BlockEncoder;
 use wirecrypto::{SealedKey, SymKey};
 
-use crate::assign::{plan, AssignError, AssignmentStats, PacketPlan, UkaAssignment, SEAL_CHUNK};
+use crate::assign::{
+    plan, updated_pos, AssignError, AssignmentStats, PacketPlan, UkaAssignment, SEAL_CHUNK,
+};
 use crate::blocks::{fec_bodies, stamp_block, BlockSet, BlockSetBuilder};
 use crate::layout::Layout;
 use crate::seal_context;
 use crate::wire::EncPacket;
-use std::collections::HashMap;
 
 /// Tuning of one streamed build. The values change wall-clock behaviour
 /// only, never output — the identity tests sweep them.
@@ -183,13 +184,6 @@ struct MintSealOut {
     plan_busy_ns: u64,
     /// Time ≥ 2 of {mint/resolve, seal, plan} were in flight at once.
     overlap_ns: u64,
-}
-
-/// Position of `id` in the descending `updated` list, if present.
-fn updated_pos(updated: &[NodeId], id: NodeId) -> Option<usize> {
-    updated
-        .binary_search_by(|&probe| probe.cmp(&id).reverse())
-        .ok()
 }
 
 /// Phase 1: mint ∥ seal ∥ plan. `check_wire` adds the barrier path's
@@ -331,6 +325,8 @@ fn mint_seal_plan(
             let t0 = Instant::now();
             let plans = plan(tree, outcome, layout);
             let plan_busy_ns = t0.elapsed().as_nanos() as u64;
+            // Even on a plan error, drain the channel so the producer and
+            // seal workers retire cleanly.
             let plan_w1 = epoch.elapsed().as_nanos() as u64;
             let mut sealed: Vec<SealedKey> = Vec::with_capacity(edges.len());
             while let Some(chunk) = rx.recv() {
@@ -342,6 +338,12 @@ fn mint_seal_plan(
 
     let (derived, err, mint_busy_ns, prod_window) = produced;
     let (plans, sealed, plan_busy_ns, plan_window) = consumed;
+    // A plan error wins over a mint/resolve error: the barrier path plans
+    // before it seals, so the streamed path must surface the same error.
+    let (plans, err) = match plans {
+        Ok(plans) => (plans, err),
+        Err(plan_err) => (Vec::new(), Some(plan_err)),
+    };
     let seal_window = (
         seal_w0.load(Ordering::Relaxed), // xcheck-ordering: scope already joined every worker; single post-join read of the window bound
         seal_w1.load(Ordering::Relaxed), // xcheck-ordering: scope already joined every worker; single post-join read of the window bound
@@ -432,12 +434,11 @@ pub fn build_streamed(
             let asm_w0 = epoch.elapsed().as_nanos() as u64;
             let mut assemble_busy_ns = 0u64;
             let mut packets: Vec<EncPacket> = Vec::with_capacity(plans.len());
-            let mut packet_of_user: HashMap<NodeId, usize> = HashMap::new();
             let mut entries_emitted = 0usize;
             let mut err: Option<AssignError> = None;
             let mut block_index = 0usize;
             let seg = Instant::now();
-            for (pi, plan) in plans.iter().enumerate() {
+            for plan in plans.iter() {
                 if plan.frm_id > u16::MAX as NodeId || plan.to_id > u16::MAX as NodeId {
                     err = Some(AssignError::IdOutOfRange(plan.frm_id.max(plan.to_id)));
                     break;
@@ -448,9 +449,6 @@ pub fn build_streamed(
                     entries.push((child as u16, sealed[i]));
                 }
                 entries_emitted += entries.len();
-                for &u in &plan.users {
-                    packet_of_user.insert(u, pi);
-                }
                 packets.push(EncPacket {
                     msg_id,
                     block_id: 0,
@@ -486,7 +484,6 @@ pub fn build_streamed(
             assemble_busy_ns = assemble_busy_ns.wrapping_add(seg.elapsed().as_nanos() as u64);
             (
                 packets,
-                packet_of_user,
                 entries_emitted,
                 err,
                 assemble_busy_ns,
@@ -521,7 +518,7 @@ pub fn build_streamed(
         },
     );
     let (builder, fold_window) = consumed;
-    let (packets, packet_of_user, entries_emitted, err, assemble_busy_ns, asm_window) = produced;
+    let (packets, entries_emitted, err, assemble_busy_ns, asm_window) = produced;
     if let Some(err) = err {
         // The partially-fed builder is dropped; the caller never observes
         // a half-built block set.
@@ -536,7 +533,6 @@ pub fn build_streamed(
     let assignment = UkaAssignment {
         packets,
         plans,
-        packet_of_user,
         stats,
     };
     let blocks = builder.finish();
@@ -723,7 +719,7 @@ mod tests {
                     })
                 });
                 assert_eq!(asn.packets, bar_asn.packets, "workers={workers} {tuning:?}");
-                assert_eq!(asn.packet_of_user, bar_asn.packet_of_user);
+                assert_eq!(asn.plans, bar_asn.plans);
                 assert_eq!(asn.stats, bar_asn.stats);
                 assert_eq!(tree.group_key(), bar_tree.group_key());
                 // Fresh clone per comparison: minting parities advances
@@ -772,7 +768,7 @@ mod tests {
         for (a, b) in plans.iter().zip(&bar_plans) {
             assert_eq!(a.enc_indices, b.enc_indices);
             assert_eq!((a.frm_id, a.to_id), (b.frm_id, b.to_id));
-            assert_eq!(a.users, b.users);
+            assert_eq!(a.user_runs, b.user_runs);
         }
     }
 

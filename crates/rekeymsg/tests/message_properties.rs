@@ -49,7 +49,7 @@ proptest! {
     fn uka_guarantees((n, d, leavers, joins, seed) in workload()) {
         let (tree, outcome) = build(n, d, &leavers, joins, seed);
         let layout = Layout::DEFAULT;
-        let plans = assign::plan(&tree, &outcome, &layout);
+        let plans = assign::plan(&tree, &outcome, &layout).unwrap();
 
         let mut seen_users = HashSet::new();
         let mut last_to: Option<u32> = None;
@@ -61,7 +61,7 @@ proptest! {
             last_to = Some(p.to_id);
             prop_assert!(p.enc_indices.len() <= layout.encryptions_per_packet());
             let have: HashSet<usize> = p.enc_indices.iter().copied().collect();
-            for &u in &p.users {
+            for u in p.users_iter(&tree) {
                 prop_assert!(seen_users.insert(u), "user {} twice", u);
                 for idx in outcome.encryptions_for_user(u, d) {
                     prop_assert!(have.contains(&idx), "user {} missing enc {}", u, idx);
@@ -143,7 +143,7 @@ proptest! {
         prop_assume!(built.packets.len() > 1 && built.packets.len().div_ceil(k) <= 256);
         let bs = BlockSet::new(built.packets.clone(), k, layout);
 
-        for (&uid, &pi) in built.packet_of_user.iter().take(20) {
+        for (uid, pi) in built.served_users(&tree).take(20) {
             let true_block = (pi / k) as u32;
             let mut est = BlockIdEstimator::new(uid as u16, k, d);
             let mut bit = 0u32;

@@ -156,11 +156,7 @@ fn run_fast_model(sc: &Scenario) -> (HashMap<NodeId, usize>, usize, f64) {
         .enumerate()
         .map(|(idx, &m)| {
             let uid = sc.tree.node_of_member(m).unwrap();
-            let tb = sc
-                .assignment
-                .packet_of_user
-                .get(&uid)
-                .map(|&pi| (pi / k) as u8);
+            let tb = sc.assignment.packet_of_user(uid).map(|pi| (pi / k) as u8);
             SimUser::new(idx, uid, k, 4, tb)
         })
         .collect();

@@ -59,6 +59,7 @@ cargo test --workspace -q --features sanitize
 stage "dynamic no-alloc harness (xcheck-rt counting allocator)"
 cargo test -q -p xcheck-rt
 cargo test -q -p keytree --test no_alloc_marks
+cargo test -q -p rekeymsg --test no_alloc_marks
 cargo test -q -p rse --test no_alloc_marks
 cargo test -q -p netsim --test no_alloc_marks
 cargo test -q -p grouprekey --test no_alloc_marks
@@ -70,6 +71,12 @@ stage "schedule-perturbation bit-identity gates"
 cargo test -q -p taskpool
 cargo test -q -p grouprekey --test sched_perturb
 cargo test -q -p bench --test sched_perturb
+
+stage "UKA plan identity (run-aggregated planner vs user-by-user oracle)"
+# Proptest bit-identity of the O(E) run-aggregated planner against the
+# sanitize-featured reference walk, across random (N, d, churn, layout
+# capacity, compaction) including relocation batches and forced splits.
+cargo test -q -p rekeymsg --features sanitize --test plan_identity
 
 stage "streaming pipeline gates (identity + sanitize smoke)"
 # Byte-identity of the streamed datapath against the barrier build with
