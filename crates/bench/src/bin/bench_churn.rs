@@ -29,6 +29,15 @@
 //! `--out <path>` overrides the output path; `--obs-out <path>` (or
 //! `REKEY_OBS=1`) snapshots the `scenario.*` / `stage.*` metrics over
 //! the acceptance row (requires `--features obs`).
+//!
+//! `--series-out <path>` replays the acceptance row once more with a
+//! per-interval [`obs::series::SeriesRecorder`] attached and writes the
+//! `obs_series/v1` time-series (users/churn/enc-per-member/bytes-on-
+//! wire/depth/resident-bytes curves, plus per-interval stage-wall deltas
+//! in obs-enabled builds). `--trace-out <path>` records that same replay
+//! in the flight recorder and writes Chrome trace-event JSON (open in
+//! Perfetto; requires `--features obs`). The replay's digest must match
+//! the grid run's — recording must not perturb the rekey stream.
 
 use std::time::Instant;
 
@@ -376,6 +385,8 @@ fn main() {
     let mut out_path = "BENCH_churn.json".to_string();
     let mut check_path: Option<String> = None;
     let mut obs_out: Option<String> = None;
+    let mut series_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -383,16 +394,25 @@ fn main() {
             "--out" => out_path = it.next().expect("--out needs a path"),
             "--check" => check_path = Some(it.next().expect("--check needs a path")),
             "--obs-out" => obs_out = Some(it.next().expect("--obs-out needs a path")),
+            "--series-out" => series_out = Some(it.next().expect("--series-out needs a path")),
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out needs a path")),
             other => {
                 eprintln!(
                     "unknown flag {other}; use [--smoke] [--out PATH] [--check PATH] \
-                     [--obs-out PATH]"
+                     [--obs-out PATH] [--series-out PATH] [--trace-out PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
     let obs_sink = match bench::ObsSink::resolve(obs_out) {
+        Ok(sink) => sink,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
+    let trace_sink = match bench::TraceSink::resolve(trace_out) {
         Ok(sink) => sink,
         Err(msg) => {
             eprintln!("{msg}");
@@ -461,6 +481,36 @@ fn main() {
     );
     let identity = bench_identity(id_cell);
     eprintln!("  matches_sequential={}", identity.matches_sequential);
+
+    // Instrumented replay of the acceptance row: per-interval time-series
+    // and/or a flight-recorder trace. The digest must match the grid
+    // run's — recording is observation, not perturbation.
+    if series_out.is_some() || trace_sink.active() {
+        trace_sink.start();
+        let mut series = obs::series::SeriesRecorder::new();
+        let recorded = scenario::ScenarioEngine::new(config_for(id_cell)).run_recorded(&mut series);
+        trace_sink
+            .finish(&mut std::io::stderr().lock())
+            .expect("write trace JSON");
+        if let Some(path) = &series_out {
+            std::fs::write(path, series.to_json()).expect("write series JSON");
+            eprintln!("wrote {}-interval time-series to {path}", series.len());
+        }
+        let grid_digest = reports
+            .iter()
+            .find(|r| {
+                (r.cell.kind, r.cell.n, r.cell.d, r.cell.compaction)
+                    == (id_cell.kind, id_cell.n, id_cell.d, id_cell.compaction)
+            })
+            .map(|r| r.report.digest);
+        if grid_digest != Some(recorded.digest) {
+            eprintln!(
+                "FAILED: recorded replay digest {:016x} differs from grid run {:?}",
+                recorded.digest, grid_digest
+            );
+            std::process::exit(1);
+        }
+    }
 
     let json = render_json(mode, &reports, &identity);
     let problems = check_report(&json);

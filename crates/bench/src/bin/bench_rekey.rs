@@ -23,7 +23,9 @@
 //! mismatch; `--out <path>` overrides the output path; `--obs-out <path>`
 //! (or `REKEY_OBS=1`) dumps the metrics snapshot collected during the
 //! run — JSON to the path, human table to stderr — and requires a build
-//! with `--features obs`.
+//! with `--features obs`. `--trace-out <path>` records the `batch_rekey`
+//! section in the flight recorder and writes Chrome trace-event JSON
+//! (open in Perfetto; requires `--features obs`).
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -511,6 +513,7 @@ fn main() {
     let mut out_path = "BENCH_rekey.json".to_string();
     let mut check_path: Option<String> = None;
     let mut obs_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -518,16 +521,24 @@ fn main() {
             "--out" => out_path = it.next().expect("--out needs a path"),
             "--check" => check_path = Some(it.next().expect("--check needs a path")),
             "--obs-out" => obs_out = Some(it.next().expect("--obs-out needs a path")),
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out needs a path")),
             other => {
                 eprintln!(
                     "unknown flag {other}; use [--smoke] [--out PATH] [--check PATH] \
-                     [--obs-out PATH]"
+                     [--obs-out PATH] [--trace-out PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
     let obs_sink = match bench::ObsSink::resolve(obs_out) {
+        Ok(sink) => sink,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
+    let trace_sink = match bench::TraceSink::resolve(trace_out) {
         Ok(sink) => sink,
         Err(msg) => {
             eprintln!("{msg}");
@@ -579,7 +590,11 @@ fn main() {
         par.blocks, par.workers, par.matches_sequential
     );
     eprintln!("batch_rekey: N in {{2^10, 2^14, 2^17}}");
+    trace_sink.start();
     let rekey = bench_batch_rekey(effort);
+    trace_sink
+        .finish(&mut std::io::stderr().lock())
+        .expect("write trace JSON");
     for p in &rekey {
         eprintln!("  N={:<7} wall {:.2} ms", p.n, p.wall_ms);
     }

@@ -44,7 +44,10 @@
 //! embedding the snapshot plus a stage-coverage percentage (how much of
 //! the measured batch wall time the mark/mint/seal/encode spans account
 //! for), prints the per-stage table to stderr, and requires a build with
-//! `--features obs`.
+//! `--features obs`. `--trace-out <path>` records the pipeline
+//! comparison in the flight recorder and writes Chrome trace-event JSON
+//! — one track per pipeline worker, so the mint/seal/plan overlap is
+//! visible in Perfetto (requires `--features obs`).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -682,6 +685,7 @@ fn main() {
     let mut out_path = "BENCH_scale.json".to_string();
     let mut check_path: Option<String> = None;
     let mut obs_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut pipeline_only = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -690,17 +694,25 @@ fn main() {
             "--out" => out_path = it.next().expect("--out needs a path"),
             "--check" => check_path = Some(it.next().expect("--check needs a path")),
             "--obs-out" => obs_out = Some(it.next().expect("--obs-out needs a path")),
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out needs a path")),
             "--pipeline-only" => pipeline_only = true,
             other => {
                 eprintln!(
                     "unknown flag {other}; use [--smoke] [--out PATH] [--check PATH] \
-                     [--obs-out PATH] [--pipeline-only]"
+                     [--obs-out PATH] [--trace-out PATH] [--pipeline-only]"
                 );
                 std::process::exit(2);
             }
         }
     }
     let obs_sink = match bench::ObsSink::resolve(obs_out) {
+        Ok(sink) => sink,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
+    let trace_sink = match bench::TraceSink::resolve(trace_out) {
         Ok(sink) => sink,
         Err(msg) => {
             eprintln!("{msg}");
@@ -731,7 +743,11 @@ fn main() {
         // Iteration aid: just the streamed-vs-barrier comparison at the
         // acceptance cell, no JSON emitted.
         let cell = identity_cell(smoke);
+        trace_sink.start();
         let pipeline = bench_pipeline(cell, reps);
+        trace_sink
+            .finish(&mut std::io::stderr().lock())
+            .expect("write trace JSON");
         for row in &pipeline.rows {
             eprintln!(
                 "  workers={} streamed {:>8.3} ms ({:>5.1}% of barrier {:.3} ms), \
@@ -812,7 +828,11 @@ fn main() {
     if obs_sink.active() {
         obs::reset();
     }
+    trace_sink.start();
     let pipeline = bench_pipeline(id_cell, reps);
+    trace_sink
+        .finish(&mut std::io::stderr().lock())
+        .expect("write trace JSON");
     let pipeline_snap = obs_sink.active().then(obs::snapshot);
     for row in &pipeline.rows {
         eprintln!(

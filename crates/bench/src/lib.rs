@@ -11,6 +11,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod jsonv;
 
 /// Global effort knob.
 #[derive(Debug, Clone, Copy)]
@@ -130,6 +131,68 @@ impl ObsSink {
             std::fs::write(path, snap.to_json())?;
         }
         err.write_all(snap.render_table().as_bytes())
+    }
+}
+
+/// Where a bench binary sends its flight-recorder trace, resolved from
+/// the `--trace-out PATH` flag.
+///
+/// Like [`ObsSink`], requesting a trace from a build without the
+/// instrumentation compiled in is a hard error rather than a silently
+/// empty file. The sink brackets the measured region: [`TraceSink::start`]
+/// arms the recorder, [`TraceSink::finish`] disarms it, drains every
+/// per-thread ring, and writes the merged stream as Chrome trace-event
+/// JSON (open it in Perfetto or `chrome://tracing`).
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    /// Destination for the Chrome trace JSON (`--trace-out PATH`), if any.
+    pub path: Option<String>,
+}
+
+impl TraceSink {
+    /// Resolves the sink from the parsed `--trace-out` value. Errors
+    /// (with the message the binary should print verbatim) when a trace
+    /// is requested but the recorder is compiled out.
+    pub fn resolve(trace_out: Option<String>) -> Result<TraceSink, String> {
+        if trace_out.is_some() && !obs::enabled() {
+            return Err(
+                "trace output requested (--trace-out) but this binary was built without \
+                 the instrumentation layer; rebuild with `--features obs`"
+                    .to_string(),
+            );
+        }
+        Ok(TraceSink { path: trace_out })
+    }
+
+    /// Whether a trace was requested.
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Arms the flight recorder (no-op when inactive).
+    pub fn start(&self) {
+        if self.active() {
+            obs::trace::enable(obs::trace::DEFAULT_CAPACITY);
+        }
+    }
+
+    /// Disarms the recorder, drains it, and writes the Chrome trace JSON
+    /// to [`TraceSink::path`], reporting counts on `err`. No-op when the
+    /// sink is inactive.
+    pub fn finish(&self, err: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        obs::trace::disable();
+        let trace = obs::trace::drain();
+        std::fs::write(path, trace.to_chrome_json())?;
+        writeln!(
+            err,
+            "trace: {} events on {} tracks ({} dropped) -> {path}",
+            trace.events.len(),
+            trace.tracks.len(),
+            trace.dropped_total(),
+        )
     }
 }
 

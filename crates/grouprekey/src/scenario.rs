@@ -455,6 +455,42 @@ impl ScenarioEngine {
             digest: self.digest,
         }
     }
+
+    /// Like [`ScenarioEngine::run`], but also records every interval
+    /// into `series`: the explicit [`IntervalStats`] columns plus, in
+    /// obs-enabled builds, the per-interval stage-wall and counter
+    /// deltas ([`obs::series::SeriesRecorder::snapshot_deltas`]).
+    pub fn run_recorded(mut self, series: &mut obs::series::SeriesRecorder) -> ScenarioReport {
+        let mut stats = Vec::with_capacity(self.config.intervals);
+        while self.interval < self.config.intervals {
+            let interval = self.step();
+            record_interval(series, &interval);
+            stats.push(interval);
+        }
+        ScenarioReport {
+            kind: self.config.kind,
+            stats,
+            digest: self.digest,
+        }
+    }
+}
+
+/// Appends one scenario interval to `series` as an `obs_series/v1` row:
+/// the churn/size/cost columns of [`IntervalStats`] plus whatever the
+/// obs span totals and counters advanced by during the interval.
+pub fn record_interval(series: &mut obs::series::SeriesRecorder, stats: &IntervalStats) {
+    series.begin_interval(stats.interval as u64);
+    series.set("users", stats.users as f64);
+    series.set("joins", stats.joins as f64);
+    series.set("leaves", stats.leaves as f64);
+    series.set("relocations", stats.relocations as f64);
+    series.set("encryptions", stats.encryptions as f64);
+    series.set("enc_per_member", stats.enc_per_member);
+    series.set("bytes_on_wire", stats.bytes_on_wire as f64);
+    series.set("max_depth", f64::from(stats.max_depth));
+    series.set("mean_depth", stats.mean_depth);
+    series.set("resident_bytes", stats.resident_bytes as f64);
+    series.snapshot_deltas();
 }
 
 /// Convenience one-shot: builds the engine and runs the whole trace.
@@ -483,6 +519,24 @@ mod tests {
             assert_eq!(a, b, "{} not replayable", kind.name());
             assert_eq!(a.stats.len(), 32);
         }
+    }
+
+    #[test]
+    fn run_recorded_matches_plain_run_and_fills_columns() {
+        let mut series = obs::series::SeriesRecorder::new();
+        let recorded =
+            ScenarioEngine::new(small(ScenarioKind::FlashCrowd)).run_recorded(&mut series);
+        let plain = run(small(ScenarioKind::FlashCrowd));
+        // Recording is a pure observer: same digest, same stats.
+        assert_eq!(recorded, plain);
+        assert_eq!(series.len(), recorded.stats.len());
+        let users = series.column("users").expect("users column");
+        for (v, s) in users.iter().zip(&recorded.stats) {
+            assert_eq!(*v, s.users as f64);
+        }
+        let bytes = series.column("bytes_on_wire").expect("bytes column");
+        assert!(bytes.iter().any(|&b| b > 0.0));
+        assert!(obs::json::well_formed(&series.to_json()));
     }
 
     #[test]

@@ -209,6 +209,9 @@ impl KeyServer {
             // the server state is byte-identical to the barrier path's.
             self.tree
                 .install_minted(&outcome_raw.updated_knodes, &derived);
+            // Flight-recorder marker: the moment the new key set became
+            // live — the interval boundary visible in a Perfetto trace.
+            obs::trace::instant("rekey.install");
             let (assignment, blocks, stats) = built.unwrap_or_else(|e| {
                 unreachable!("marking outcome always seals against its own tree: {e}")
             });
@@ -233,6 +236,9 @@ impl KeyServer {
                 &mut self.scratch,
                 &self.compaction,
             );
+            // Same marker as the streamed path: keys are live once the
+            // inline (barrier) marking pass returns.
+            obs::trace::instant("rekey.install");
             let assignment = UkaAssignment::build(&self.tree, &outcome, msg_seq, &self.layout)
                 .unwrap_or_else(|e| {
                     unreachable!("marking outcome always seals against its own tree: {e}")

@@ -256,6 +256,76 @@ mod tests {
     }
 
     #[test]
+    fn every_control_char_escapes_to_valid_json() {
+        // All of U+0000..U+001F must leave as \uXXXX (or the short forms
+        // \n \r \t), never raw — raw control bytes break strict parsers.
+        let all_controls: String = (0u32..0x20).filter_map(char::from_u32).collect();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("ctl", &all_controls);
+        w.end_object();
+        let text = w.finish();
+        assert!(well_formed(&text));
+        for byte in text.bytes() {
+            assert!(byte >= 0x20, "raw control byte {byte:#04x} in {text:?}");
+        }
+        assert!(text.contains("\\u0000"));
+        assert!(text.contains("\\u001f"));
+        assert!(text.contains("\\n") && text.contains("\\r") && text.contains("\\t"));
+    }
+
+    #[test]
+    fn non_ascii_passes_through_as_utf8() {
+        // Multi-byte UTF-8 needs no escaping; the writer must not
+        // mangle it or miscount string boundaries around it.
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("müsli", "héllo wörld \u{1F511} ключ 密钥");
+        w.end_object();
+        let text = w.finish();
+        assert!(well_formed(&text));
+        assert!(text.contains("héllo wörld \u{1F511} ключ 密钥"));
+    }
+
+    #[test]
+    fn quote_and_backslash_storms_stay_balanced() {
+        // Pathological values for a brace-balance checker: every kind of
+        // bracket inside strings, trailing backslash runs, escaped quotes.
+        for value in [
+            "\\",
+            "\\\\",
+            "\\\"",
+            "{",
+            "}",
+            "[",
+            "]",
+            "{{[[",
+            "\"",
+            "\\{",
+            "a\\",
+            "end with quote\"",
+        ] {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.field_str("v", value);
+            w.end_object();
+            let text = w.finish();
+            assert!(well_formed(&text), "value {value:?} broke: {text}");
+        }
+    }
+
+    #[test]
+    fn keys_are_escaped_like_values() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("a\"b\\c\nd", 1);
+        w.end_object();
+        let text = w.finish();
+        assert_eq!(text, "{\"a\\\"b\\\\c\\nd\": 1}");
+        assert!(well_formed(&text));
+    }
+
+    #[test]
     fn null_and_top_level_checks() {
         let mut w = JsonWriter::new();
         w.begin_object();

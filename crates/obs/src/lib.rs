@@ -25,6 +25,12 @@
 //! deterministically ([`Snapshot::to_json`], sections and entries sorted
 //! by name) or renders as a human table ([`Snapshot::render_table`]).
 //!
+//! Two event-level layers build on the same instrumentation points:
+//! [`trace`], a flight recorder that turns span begin/end into
+//! per-thread event streams exportable as Chrome/Perfetto trace JSON,
+//! and [`series`], an interval-keyed time-series recorder for
+//! per-rekey-interval curves.
+//!
 //! # Feature gating
 //!
 //! Everything above is real only with the `enabled` cargo feature.
@@ -42,6 +48,10 @@
 pub mod hist;
 /// Deterministic hand-rolled JSON writer shared with the bench emitters.
 pub mod json;
+/// Interval-keyed time-series recorder (`obs_series/v1`).
+pub mod series;
+/// Flight-recorder event tracing with Chrome/Perfetto export (`trace/v1`).
+pub mod trace;
 
 #[cfg(feature = "enabled")]
 mod registry;
@@ -83,14 +93,18 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.slot.record(ns);
+        trace::span_end(self.slot.name());
     }
 }
 
 /// Starts a span named `name`; the returned guard records its wall time
 /// into the span's histogram when dropped. Nested spans each record
-/// their own elapsed time.
+/// their own elapsed time. While the flight recorder is on
+/// ([`trace::enable`]), the guard also emits begin/end trace events, so
+/// every instrumented stage shows up on its thread's track for free.
 #[cfg(feature = "enabled")]
 pub fn span(name: &'static str) -> SpanGuard {
+    trace::span_begin(name);
     SpanGuard {
         slot: registry::slot(name, registry::Kind::SpanNs),
         start: std::time::Instant::now(),

@@ -42,6 +42,11 @@ pub(crate) struct Slot {
 }
 
 impl Slot {
+    /// The series name (used by span guards to emit trace end events).
+    pub(crate) fn name(&self) -> &'static str {
+        self.name
+    }
+
     fn new(name: &'static str, kind: Kind) -> Self {
         let hist = matches!(kind, Kind::SpanNs | Kind::Value);
         Slot {

@@ -210,6 +210,11 @@ fn mint_seal_plan(
     let (produced, consumed) = taskpool::pipeline(
         tuning.channel_capacity,
         |tx| {
+            // One span over the whole producer closure: its trace-event
+            // window is the mint+resolve stage's activity window (sends
+            // included), mirroring `prod_window` below so event-derived
+            // overlap can be cross-validated against `overlap_ns`.
+            let _span_produce = obs::span("pipe.mint_resolve");
             let prod_w0 = epoch.elapsed().as_nanos() as u64;
             let mut mint_busy_ns = 0u64;
             let mut derived: Vec<SymKey> = Vec::with_capacity(updated.len());
@@ -323,7 +328,13 @@ fn mint_seal_plan(
             // the planning only, not the recv waits.
             let plan_w0 = epoch.elapsed().as_nanos() as u64;
             let t0 = Instant::now();
-            let plans = plan(tree, outcome, layout);
+            let plans = {
+                // Tight span around planning only (`uka.build` above also
+                // covers the channel drain): its trace events reproduce
+                // the `plan_window` the overlap accounting uses.
+                let _span_plan = obs::span("stage.plan");
+                plan(tree, outcome, layout)
+            };
             let plan_busy_ns = t0.elapsed().as_nanos() as u64;
             // Even on a plan error, drain the channel so the producer and
             // seal workers retire cleanly.
@@ -431,6 +442,10 @@ pub fn build_streamed(
     let (produced, consumed) = taskpool::pipeline(
         tuning.channel_capacity,
         |tx| {
+            // Whole-closure span mirroring `asm_window`, so phase-2
+            // assembly shows up on the flight recorder like phase 1's
+            // `pipe.mint_resolve` does.
+            let _span_assemble = obs::span("pipe.assemble");
             let asm_w0 = epoch.elapsed().as_nanos() as u64;
             let mut assemble_busy_ns = 0u64;
             let mut packets: Vec<EncPacket> = Vec::with_capacity(plans.len());

@@ -210,8 +210,12 @@ where
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for w in 0..workers {
+            let (next, order, f, collected) = (&next, &order, &f, &collected);
+            scope.spawn(move || {
+                // Label this worker's flight-recorder track (no-op unless
+                // trace recording is on).
+                obs::trace::set_thread_track("map", w as u32);
                 // Workers inherit the caller's perturbation seed so maps
                 // nested inside `f` are perturbed too.
                 with_schedule_opt(sched, || {
@@ -230,7 +234,7 @@ where
                         local.push((idx, f(idx, &items[idx])));
                     }
                     record_worker_share(local.len());
-                    lock_ignoring_poison(&collected).append(&mut local);
+                    lock_ignoring_poison(collected).append(&mut local);
                 });
             });
         }
@@ -289,15 +293,19 @@ where
     };
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(total));
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for w in 0..workers {
+            let (queue, f, collected) = (&queue, &f, &collected);
+            scope.spawn(move || {
+                // Label this worker's flight-recorder track (no-op unless
+                // trace recording is on).
+                obs::trace::set_thread_track("map", w as u32);
                 // Workers inherit the caller's perturbation seed so maps
                 // nested inside `f` are perturbed too.
                 with_schedule_opt(sched, || {
                     let _busy = obs::span("taskpool.worker_busy");
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
-                        let next = lock_ignoring_poison(&queue).next();
+                        let next = lock_ignoring_poison(queue).next();
                         let Some((idx, item)) = next else { break };
                         if let Some(seed) = sched {
                             maybe_yield(seed, idx);
@@ -305,7 +313,7 @@ where
                         local.push((idx, f(idx, item)));
                     }
                     record_worker_share(local.len());
-                    lock_ignoring_poison(&collected).append(&mut local);
+                    lock_ignoring_poison(collected).append(&mut local);
                 });
             });
         }

@@ -330,6 +330,9 @@ where
     let live = AtomicUsize::new(workers);
     std::thread::scope(|scope| {
         let consumer = scope.spawn(|| {
+            // Label the consumer's flight-recorder track (no-op unless
+            // trace recording is on).
+            obs::trace::set_thread_track("pipe-consume", 0);
             with_schedule_opt(sched, || {
                 let mut rx = OrderedRx {
                     source: RxSource::Chan(&output),
@@ -339,14 +342,18 @@ where
                 consume(&mut rx)
             })
         });
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for w in 0..workers {
+            let (input, output, live, transform) = (&input, &output, &live, &transform);
+            scope.spawn(move || {
+                // Label this worker's flight-recorder track (no-op unless
+                // trace recording is on).
+                obs::trace::set_thread_track("pipe", w as u32);
                 // Workers inherit the caller's perturbation seed so maps
                 // nested inside `transform` are perturbed too.
                 with_schedule_opt(sched, || {
                     let mut closer = PanicCloser {
-                        input: &input,
-                        output: &output,
+                        input,
+                        output,
                         armed: true,
                     };
                     while let Some((idx, item)) = input.recv() {

@@ -66,6 +66,8 @@ cargo test -q -p grouprekey --test no_alloc_marks
 cargo test -q -p taskpool --test no_alloc_marks
 cargo test -q -p obs --test no_alloc_off
 cargo test -q -p obs --features enabled --test no_alloc_off
+cargo test -q -p obs --test no_alloc_marks
+cargo test -q -p obs --features enabled --test no_alloc_marks
 
 stage "schedule-perturbation bit-identity gates"
 cargo test -q -p taskpool
@@ -160,6 +162,34 @@ if ! grep -q '"mode": "full"' BENCH_churn.json; then
     exit 1
 fi
 
+stage "bench regression sentinel (bench_diff vs committed baselines)"
+# Fresh smoke runs (written under target/ by the stages above) against
+# the committed full-mode baselines. Rows match by identity coordinates,
+# so the smoke/full grids compare exactly where they intersect: timing
+# keys within the tolerance band, deterministic keys (digests, byte
+# totals, counts) exactly. bench_rekey keeps the same grid in both
+# modes, so that diff is a real end-to-end sentinel.
+for name in rekey scale churn; do
+    cargo run -q --release -p bench --bin bench_diff -- \
+        --baseline "BENCH_${name}.json" --candidate "target/BENCH_${name}.smoke.json" \
+        --out "target/bench_diff_${name}.json" --check
+done
+python3 - <<'EOF'
+import json
+for name in ("rekey", "scale", "churn"):
+    with open(f"target/bench_diff_{name}.json") as f:
+        verdict = json.load(f)
+    assert verdict["schema"] == "bench_diff/v1", verdict["schema"]
+    assert verdict["verdict"] == "pass", verdict
+    assert verdict["compared"] >= 1, verdict
+    print(f"    {name}: {verdict['compared']} compared, {verdict['matched']} matched, "
+          f"{verdict['only_baseline']}/{verdict['only_candidate']} unmatched")
+# The rekey grid is identical in smoke and full mode: the whole report
+# must intersect, or the coordinate matching has regressed.
+with open("target/bench_diff_rekey.json") as f:
+    assert json.load(f)["compared"] >= 10, "rekey diff barely intersected"
+EOF
+
 stage "obs gate: build + test with --features obs"
 cargo build -q --workspace --features obs
 cargo test -q --workspace --features obs
@@ -204,6 +234,92 @@ for section, expected in sections.items():
     missing = expected - got
     assert not missing, f"pipeline_obs {section} missing {sorted(missing)}: {sorted(got)}"
 EOF
+
+stage "obs gate: flight-recorder trace export + per-interval time-series"
+# A traced pipeline comparison (one track per worker) and a traced +
+# series-recorded churn replay; both Chrome trace exports are validated
+# structurally (balanced B/E nesting, monotone per-track timestamps)
+# and the obs_series/v1 column shapes are checked.
+cargo run -q --release -p bench --features bench/obs --bin bench_scale -- \
+    --smoke --pipeline-only --trace-out target/trace_scale.smoke.json
+cargo run -q --release -p bench --features bench/obs --bin bench_churn -- \
+    --smoke --out target/BENCH_churn.obs-smoke.json \
+    --series-out target/obs_series_churn.smoke.json \
+    --trace-out target/trace_churn.smoke.json
+python3 - <<'EOF'
+import json
+
+def validate_trace(path, min_pipe_workers=0):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events, f"{path}: no events"
+    labels = {}
+    tracks = {}
+    for e in events:
+        assert e["pid"] == 1, e
+        if e["ph"] == "M":
+            labels[e["tid"]] = e["args"]["name"]
+            continue
+        assert e["ph"] in ("B", "E", "i"), e
+        tracks.setdefault(e["tid"], []).append(e)
+    assert set(tracks) <= set(labels), f"{path}: unlabeled tracks"
+    for tid, es in tracks.items():
+        last, depth = -1.0, 0
+        for e in es:
+            assert e["ts"] >= last, f"{path}: ts not monotone on track {tid}"
+            last = e["ts"]
+            if e["ph"] == "B":
+                depth += 1
+            elif e["ph"] == "E":
+                depth -= 1
+                assert depth >= 0, f"{path}: E without B on track {tid}"
+        assert depth == 0, f"{path}: {depth} unclosed spans on track {tid}"
+    workers = [l for l in labels.values()
+               if l.startswith("pipe-") and not l.startswith("pipe-consume")]
+    assert len(workers) >= min_pipe_workers, f"{path}: worker tracks {sorted(labels.values())}"
+    if min_pipe_workers:
+        assert "pipe-consume-0" in labels.values(), \
+            f"{path}: no consumer track in {sorted(labels.values())}"
+    print(f"    {path}: {len(events)} events, tracks {sorted(labels.values())}")
+
+# The pipeline comparison must show the consumer track plus at least one
+# per-worker seal track. Only >= 1: the smoke cell mints ~2 seal chunks,
+# and on one core which workers win chunk pickup is scheduling luck — a
+# single worker often drains the whole channel while the rest claim no
+# ring (they record no events).
+validate_trace("target/trace_scale.smoke.json", min_pipe_workers=1)
+validate_trace("target/trace_churn.smoke.json")
+
+with open("target/obs_series_churn.smoke.json") as f:
+    series = json.load(f)
+assert series["schema"] == "obs_series/v1", series["schema"]
+points = series["points"]
+assert points > 0 and len(series["intervals"]) == points
+names = {s["name"] for s in series["series"]}
+for required in ("users", "joins", "leaves", "enc_per_member", "bytes_on_wire",
+                 "max_depth", "mean_depth", "resident_bytes"):
+    assert required in names, f"missing series {required}: {sorted(names)}"
+for s in series["series"]:
+    assert len(s["values"]) == points, s["name"]
+print(f"    obs_series: {points} intervals x {len(names)} series")
+EOF
+
+stage "obs overhead bench (BENCH_obs smoke cycle + committed gates)"
+# Smoke cycle: generate, self-gate, re-check. The committed full-mode
+# report must hold the acceptance gates (recorder overhead <= 5% of
+# wall, event-derived overlap within 1% of the stopwatch accounting,
+# zero off-path allocations).
+cargo run -q --release -p bench --features bench/obs --bin bench_obs -- \
+    --smoke --out target/BENCH_obs.smoke.json
+cargo run -q --release -p bench --features bench/obs --bin bench_obs -- \
+    --check target/BENCH_obs.smoke.json
+cargo run -q --release -p bench --features bench/obs --bin bench_obs -- \
+    --check BENCH_obs.json
+if ! grep -q '"mode": "full"' BENCH_obs.json; then
+    echo "ci.sh: committed BENCH_obs.json is not a full-mode run" >&2
+    exit 1
+fi
 
 stage_end
 echo ""
